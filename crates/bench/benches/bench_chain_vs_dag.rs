@@ -1,0 +1,76 @@
+//! E10 kernel: the full Monte-Carlo failure-rate cell, chain vs DAG, as a
+//! throughput benchmark — and the parallel speedup of the rayon fan-out.
+
+use am_protocols::{
+    measure_failure_rate, ChainAdversary, DagAdversary, DagRule, Params, TieBreak, TrialKind,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10_failure_rate_cell");
+    g.sample_size(10);
+    let trials = 64;
+    for lambda in [0.1f64, 0.8] {
+        let p = Params::new(12, 4, lambda, 41, 9);
+        g.bench_with_input(
+            BenchmarkId::new("chain", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        measure_failure_rate(
+                            p,
+                            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
+                            trials,
+                        )
+                        .hits,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dag", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        measure_failure_rate(
+                            p,
+                            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+                            trials,
+                        )
+                        .hits,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rayon_fanout");
+    g.sample_size(10);
+    let p = Params::new(12, 4, 0.4, 41, 9);
+    let kind = TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst);
+    g.bench_function("parallel_128_trials", |b| {
+        b.iter(|| black_box(measure_failure_rate(&p, kind, 128).trials))
+    });
+    g.bench_function("serial_128_trials", |b| {
+        b.iter(|| {
+            let mut fails = 0u64;
+            for i in 0..128u64 {
+                let seed = am_protocols::runner::trial_seed(p.seed, i);
+                if kind.run_one(&p.with_seed(seed)) {
+                    fails += 1;
+                }
+            }
+            black_box(fails)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Core data-structure benches + ablations A1 (snapshot strategy) and A2
+//! (ordering-rule cost on adversarial DAGs).
+
+use am_bench::{chain_history, dag_history};
+use am_core::{ghost, linearize, longest_chain, DagIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A1: shared-Arc snapshot reads vs naive deep-clone reads.
+fn bench_snapshot_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_snapshot");
+    g.sample_size(20);
+    for len in [100usize, 1000, 5000] {
+        let mem = chain_history(8, len);
+        g.bench_with_input(BenchmarkId::new("shared_arc", len), &mem, |b, mem| {
+            b.iter(|| black_box(mem.read().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("deep_clone", len), &mem, |b, mem| {
+            b.iter(|| black_box(mem.read_deep_clone().len()))
+        });
+    }
+    g.finish();
+}
+
+/// DagIndex construction cost on chains and bushy DAGs.
+fn bench_dag_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_index");
+    g.sample_size(20);
+    for len in [100usize, 1000] {
+        let chain = chain_history(8, len).read();
+        let dag = dag_history(8, len, 42).read();
+        g.bench_with_input(BenchmarkId::new("chain", len), &chain, |b, v| {
+            b.iter(|| black_box(DagIndex::new(v).max_depth()))
+        });
+        g.bench_with_input(BenchmarkId::new("bushy", len), &dag, |b, v| {
+            b.iter(|| black_box(DagIndex::new(v).max_depth()))
+        });
+    }
+    g.finish();
+}
+
+/// A2: GHOST vs longest-chain selection on bushy DAGs.
+fn bench_ordering_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A2_ordering_rule");
+    g.sample_size(20);
+    for len in [100usize, 500, 2000] {
+        let view = dag_history(8, len, 7).read();
+        g.bench_with_input(BenchmarkId::new("longest_chain", len), &view, |b, v| {
+            b.iter(|| black_box(longest_chain(v).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("ghost", len), &view, |b, v| {
+            b.iter(|| black_box(ghost::ghost_pivot(v).len()))
+        });
+    }
+    g.finish();
+}
+
+/// Linearization cost along the longest chain.
+fn bench_linearize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linearize");
+    g.sample_size(20);
+    for len in [100usize, 1000] {
+        let view = dag_history(8, len, 3).read();
+        let chain = longest_chain(&view);
+        g.bench_with_input(
+            BenchmarkId::new("bushy", len),
+            &(view, chain),
+            |b, (v, ch)| b.iter(|| black_box(linearize(v, ch).order.len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_strategies,
+    bench_dag_index,
+    bench_ordering_rules,
+    bench_linearize
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E4 kernels: simulated `M.append` / `M.read` cost across system sizes —
+//! the Θ(n²) / Θ(n) message shapes as wall-clock.
+
+use am_mp::MpSystem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_append");
+    g.sample_size(20);
+    for n in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = MpSystem::new(n, &[], 1);
+                let m = sys.append(0, 1).unwrap();
+                sys.settle();
+                black_box(m.seq)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_read");
+    g.sample_size(20);
+    for n in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Pre-populate with a few appends, then time reads.
+            let mut sys = MpSystem::new(n, &[], 1);
+            for i in 0..4 {
+                sys.append(i % n, 1).unwrap();
+                sys.settle();
+            }
+            b.iter(|| {
+                let v = sys.read(1).unwrap();
+                sys.settle();
+                black_box(v.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_append_with_byz(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_append_byz_minority");
+    g.sample_size(20);
+    for n in [8usize, 16] {
+        let byz: Vec<usize> = (n - n / 3..n).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = MpSystem::new(n, &byz, 1);
+                let m = sys.append(0, 1).unwrap();
+                sys.settle();
+                black_box(m.seq)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_read, bench_append_with_byz);
+criterion_main!(benches);

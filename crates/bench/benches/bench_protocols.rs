@@ -1,0 +1,114 @@
+//! E6–E9 kernels: single-trial cost of Algorithms 4, 5, and 6 across
+//! rates, sizes, and adversaries.
+
+use am_protocols::{
+    run_chain, run_dag, run_timestamp, ChainAdversary, DagAdversary, DagRule, Params, TieBreak,
+    ViewPolicy,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_timestamp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6_timestamp_trial");
+    g.sample_size(20);
+    for k in [41usize, 201, 1001] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let p = Params::new(32, 10, 1.0, k, 5);
+            b.iter(|| black_box(run_timestamp(&p).byz_in_prefix))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_E8_chain_trial");
+    g.sample_size(20);
+    for lambda in [0.1f64, 0.4, 0.8] {
+        let p = Params::new(12, 4, lambda, 41, 5);
+        g.bench_with_input(
+            BenchmarkId::new("tiebreaker", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        run_chain(p, TieBreak::Randomized, ChainAdversary::TieBreaker).chain_len,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("forkmaker_det", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        run_chain(p, TieBreak::Deterministic, ChainAdversary::ForkMaker).chain_len,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dag_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_dag_trial");
+    g.sample_size(20);
+    for lambda in [0.1f64, 0.4, 0.8] {
+        let p = Params::new(12, 4, lambda, 41, 5);
+        g.bench_with_input(
+            BenchmarkId::new("withhold_longest", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        run_dag(p, DagRule::LongestChain, DagAdversary::WithholdBurst)
+                            .covered_values,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("withhold_ghost", format!("lam{lambda}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        run_dag(p, DagRule::Ghost, DagAdversary::WithholdBurst).covered_values,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A5: interval-snapshot vs lagged-Δ view computation cost.
+fn bench_view_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A5_view_policy");
+    g.sample_size(20);
+    for vp in [ViewPolicy::IntervalSnapshot, ViewPolicy::LaggedDelta] {
+        let p = Params::new(12, 4, 0.4, 41, 5).with_view_policy(vp);
+        g.bench_with_input(
+            BenchmarkId::new("chain_tiebreaker", format!("{vp:?}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    black_box(
+                        run_chain(p, TieBreak::Randomized, ChainAdversary::TieBreaker).chain_len,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timestamp,
+    bench_chain_trial,
+    bench_dag_trial,
+    bench_view_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E3 kernels: Algorithm 1 execution across n/t, and ablation A3 — the
+//! chain-acceptance rule with and without dead-state memoization.
+
+use am_core::{AppendMemory, MessageBuilder, MsgId, NodeId, Round, Value, GENESIS};
+use am_sync::{accepted_values, accepted_values_naive, run, Dissenter, Straddler, SyncConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_algorithm1");
+    g.sample_size(20);
+    for (n, t) in [(4usize, 1u32), (8, 3), (16, 7), (32, 15)] {
+        let inputs: Vec<bool> = (0..n - t as usize).map(|i| i % 2 == 0).collect();
+        g.bench_with_input(
+            BenchmarkId::new("dissenter", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| {
+                    let cfg = SyncConfig::new(n, t);
+                    black_box(run(&cfg, &inputs, &mut Dissenter).agreement)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("straddler", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| {
+                    let cfg = SyncConfig::new(n, t);
+                    black_box(run(&cfg, &inputs, &mut Straddler).agreement)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Builds a full-information t+1-round history for `n` nodes and returns
+/// its final view, for the acceptance-rule ablation.
+fn history(n: usize, t: u32) -> am_core::MemoryView {
+    let mem = AppendMemory::new(n);
+    let mut prev_round: Vec<MsgId> = vec![GENESIS];
+    for r in 1..=t + 1 {
+        let mut this_round = Vec::new();
+        for i in 0..n {
+            let id = mem
+                .append(
+                    MessageBuilder::new(NodeId(i as u32), Value::Bit(i % 2 == 0))
+                        .parents(prev_round.iter().copied())
+                        .round(Round(r)),
+                )
+                .unwrap();
+            this_round.push(id);
+        }
+        prev_round = this_round;
+    }
+    mem.read()
+}
+
+/// A3: memoized DFS vs naive path enumeration on the dense reference
+/// graphs correct nodes produce.
+fn bench_acceptance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A3_acceptance");
+    g.sample_size(20);
+    for (n, t) in [(8usize, 2u32), (16, 3), (24, 4)] {
+        let view = history(n, t);
+        g.bench_with_input(
+            BenchmarkId::new("memoized", format!("n{n}_t{t}")),
+            &view,
+            |b, v| b.iter(|| black_box(accepted_values(v, t).len())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_t{t}")),
+            &view,
+            |b, v| b.iter(|| black_box(accepted_values_naive(v, t).len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_acceptance);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Error types for the append memory.
+
+use crate::ids::{MsgId, NodeId};
+use std::fmt;
+
+/// Why an append was rejected by the memory.
+///
+/// The append memory enforces exactly the construction rules of the model:
+/// references must point to existing messages, and each author's appends are
+/// totally ordered (a node cannot contradict "the order of messages of v in
+/// the current append memory state", Section 2.1 rule (c)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppendError {
+    /// A parent reference points to a message not (yet) in the memory.
+    UnknownParent {
+        /// The dangling reference.
+        parent: MsgId,
+    },
+    /// The author index is out of range for this memory.
+    UnknownAuthor {
+        /// The offending author.
+        author: NodeId,
+        /// Number of nodes the memory was created with.
+        n: usize,
+    },
+    /// A message references itself or a later message (impossible by
+    /// construction through the public API, checked defensively).
+    ForwardReference {
+        /// The offending reference.
+        parent: MsgId,
+    },
+    /// The memory was sealed (no further appends accepted); used by
+    /// round-based runners to enforce decision points.
+    Sealed,
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::UnknownParent { parent } => {
+                write!(f, "append references unknown message {parent:?}")
+            }
+            AppendError::UnknownAuthor { author, n } => {
+                write!(
+                    f,
+                    "append from unknown author {author:?} (memory has n={n})"
+                )
+            }
+            AppendError::ForwardReference { parent } => {
+                write!(f, "append references a non-prior message {parent:?}")
+            }
+            AppendError::Sealed => write!(f, "memory is sealed"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// Crate-wide error type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// An append was rejected.
+    Append(AppendError),
+    /// A view lookup addressed a message outside the view.
+    OutOfView {
+        /// The message that the view does not contain.
+        id: MsgId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Append(e) => write!(f, "{e}"),
+            CoreError::OutOfView { id } => write!(f, "message {id:?} is outside the view"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<AppendError> for CoreError {
+    fn from(e: AppendError) -> CoreError {
+        CoreError::Append(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AppendError::UnknownParent { parent: MsgId(9) };
+        assert!(e.to_string().contains("m9"));
+        let e = AppendError::UnknownAuthor {
+            author: NodeId(5),
+            n: 3,
+        };
+        assert!(e.to_string().contains("v5"));
+        assert!(e.to_string().contains("n=3"));
+        assert!(AppendError::Sealed.to_string().contains("sealed"));
+    }
+
+    #[test]
+    fn core_error_from_append() {
+        let e: CoreError = AppendError::Sealed.into();
+        assert_eq!(e, CoreError::Append(AppendError::Sealed));
+        let o = CoreError::OutOfView { id: MsgId(2) };
+        assert!(o.to_string().contains("m2"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Identifier and time newtypes shared across the workspace.
+//!
+//! The paper's model has `n` nodes `v_1 .. v_n`, messages appended to the
+//! memory, synchronous rounds, and (in Section 5) continuous simulated time
+//! driven by a Poisson process. Each of these gets a dedicated newtype so
+//! that the type system keeps node indices, message identifiers, round
+//! counters, and timestamps from being mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (a "processor" in the paper), `v_i`.
+///
+/// Node ids are dense indices `0..n`, which lets per-node state live in
+/// plain `Vec`s instead of hash maps on the hot paths.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index, usable directly for `Vec` indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a message in the append memory.
+///
+/// Message ids are assigned by the memory in arrival order, starting at 0
+/// for the genesis message (the "dummy append" of Section 5.3). Arrival
+/// order is known to the *memory* but is only exposed to protocols that the
+/// model says may see it (the absolute-timestamp baseline of Section 5.1);
+/// the chain and DAG protocols must reconstruct order from references.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId(pub u64);
+
+/// The distinguished genesis message present in every memory: the "dummy
+/// append, e.g. at the empty state of the memory" from Section 5.3.
+pub const GENESIS: MsgId = MsgId(0);
+
+impl MsgId {
+    /// The id as a dense index into the arrival log.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the genesis message.
+    #[inline]
+    pub fn is_genesis(self) -> bool {
+        self == GENESIS
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_genesis() {
+            write!(f, "m⊥")
+        } else {
+            write!(f, "m{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A synchronous round counter (Section 3).
+///
+/// Rounds are 1-based in the paper (`r = 1, ..., t+1`); `Round(0)` denotes
+/// the initial configuration before any communication step.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Round(pub u32);
+
+impl Round {
+    /// The next round.
+    #[inline]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Simulated continuous time (Section 5's Poisson-access model).
+///
+/// Wraps an `f64` with a *total* order (`total_cmp`), so it can key the
+/// discrete-event queue. Construction rejects NaN.
+#[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    /// Panics if `t` is NaN (negative and infinite values are allowed so
+    /// that "never" sentinels can be expressed as `Time::NEVER`).
+    #[inline]
+    pub fn new(t: f64) -> Time {
+        assert!(!t.is_nan(), "Time cannot be NaN");
+        Time(t)
+    }
+
+    /// A sentinel strictly after every finite time.
+    pub const NEVER: Time = Time(f64::INFINITY);
+
+    /// The raw value in simulated seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// `self + dt`, for a non-NaN `dt`.
+    #[inline]
+    pub fn after(self, dt: f64) -> Time {
+        Time::new(self.0 + dt)
+    }
+
+    /// Whether this time is finite (i.e. not the `NEVER` sentinel).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "v7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+
+    #[test]
+    fn genesis_is_id_zero() {
+        assert!(GENESIS.is_genesis());
+        assert!(!MsgId(1).is_genesis());
+        assert_eq!(GENESIS.index(), 0);
+        assert_eq!(format!("{GENESIS:?}"), "m⊥");
+        assert_eq!(format!("{:?}", MsgId(3)), "m3");
+    }
+
+    #[test]
+    fn msg_ids_order_by_arrival() {
+        let a = MsgId(1);
+        let b = MsgId(2);
+        assert!(a < b);
+        assert_eq!(b.index(), 2);
+    }
+
+    #[test]
+    fn round_next_increments() {
+        assert_eq!(Round(0).next(), Round(1));
+        assert_eq!(Round(5).next().next(), Round(7));
+        assert_eq!(format!("{:?}", Round(3)), "r3");
+    }
+
+    #[test]
+    fn time_total_order() {
+        let a = Time::new(1.0);
+        let b = Time::new(2.0);
+        assert!(a < b);
+        assert!(Time::ZERO < a);
+        assert!(b < Time::NEVER);
+        assert!(!Time::NEVER.is_finite());
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn time_after_accumulates() {
+        let t = Time::ZERO.after(0.5).after(0.25);
+        assert!((t.seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn time_rejects_nan() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn time_negative_allowed_and_ordered() {
+        let neg = Time::new(-1.0);
+        assert!(neg < Time::ZERO);
+    }
+}

@@ -1,0 +1,233 @@
+//! Incremental DAG bookkeeping for append-by-append simulations.
+//!
+//! [`DagIndex`](crate::DagIndex) rebuilds adjacency from a snapshot —
+//! right for analysis, wasteful inside a simulation loop that appends one
+//! message at a time. [`IncrementalDag`] maintains the quantities the
+//! Section 5 runners actually poll — longest-path depth, the prefix-tips
+//! needed for interval views, and arrival-time prefixes for lagged views —
+//! in O(parents) per append.
+
+use crate::ids::{MsgId, Time};
+
+/// Incrementally-maintained structural facts about an append history.
+///
+/// Indices are message ids (dense, arrival order, genesis = 0). The owner
+/// must call [`on_append`](IncrementalDag::on_append) for every append, in
+/// order.
+///
+/// ```
+/// use am_core::{IncrementalDag, MsgId, Time};
+/// let mut inc = IncrementalDag::new();
+/// inc.on_append(MsgId(1), &[MsgId(0)], Time::new(0.5));
+/// inc.on_append(MsgId(2), &[MsgId(0)], Time::new(0.9));
+/// assert_eq!(inc.max_depth(), 1);
+/// assert_eq!(inc.tips_of_prefix(3).len(), 2);     // a fork
+/// assert_eq!(inc.prefix_at_time(Time::new(0.7)), 2); // genesis + m1
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalDag {
+    /// Longest-path depth per message (genesis 0).
+    depth: Vec<u32>,
+    /// Smallest child id per message (`None` = tip of the full history).
+    first_child: Vec<Option<u64>>,
+    /// Arrival time per message, non-decreasing.
+    arrivals: Vec<Time>,
+}
+
+impl Default for IncrementalDag {
+    fn default() -> Self {
+        IncrementalDag::new()
+    }
+}
+
+impl IncrementalDag {
+    /// A fresh tracker containing only genesis (depth 0, time 0).
+    pub fn new() -> IncrementalDag {
+        IncrementalDag {
+            depth: vec![0],
+            first_child: vec![None],
+            arrivals: vec![Time::ZERO],
+        }
+    }
+
+    /// Number of messages tracked (genesis included).
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// Whether only genesis is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Records an append. `id` must be the next dense id; `parents` must
+    /// be prior ids; `at` must be ≥ the previous arrival.
+    pub fn on_append(&mut self, id: MsgId, parents: &[MsgId], at: Time) {
+        assert_eq!(id.index(), self.len(), "ids must be dense and in order");
+        assert!(
+            at >= *self.arrivals.last().expect("genesis present"),
+            "arrivals must be non-decreasing"
+        );
+        let d = parents
+            .iter()
+            .map(|p| self.depth[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        self.depth.push(d);
+        self.first_child.push(None);
+        self.arrivals.push(at);
+        for p in parents {
+            let slot = &mut self.first_child[p.index()];
+            if slot.is_none() {
+                *slot = Some(id.0);
+            }
+        }
+    }
+
+    /// Longest-path depth of a message.
+    pub fn depth_of(&self, id: MsgId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// Maximum depth over the whole history.
+    pub fn max_depth(&self) -> u32 {
+        *self.depth.iter().max().expect("genesis present")
+    }
+
+    /// The deepest message (ties to the smallest id).
+    pub fn deepest(&self) -> MsgId {
+        let mut best = 0usize;
+        for i in 1..self.len() {
+            if self.depth[i] > self.depth[best] {
+                best = i;
+            }
+        }
+        MsgId(best as u64)
+    }
+
+    /// Deepest message ids *within the first `prefix` messages* — the
+    /// longest-chain tip candidates of a prefix view.
+    pub fn deepest_in_prefix(&self, prefix: usize) -> Vec<MsgId> {
+        let prefix = prefix.clamp(1, self.len());
+        let max = self.depth[..prefix].iter().copied().max().unwrap_or(0);
+        (0..prefix)
+            .filter(|&i| self.depth[i] == max)
+            .map(|i| MsgId(i as u64))
+            .collect()
+    }
+
+    /// Tips of the prefix view of length `prefix`: messages whose first
+    /// child (if any) lies beyond the prefix.
+    pub fn tips_of_prefix(&self, prefix: usize) -> Vec<MsgId> {
+        let prefix = prefix.clamp(1, self.len());
+        (0..prefix)
+            .filter(|&i| match self.first_child[i] {
+                None => true,
+                Some(c) => c >= prefix as u64,
+            })
+            .map(|i| MsgId(i as u64))
+            .collect()
+    }
+
+    /// Number of messages that had arrived strictly before `t` — the
+    /// prefix a node whose view lags to time `t` can see. At least 1
+    /// (genesis is always visible).
+    pub fn prefix_at_time(&self, t: Time) -> usize {
+        self.arrivals.partition_point(|&a| a < t).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> Time {
+        Time::new(x)
+    }
+
+    fn tracker_chain(len: usize) -> IncrementalDag {
+        let mut d = IncrementalDag::new();
+        for i in 1..=len {
+            d.on_append(MsgId(i as u64), &[MsgId(i as u64 - 1)], t(i as f64));
+        }
+        d
+    }
+
+    #[test]
+    fn chain_depths_and_tips() {
+        let d = tracker_chain(5);
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+        assert_eq!(d.max_depth(), 5);
+        assert_eq!(d.deepest(), MsgId(5));
+        assert_eq!(d.tips_of_prefix(6), vec![MsgId(5)]);
+        assert_eq!(d.tips_of_prefix(3), vec![MsgId(2)]);
+        assert_eq!(d.deepest_in_prefix(3), vec![MsgId(2)]);
+    }
+
+    #[test]
+    fn fork_gives_multiple_prefix_tips() {
+        let mut d = IncrementalDag::new();
+        d.on_append(MsgId(1), &[MsgId(0)], t(1.0));
+        d.on_append(MsgId(2), &[MsgId(0)], t(2.0));
+        assert_eq!(d.tips_of_prefix(3), vec![MsgId(1), MsgId(2)]);
+        assert_eq!(d.deepest_in_prefix(3), vec![MsgId(1), MsgId(2)]);
+        // Merge closes both.
+        d.on_append(MsgId(3), &[MsgId(1), MsgId(2)], t(3.0));
+        assert_eq!(d.tips_of_prefix(4), vec![MsgId(3)]);
+        assert_eq!(d.depth_of(MsgId(3)), 2);
+    }
+
+    #[test]
+    fn prefix_at_time_is_strict_and_clamped() {
+        let d = tracker_chain(4); // arrivals 0,1,2,3,4
+        assert_eq!(d.prefix_at_time(t(0.0)), 1, "genesis always visible");
+        assert_eq!(d.prefix_at_time(t(1.0)), 1, "strictly-before semantics");
+        assert_eq!(d.prefix_at_time(t(1.5)), 2);
+        assert_eq!(d.prefix_at_time(t(100.0)), 5);
+    }
+
+    #[test]
+    fn matches_dag_index_on_random_history() {
+        use crate::ids::{NodeId, GENESIS};
+        use crate::memory::AppendMemory;
+        use crate::message::MessageBuilder;
+        use crate::value::Value;
+        let mem = AppendMemory::new(3);
+        let mut inc = IncrementalDag::new();
+        let picks: [u64; 10] = [0, 0, 1, 2, 0, 4, 3, 6, 2, 8];
+        for (i, &p) in picks.iter().enumerate() {
+            let parents = [MsgId(p), GENESIS];
+            let id = mem
+                .append_at(
+                    MessageBuilder::new(NodeId((i % 3) as u32), Value::plus())
+                        .parents(parents.iter().copied()),
+                    t(i as f64 + 1.0),
+                )
+                .unwrap();
+            inc.on_append(id, &[MsgId(p), GENESIS], t(i as f64 + 1.0));
+        }
+        let dag = crate::dag::DagIndex::new(&mem.read());
+        assert_eq!(inc.max_depth(), dag.max_depth());
+        let full_tips: Vec<MsgId> = inc.tips_of_prefix(inc.len());
+        assert_eq!(full_tips, dag.tip_ids());
+        for pos in 0..dag.len() {
+            assert_eq!(inc.depth_of(dag.id_at(pos)), dag.depth_of(pos));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_gapped_ids() {
+        let mut d = IncrementalDag::new();
+        d.on_append(MsgId(5), &[MsgId(0)], t(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel() {
+        let mut d = IncrementalDag::new();
+        d.on_append(MsgId(1), &[MsgId(0)], t(2.0));
+        d.on_append(MsgId(2), &[MsgId(1)], t(1.0));
+    }
+}

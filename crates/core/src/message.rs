@@ -1,0 +1,198 @@
+//! Messages appended to the memory.
+//!
+//! A message `msg` from node `v_i` "contains some value from this node and a
+//! reference to a previous state of the memory that is defined by the
+//! underlying protocol" (Section 1.1). We realise the reference-to-a-state
+//! as a list of parent message ids: referencing a state means referencing
+//! the tips of that state, which is exactly how both the chain protocol
+//! (one parent) and the DAG protocol (all tips as parents) use it.
+
+use crate::ids::{MsgId, NodeId, Round, Time};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An immutable message stored in the append memory.
+///
+/// Messages are created through [`MessageBuilder`] and sealed by
+/// [`AppendMemory::append`](crate::AppendMemory::append), which assigns the
+/// [`MsgId`], the per-author sequence number, and the arrival timestamp.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Memory-assigned identifier (arrival order).
+    pub id: MsgId,
+    /// The appending node, or `None` for the genesis dummy append.
+    pub author: Option<NodeId>,
+    /// Position in the author's own append sequence (0-based). The memory
+    /// totally orders each author's appends; this is that order.
+    pub seq: u64,
+    /// The value carried by the message.
+    pub value: Value,
+    /// References to previous messages (the protocol-defined "reference to
+    /// a previous state of the memory"). Empty only for genesis.
+    pub parents: Vec<MsgId>,
+    /// Arrival time at the memory. For round-based protocols this encodes
+    /// the round boundary; for the Poisson model it is the token time.
+    pub arrival: Time,
+    /// The synchronous round in which the message was appended, when the
+    /// execution model is round-based (Section 3).
+    pub round: Option<Round>,
+}
+
+impl Message {
+    /// Whether this is the genesis dummy append.
+    #[inline]
+    pub fn is_genesis(&self) -> bool {
+        self.id.is_genesis()
+    }
+
+    /// The author, panicking on genesis. Use in protocol code that has
+    /// already filtered genesis out.
+    #[inline]
+    pub fn author_unchecked(&self) -> NodeId {
+        self.author.expect("genesis has no author")
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.id)?;
+        if let Some(a) = self.author {
+            write!(f, "[{a:?}#{}]", self.seq)?;
+        } else {
+            write!(f, "[⊥]")?;
+        }
+        write!(f, "={:?}→{:?}", self.value, self.parents)
+    }
+}
+
+/// Builder for a message to be appended.
+///
+/// The builder captures everything the *node* decides (value, parents,
+/// round); the memory fills in what the *authority* decides (id, sequence
+/// number, arrival time).
+#[derive(Clone, Debug)]
+pub struct MessageBuilder {
+    pub(crate) author: NodeId,
+    pub(crate) value: Value,
+    pub(crate) parents: Vec<MsgId>,
+    pub(crate) round: Option<Round>,
+}
+
+impl MessageBuilder {
+    /// Starts a message from `author` carrying `value`, with no parents yet.
+    pub fn new(author: NodeId, value: Value) -> MessageBuilder {
+        MessageBuilder {
+            author,
+            value,
+            parents: Vec::new(),
+            round: None,
+        }
+    }
+
+    /// Adds a single parent reference.
+    #[must_use]
+    pub fn parent(mut self, p: MsgId) -> MessageBuilder {
+        self.parents.push(p);
+        self
+    }
+
+    /// Replaces the parent set with `parents` (deduplicated, order kept).
+    #[must_use]
+    pub fn parents<I: IntoIterator<Item = MsgId>>(mut self, parents: I) -> MessageBuilder {
+        self.parents.clear();
+        for p in parents {
+            if !self.parents.contains(&p) {
+                self.parents.push(p);
+            }
+        }
+        self
+    }
+
+    /// Tags the message with a synchronous round.
+    #[must_use]
+    pub fn round(mut self, r: Round) -> MessageBuilder {
+        self.round = Some(r);
+        self
+    }
+
+    /// The author this builder appends as.
+    #[inline]
+    pub fn author_id(&self) -> NodeId {
+        self.author
+    }
+
+    /// The parents currently set on the builder.
+    #[inline]
+    pub fn parent_ids(&self) -> &[MsgId] {
+        &self.parents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GENESIS;
+
+    #[test]
+    fn builder_accumulates_parents() {
+        let b = MessageBuilder::new(NodeId(1), Value::plus())
+            .parent(GENESIS)
+            .parent(MsgId(3));
+        assert_eq!(b.parent_ids(), &[GENESIS, MsgId(3)]);
+        assert_eq!(b.author_id(), NodeId(1));
+    }
+
+    #[test]
+    fn builder_parents_dedup() {
+        let b = MessageBuilder::new(NodeId(0), Value::Unit).parents([
+            MsgId(2),
+            MsgId(2),
+            MsgId(5),
+            MsgId(2),
+        ]);
+        assert_eq!(b.parent_ids(), &[MsgId(2), MsgId(5)]);
+    }
+
+    #[test]
+    fn builder_parents_replaces() {
+        let b = MessageBuilder::new(NodeId(0), Value::Unit)
+            .parent(MsgId(1))
+            .parents([MsgId(9)]);
+        assert_eq!(b.parent_ids(), &[MsgId(9)]);
+    }
+
+    #[test]
+    fn message_debug_includes_author_and_refs() {
+        let m = Message {
+            id: MsgId(4),
+            author: Some(NodeId(2)),
+            seq: 1,
+            value: Value::minus(),
+            parents: vec![GENESIS],
+            arrival: Time::ZERO,
+            round: None,
+        };
+        let s = format!("{m:?}");
+        assert!(s.contains("m4"));
+        assert!(s.contains("v2"));
+        assert!(!m.is_genesis());
+        assert_eq!(m.author_unchecked(), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "genesis")]
+    fn author_unchecked_panics_on_genesis() {
+        let g = Message {
+            id: GENESIS,
+            author: None,
+            seq: 0,
+            value: Value::Unit,
+            parents: vec![],
+            arrival: Time::ZERO,
+            round: None,
+        };
+        assert!(g.is_genesis());
+        let _ = g.author_unchecked();
+    }
+}

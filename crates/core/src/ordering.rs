@@ -1,0 +1,142 @@
+//! Ordering rules: the pluggable chain-selection policies of Algorithm 6.
+//!
+//! "The correctness of Algorithm 6 is based on one of the tie-breaking
+//! rules in Line 2, such as the heaviest chain defined in the Ghost
+//! protocol \[22\] or simply the longest chain \[14\]." [`OrderingRule`]
+//! abstracts the two so protocols and experiments can sweep over them.
+
+use crate::chain::longest_chain;
+use crate::ghost::ghost_pivot;
+use crate::ids::MsgId;
+use crate::linearize::{linearize, Linearization};
+use crate::view::MemoryView;
+
+/// A rule that selects a chain from a view and linearizes the DAG along it.
+pub trait OrderingRule: Send + Sync {
+    /// Human-readable rule name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The selected chain, root-first.
+    fn select_chain(&self, view: &MemoryView) -> Vec<MsgId>;
+
+    /// Full linearization of the view along the selected chain.
+    fn order(&self, view: &MemoryView) -> Linearization {
+        linearize(view, &self.select_chain(view))
+    }
+
+    /// The chain length in messages (genesis included) — what Algorithm 5/6
+    /// gate their decision on ("longest chain of length at least k").
+    fn chain_len(&self, view: &MemoryView) -> usize {
+        self.select_chain(view).len()
+    }
+}
+
+/// The longest-chain rule (pivot chain of \[14\], deterministic ties).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LongestChainRule;
+
+impl OrderingRule for LongestChainRule {
+    fn name(&self) -> &'static str {
+        "longest-chain"
+    }
+    fn select_chain(&self, view: &MemoryView) -> Vec<MsgId> {
+        longest_chain(view)
+    }
+}
+
+/// The GHOST heaviest-subtree rule \[22\].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GhostRule;
+
+impl OrderingRule for GhostRule {
+    fn name(&self) -> &'static str {
+        "ghost"
+    }
+    fn select_chain(&self, view: &MemoryView) -> Vec<MsgId> {
+        ghost_pivot(view)
+    }
+}
+
+/// The Conflux-style pivot-chain rule \[14\]: heaviest first-parent subtree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PivotRule;
+
+impl OrderingRule for PivotRule {
+    fn name(&self) -> &'static str {
+        "pivot"
+    }
+    fn select_chain(&self, view: &MemoryView) -> Vec<MsgId> {
+        crate::pivot::pivot_chain(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, GENESIS};
+    use crate::memory::AppendMemory;
+    use crate::message::MessageBuilder;
+    use crate::value::Value;
+
+    fn append(m: &AppendMemory, a: u32, parents: &[MsgId]) -> MsgId {
+        m.append(MessageBuilder::new(NodeId(a), Value::plus()).parents(parents.iter().copied()))
+            .unwrap()
+    }
+
+    #[test]
+    fn rules_agree_on_a_chain() {
+        let m = AppendMemory::new(1);
+        let mut prev = GENESIS;
+        for _ in 0..5 {
+            prev = append(&m, 0, &[prev]);
+        }
+        let v = m.read();
+        let lc = LongestChainRule.select_chain(&v);
+        let gh = GhostRule.select_chain(&v);
+        assert_eq!(lc, gh);
+        assert_eq!(LongestChainRule.chain_len(&v), 6);
+        assert_eq!(GhostRule.chain_len(&v), 6);
+    }
+
+    #[test]
+    fn rules_diverge_on_bushy_fork() {
+        let m = AppendMemory::new(8);
+        // Long thin branch A.
+        let a1 = append(&m, 0, &[GENESIS]);
+        let a2 = append(&m, 0, &[a1]);
+        let a3 = append(&m, 0, &[a2]);
+        // Short bushy branch B.
+        let b1 = append(&m, 1, &[GENESIS]);
+        for i in 2..6 {
+            append(&m, i, &[b1]);
+        }
+        let v = m.read();
+        assert_eq!(LongestChainRule.select_chain(&v).last(), Some(&a3));
+        assert_eq!(GhostRule.select_chain(&v)[1], b1);
+        assert_eq!(LongestChainRule.name(), "longest-chain");
+        assert_eq!(GhostRule.name(), "ghost");
+    }
+
+    #[test]
+    fn order_covers_chain() {
+        let m = AppendMemory::new(2);
+        let a = append(&m, 0, &[GENESIS]);
+        let b = append(&m, 1, &[a]);
+        let v = m.read();
+        for rule in [&LongestChainRule as &dyn OrderingRule, &GhostRule] {
+            let lin = rule.order(&v);
+            assert_eq!(lin.order, vec![GENESIS, a, b], "rule {}", rule.name());
+        }
+    }
+
+    #[test]
+    fn rules_are_object_safe() {
+        let rules: Vec<Box<dyn OrderingRule>> =
+            vec![Box::new(LongestChainRule), Box::new(GhostRule)];
+        let m = AppendMemory::new(1);
+        let v = m.read();
+        for r in &rules {
+            assert_eq!(r.chain_len(&v), 1);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Structural invariant checking for memory views.
+//!
+//! Used by tests, property tests, and the model checker to assert that
+//! every view produced anywhere in the workspace is a well-formed append
+//! memory state: references point backwards, per-author sequences are
+//! gap-free and totally ordered, and the genesis dummy append (when
+//! present) is unique and parentless.
+
+use crate::ids::MsgId;
+use crate::view::MemoryView;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violated invariant found in a view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A message references an id greater than or equal to its own —
+    /// impossible in a genuine append history.
+    NonMonotoneReference {
+        /// The offending message.
+        msg: MsgId,
+        /// Its bad parent reference.
+        parent: MsgId,
+    },
+    /// An author's sequence numbers have gaps or duplicates within the view
+    /// of that author's full register.
+    BrokenAuthorSequence {
+        /// Author index.
+        author: u32,
+        /// Expected next sequence number.
+        expected: u64,
+        /// Found sequence number.
+        found: u64,
+    },
+    /// A non-genesis message has no author.
+    AnonymousMessage {
+        /// The offending message.
+        msg: MsgId,
+    },
+    /// The genesis message has parents or an author.
+    MalformedGenesis,
+    /// Duplicate message ids in the view.
+    DuplicateId {
+        /// The duplicated id.
+        msg: MsgId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NonMonotoneReference { msg, parent } => {
+                write!(f, "{msg:?} references non-prior {parent:?}")
+            }
+            Violation::BrokenAuthorSequence {
+                author,
+                expected,
+                found,
+            } => write!(
+                f,
+                "author v{author} sequence broken: expected {expected}, found {found}"
+            ),
+            Violation::AnonymousMessage { msg } => {
+                write!(f, "non-genesis {msg:?} has no author")
+            }
+            Violation::MalformedGenesis => write!(f, "genesis has parents or an author"),
+            Violation::DuplicateId { msg } => write!(f, "duplicate id {msg:?}"),
+        }
+    }
+}
+
+/// Checks every structural invariant of a view; returns all violations.
+///
+/// Note on author sequences: a *sparse* view (e.g. a node's local view in
+/// the message-passing simulation before it has seen everything) may be
+/// missing intermediate appends of an author, so sequence gaps are only a
+/// violation when `full_register` is true — which it is for views read from
+/// an [`AppendMemory`](crate::AppendMemory), where reads are complete.
+pub fn check_view(view: &MemoryView, full_register: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last_id: Option<MsgId> = None;
+    let mut seqs: HashMap<u32, Vec<u64>> = HashMap::new();
+
+    for m in view.iter() {
+        if Some(m.id) == last_id {
+            out.push(Violation::DuplicateId { msg: m.id });
+        }
+        last_id = Some(m.id);
+
+        if m.is_genesis() {
+            if !m.parents.is_empty() || m.author.is_some() {
+                out.push(Violation::MalformedGenesis);
+            }
+            continue;
+        }
+        match m.author {
+            None => out.push(Violation::AnonymousMessage { msg: m.id }),
+            Some(a) => seqs.entry(a.0).or_default().push(m.seq),
+        }
+        for &p in &m.parents {
+            if p >= m.id {
+                out.push(Violation::NonMonotoneReference {
+                    msg: m.id,
+                    parent: p,
+                });
+            }
+        }
+    }
+
+    if full_register {
+        for (author, mut s) in seqs {
+            s.sort_unstable();
+            for (expected, &found) in s.iter().enumerate() {
+                if found != expected as u64 {
+                    out.push(Violation::BrokenAuthorSequence {
+                        author,
+                        expected: expected as u64,
+                        found,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, Time, GENESIS};
+    use crate::memory::AppendMemory;
+    use crate::message::{Message, MessageBuilder};
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn real_memory_views_are_clean() {
+        let m = AppendMemory::new(3);
+        let mut prev = GENESIS;
+        for i in 0..9u32 {
+            prev = m
+                .append(MessageBuilder::new(NodeId(i % 3), Value::plus()).parent(prev))
+                .unwrap();
+        }
+        assert!(check_view(&m.read(), true).is_empty());
+        assert!(check_view(&m.read_prefix(4), false).is_empty());
+    }
+
+    fn raw(id: u64, author: Option<u32>, seq: u64, parents: Vec<MsgId>) -> Arc<Message> {
+        Arc::new(Message {
+            id: MsgId(id),
+            author: author.map(NodeId),
+            seq,
+            value: Value::Unit,
+            parents,
+            arrival: Time::ZERO,
+            round: None,
+        })
+    }
+
+    #[test]
+    fn detects_forward_reference() {
+        let v = MemoryView::from_messages([
+            raw(0, None, 0, vec![]),
+            raw(1, Some(0), 0, vec![MsgId(2)]),
+            raw(2, Some(1), 0, vec![MsgId(0)]),
+        ]);
+        let viol = check_view(&v, true);
+        assert!(viol.contains(&Violation::NonMonotoneReference {
+            msg: MsgId(1),
+            parent: MsgId(2)
+        }));
+    }
+
+    #[test]
+    fn detects_broken_sequence() {
+        let v = MemoryView::from_messages([
+            raw(0, None, 0, vec![]),
+            raw(1, Some(0), 0, vec![MsgId(0)]),
+            raw(2, Some(0), 2, vec![MsgId(1)]), // seq 1 missing
+        ]);
+        let viol = check_view(&v, true);
+        assert!(viol
+            .iter()
+            .any(|x| matches!(x, Violation::BrokenAuthorSequence { author: 0, .. })));
+        // Sparse views tolerate the gap.
+        assert!(check_view(&v, false).is_empty());
+    }
+
+    #[test]
+    fn detects_anonymous_and_malformed_genesis() {
+        let v = MemoryView::from_messages([
+            raw(0, Some(1), 0, vec![]),      // genesis with an author
+            raw(1, None, 0, vec![MsgId(0)]), // anonymous non-genesis
+        ]);
+        let viol = check_view(&v, false);
+        assert!(viol.contains(&Violation::MalformedGenesis));
+        assert!(viol.contains(&Violation::AnonymousMessage { msg: MsgId(1) }));
+    }
+
+    #[test]
+    fn violation_display() {
+        let s = Violation::NonMonotoneReference {
+            msg: MsgId(3),
+            parent: MsgId(5),
+        }
+        .to_string();
+        assert!(s.contains("m3") && s.contains("m5"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Input and decision values.
+//!
+//! Sections 2–4 of the paper use binary inputs `{0, 1}`; Section 5 switches
+//! to spin inputs `{-1, +1}` so the decision can be expressed as "the sign
+//! of the sum of the first k appends". [`Value`] covers both, and [`Sign`]
+//! is the spin form with the arithmetic the Section 5 protocols need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Neg;
+
+/// A spin value `-1` or `+1` (Section 5 input domain).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// The value `-1`.
+    Minus,
+    /// The value `+1`.
+    Plus,
+}
+
+impl Sign {
+    /// Numeric value, `-1` or `+1`.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Sign::Minus => -1,
+            Sign::Plus => 1,
+        }
+    }
+
+    /// The sign of an integer sum; `None` when the sum is exactly zero
+    /// (protocols avoid this by choosing odd `k`).
+    #[inline]
+    pub fn of_sum(sum: i64) -> Option<Sign> {
+        match sum.signum() {
+            1 => Some(Sign::Plus),
+            -1 => Some(Sign::Minus),
+            _ => None,
+        }
+    }
+
+    /// `Plus` for `true`, `Minus` for `false`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Sign {
+        if b {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+}
+
+impl Neg for Sign {
+    type Output = Sign;
+    #[inline]
+    fn neg(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+impl fmt::Debug for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Minus => write!(f, "-1"),
+            Sign::Plus => write!(f, "+1"),
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The value carried by an appended message.
+///
+/// * `Bit` — binary consensus input (Sections 2–4).
+/// * `Spin` — ±1 input for the sign-of-sum protocols (Section 5).
+/// * `Unit` — structural appends that carry no input (e.g. genesis, or
+///   round messages whose payload is entirely in the references).
+/// * `Raw` — opaque payload for protocols layered on top of the model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A binary consensus input.
+    Bit(bool),
+    /// A ±1 consensus input.
+    Spin(Sign),
+    /// No payload.
+    Unit,
+    /// An opaque 64-bit payload.
+    Raw(u64),
+}
+
+impl Value {
+    /// Shorthand for `Value::Spin(Sign::Plus)`.
+    #[inline]
+    pub fn plus() -> Value {
+        Value::Spin(Sign::Plus)
+    }
+
+    /// Shorthand for `Value::Spin(Sign::Minus)`.
+    #[inline]
+    pub fn minus() -> Value {
+        Value::Spin(Sign::Minus)
+    }
+
+    /// Shorthand for `Value::Bit(b)`.
+    #[inline]
+    pub fn bit(b: bool) -> Value {
+        Value::Bit(b)
+    }
+
+    /// The spin payload, if this value is a spin.
+    #[inline]
+    pub fn as_sign(self) -> Option<Sign> {
+        match self {
+            Value::Spin(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bit payload, if this value is a bit.
+    #[inline]
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Contribution of this value to a sign-of-sum decision: ±1 for spins,
+    /// 0 for everything else (non-spin appends never influence Section 5
+    /// decisions).
+    #[inline]
+    pub fn spin_contribution(self) -> i64 {
+        self.as_sign().map_or(0, Sign::as_i64)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bit(b) => write!(f, "bit({})", u8::from(*b)),
+            Value::Spin(s) => write!(f, "{s:?}"),
+            Value::Unit => write!(f, "()"),
+            Value::Raw(x) => write!(f, "raw({x:#x})"),
+        }
+    }
+}
+
+impl From<Sign> for Value {
+    #[inline]
+    fn from(s: Sign) -> Value {
+        Value::Spin(s)
+    }
+}
+
+impl From<bool> for Value {
+    #[inline]
+    fn from(b: bool) -> Value {
+        Value::Bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_arithmetic() {
+        assert_eq!(Sign::Plus.as_i64(), 1);
+        assert_eq!(Sign::Minus.as_i64(), -1);
+        assert_eq!(-Sign::Plus, Sign::Minus);
+        assert_eq!(-Sign::Minus, Sign::Plus);
+    }
+
+    #[test]
+    fn sign_of_sum() {
+        assert_eq!(Sign::of_sum(5), Some(Sign::Plus));
+        assert_eq!(Sign::of_sum(-2), Some(Sign::Minus));
+        assert_eq!(Sign::of_sum(0), None);
+    }
+
+    #[test]
+    fn sign_from_bool() {
+        assert_eq!(Sign::from_bool(true), Sign::Plus);
+        assert_eq!(Sign::from_bool(false), Sign::Minus);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::plus().as_sign(), Some(Sign::Plus));
+        assert_eq!(Value::minus().as_sign(), Some(Sign::Minus));
+        assert_eq!(Value::bit(true).as_bit(), Some(true));
+        assert_eq!(Value::bit(true).as_sign(), None);
+        assert_eq!(Value::Unit.as_bit(), None);
+    }
+
+    #[test]
+    fn spin_contribution_zero_for_non_spin() {
+        assert_eq!(Value::plus().spin_contribution(), 1);
+        assert_eq!(Value::minus().spin_contribution(), -1);
+        assert_eq!(Value::Unit.spin_contribution(), 0);
+        assert_eq!(Value::bit(true).spin_contribution(), 0);
+        assert_eq!(Value::Raw(99).spin_contribution(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(Sign::Plus), Value::plus());
+        assert_eq!(Value::from(false), Value::bit(false));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::bit(true)), "bit(1)");
+        assert_eq!(format!("{:?}", Value::plus()), "+1");
+        assert_eq!(format!("{:?}", Value::Unit), "()");
+    }
+}

@@ -1,0 +1,70 @@
+//! E10 — the headline crossover: chain resilience decays with the rate,
+//! DAG resilience stays flat near 1/2. "Why BlockDAGs excel blockchains."
+
+use crate::e8::{empirical_resilience, LAMBDA_SWEEP};
+use crate::report::{f, Report};
+use am_protocols::{ChainAdversary, DagAdversary, DagRule, TieBreak, TrialKind};
+use am_stats::theory::chain_resilience_bound;
+use am_stats::{Series, Table};
+
+/// Runs E10.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "E10",
+        "Chain vs DAG: the resilience crossover",
+        "Section 5 headline (Theorems 5.4 + 5.6)",
+    );
+    let n = 12usize;
+    let k = 41usize;
+    let trials = 300;
+    let tol = 0.25;
+
+    let mut table = Table::new(
+        "resilience vs per-node rate λ (n = 12, worst adversary each)",
+        &[
+            "λ",
+            "chain measured",
+            "chain bound",
+            "dag measured",
+            "dag bound",
+        ],
+    );
+    let mut s_chain = Series::new("chain (measured)");
+    let mut s_dag = Series::new("dag (measured)");
+    let mut s_cbound = Series::new("chain 1/(1+λ(n-t*))");
+    let mut s_dbound = Series::new("dag 1/2");
+    for &lambda in &LAMBDA_SWEEP {
+        let chain_kinds = [
+            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
+            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::Dissenter),
+        ];
+        let dag_kinds = [
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::Dissenter),
+        ];
+        let (chain_r, _) = empirical_resilience(n, lambda, k, &chain_kinds, trials, tol);
+        let (dag_r, _) = empirical_resilience(n, lambda, k, &dag_kinds, trials, tol);
+        let mut t_star = n as f64 / 3.0;
+        for _ in 0..50 {
+            t_star = n as f64 / (1.0 + lambda * (n as f64 - t_star));
+        }
+        let cbound = chain_resilience_bound(lambda * (n as f64 - t_star));
+        table.row(&[f(lambda), f(chain_r), f(cbound), f(dag_r), f(0.5)]);
+        s_chain.push(lambda, chain_r);
+        s_dag.push(lambda, dag_r);
+        s_cbound.push(lambda, cbound);
+        s_dbound.push(lambda, 0.5);
+    }
+    rep.tables.push(table);
+    rep.series.push(s_chain);
+    rep.series.push(s_dag);
+    rep.series.push(s_cbound);
+    rep.series.push(s_dbound);
+    rep.note(
+        "The crossover the title promises: as λ grows, the chain's tolerable \
+         Byzantine fraction collapses toward zero while the DAG holds near \
+         the optimal 1/2 — the DAG's inclusivity makes its resilience \
+         independent of the append rate.",
+    );
+    rep
+}

@@ -1,0 +1,45 @@
+//! The experiment harness binary: regenerates the quantitative content of
+//! every theorem in "The Append Memory Model: Why BlockDAGs Excel
+//! Blockchains" (SPAA 2020).
+//!
+//! ```text
+//! am-experiments            # run everything (E1..E13)
+//! am-experiments e8 e9 e10  # run a subset
+//! am-experiments --list     # list experiments
+//! ```
+//!
+//! Each experiment prints its tables/series and writes
+//! `results/<id>.json`.
+
+use am_experiments::{describe, run_one, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for id in ALL {
+            println!("{id:4} {}", describe(id));
+        }
+        return;
+    }
+    let selected: Vec<String> = if args.is_empty() {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter().map(|s| s.to_lowercase()).collect()
+    };
+    let mut failed = false;
+    for id in &selected {
+        match run_one(id) {
+            Some(rep) => {
+                println!("{}", rep.render());
+                rep.save_json();
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

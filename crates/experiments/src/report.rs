@@ -1,0 +1,130 @@
+//! Experiment report plumbing: tables + series + notes, printed to stdout
+//! and optionally dumped as JSON under `results/`.
+
+use am_stats::{Series, Table};
+use serde::Serialize;
+
+/// One experiment's full output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. "E8".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper result being reproduced.
+    pub paper_ref: String,
+    /// Tables (paper bound vs measured).
+    pub tables: Vec<Table>,
+    /// Series (figure stand-ins).
+    pub series: Vec<Series>,
+    /// Free-form findings.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, paper_ref: &str) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            paper_ref: paper_ref.into(),
+            tables: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note<S: Into<String>>(&mut self, s: S) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders everything to a printable string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "################ {} — {} ################\n({})\n\n",
+            self.id, self.title, self.paper_ref
+        ));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.series.is_empty() {
+            for s in &self.series {
+                out.push_str(&s.render());
+                out.push('\n');
+            }
+            out.push('\n');
+            out.push_str(&Series::ascii_chart(&self.series, 12));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("* {n}\n"));
+        }
+        out
+    }
+
+    /// Writes the JSON form to `results/<id>.json` (best effort).
+    pub fn save_json(&self) {
+        let _ = std::fs::create_dir_all("results");
+        if let Ok(s) = serde_json::to_string_pretty(self) {
+            let _ = std::fs::write(format!("results/{}.json", self.id.to_lowercase()), s);
+        }
+    }
+}
+
+/// Formats a float tersely for table cells.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a proportion with its 95% interval.
+pub fn prop(p: &am_stats::Proportion) -> String {
+    let w = p.wilson95();
+    format!("{:.3} [{:.3},{:.3}]", p.estimate(), w.lo, w.hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_stats::Proportion;
+
+    #[test]
+    fn render_includes_all_sections() {
+        let mut r = Report::new("EX", "demo title", "Theorem 0");
+        let mut t = Table::new("tbl", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        r.tables.push(t);
+        let mut se = Series::new("line");
+        se.push(1.0, 2.0);
+        r.series.push(se);
+        r.note("finding one");
+        let out = r.render();
+        assert!(out.contains("EX — demo title"));
+        assert!(out.contains("Theorem 0"));
+        assert!(out.contains("== tbl =="));
+        assert!(out.contains("line: (1.0000, 2.0000)"));
+        assert!(out.contains("* finding one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(0.5), "0.5000");
+        let p = Proportion::from_counts(5, 100);
+        let s = prop(&p);
+        assert!(s.starts_with("0.050 ["));
+        assert!(s.contains(','));
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let r = Report::new("ETEST", "json demo", "none");
+        r.save_json();
+        let path = std::path::Path::new("results/etest.json");
+        assert!(path.exists());
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("json demo"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,277 @@
+//! The unsigned variant of the append-memory simulation.
+//!
+//! Section 4, closing remark: "The above algorithms would also work
+//! without signatures. In that case, nodes can only append a value to
+//! their own local memory, if they have seen it in at least f + 1
+//! different views of the memories. Such an adjustment would, however,
+//! reduce the resilience of our protocol."
+//!
+//! Without signatures the only authentication is the *channel*: a
+//! receiver knows who a message physically came from, but cannot verify
+//! claims about third parties. The standard fix is echoing: a node
+//! **echoes** `(author, seq, value)` only if it received it directly from
+//! `author`, and a value is **adopted** once `f + 1` distinct nodes vouch
+//! for it (direct receipt counts as the author's own vouch plus each
+//! echoer's). Byzantine nodes can echo fabrications freely, so:
+//!
+//! * **safety** needs `f ≥ t` (otherwise `t ≥ f + 1` Byzantine echoes
+//!   certify a forgery);
+//! * **liveness** needs `f + 1 ≤ n − t` (otherwise correct echoes alone
+//!   cannot reach the threshold).
+//!
+//! Both constraints bind simultaneously only when `t < n/2` *and* `f` is
+//! chosen correctly — a strictly more fragile regime than the signed
+//! simulation, which is the resilience reduction the paper points at.
+//! The tests below exhibit each failure mode.
+
+use std::collections::{HashMap, HashSet};
+
+/// A value instance in the unsigned system: `(author, seq, value)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UnsignedMsg {
+    /// Claimed author.
+    pub author: usize,
+    /// Claimed sequence number.
+    pub seq: u64,
+    /// The value.
+    pub value: i8,
+}
+
+/// Wire payloads of the unsigned protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Wire {
+    /// Original broadcast by the author.
+    Direct(UnsignedMsg),
+    /// "I received this directly from its author."
+    Echo(UnsignedMsg),
+}
+
+/// The unsigned echo-based simulation.
+pub struct UnsignedSystem {
+    n: usize,
+    f: usize,
+    byz: Vec<bool>,
+    /// Per node: adopted values (its local memory M_v).
+    views: Vec<HashSet<UnsignedMsg>>,
+    /// Per node: vouchers per value (author-direct + echoers).
+    vouchers: Vec<HashMap<UnsignedMsg, HashSet<usize>>>,
+    /// Per node: what it has already echoed (echo once).
+    echoed: Vec<HashSet<UnsignedMsg>>,
+    inboxes: Vec<Vec<(usize, Wire)>>,
+    next_seq: Vec<u64>,
+    net_msgs: u64,
+}
+
+impl UnsignedSystem {
+    /// Creates the system with adoption threshold `f + 1`.
+    pub fn new(n: usize, f: usize, byz: &[usize]) -> UnsignedSystem {
+        let mut flags = vec![false; n];
+        for &b in byz {
+            flags[b] = true;
+        }
+        UnsignedSystem {
+            n,
+            f,
+            byz: flags,
+            views: vec![HashSet::new(); n],
+            vouchers: vec![HashMap::new(); n],
+            echoed: vec![HashSet::new(); n],
+            inboxes: vec![Vec::new(); n],
+            next_seq: vec![0; n],
+            net_msgs: 0,
+        }
+    }
+
+    /// The adoption threshold `f + 1`.
+    pub fn threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.net_msgs
+    }
+
+    /// A copy of a node's adopted view.
+    pub fn view(&self, node: usize) -> Vec<UnsignedMsg> {
+        let mut v: Vec<UnsignedMsg> = self.views[node].iter().copied().collect();
+        v.sort_by_key(|m| (m.author, m.seq, m.value));
+        v
+    }
+
+    fn broadcast(&mut self, from: usize, w: Wire) {
+        for to in 0..self.n {
+            self.net_msgs += 1;
+            self.inboxes[to].push((from, w.clone()));
+        }
+    }
+
+    /// A correct node appends: broadcast the value directly.
+    pub fn append(&mut self, v: usize, value: i8) -> UnsignedMsg {
+        assert!(!self.byz[v], "correct-only API");
+        let m = UnsignedMsg {
+            author: v,
+            seq: self.next_seq[v],
+            value,
+        };
+        self.next_seq[v] += 1;
+        self.broadcast(v, Wire::Direct(m));
+        m
+    }
+
+    /// Byzantine forgery: `b` broadcasts a Direct message claiming to be
+    /// from `victim` — but over an authenticated channel the receivers see
+    /// it arriving *from b*, so it only counts as an (illegitimate) echo.
+    /// `b`'s accomplices can add their own echoes.
+    pub fn byz_forge(&mut self, b: usize, forged: UnsignedMsg, accomplices: &[usize]) {
+        assert!(self.byz[b], "byzantine-only API");
+        self.broadcast(b, Wire::Echo(forged));
+        for &acc in accomplices {
+            assert!(self.byz[acc]);
+            self.broadcast(acc, Wire::Echo(forged));
+        }
+    }
+
+    /// Delivers everything until quiescent.
+    pub fn settle(&mut self) {
+        loop {
+            let mut progressed = false;
+            for node in 0..self.n {
+                let pending = std::mem::take(&mut self.inboxes[node]);
+                if pending.is_empty() {
+                    continue;
+                }
+                progressed = true;
+                if self.byz[node] {
+                    continue; // Byzantine nodes follow their own script
+                }
+                for (from, w) in pending {
+                    match w {
+                        Wire::Direct(m) => {
+                            // Channel authentication: a Direct only counts
+                            // if it really came from its claimed author.
+                            if from == m.author {
+                                self.vouch(node, m, m.author);
+                                if self.echoed[node].insert(m) {
+                                    self.broadcast(node, Wire::Echo(m));
+                                }
+                            }
+                            // else: drop — an unauthenticated claim.
+                        }
+                        Wire::Echo(m) => {
+                            // An echo vouches with the echoer's identity.
+                            self.vouch(node, m, from);
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn vouch(&mut self, node: usize, m: UnsignedMsg, voucher: usize) {
+        let set = self.vouchers[node].entry(m).or_default();
+        set.insert(voucher);
+        if set.len() > self.f {
+            self.views[node].insert(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_append_adopted_when_f_small_enough() {
+        // n = 5, t = 1, f = 1: threshold 2 ≤ n − t; correct appends adopt.
+        let mut sys = UnsignedSystem::new(5, 1, &[4]);
+        let m = sys.append(0, 1);
+        sys.settle();
+        for v in 0..4 {
+            assert!(sys.view(v).contains(&m), "node {v} missed the append");
+        }
+    }
+
+    #[test]
+    fn forgery_fails_when_f_at_least_t() {
+        // f = 2 ≥ t = 2: the two Byzantine echoes cannot reach threshold 3.
+        let mut sys = UnsignedSystem::new(6, 2, &[4, 5]);
+        let forged = UnsignedMsg {
+            author: 0,
+            seq: 0,
+            value: -1,
+        };
+        sys.byz_forge(4, forged, &[5]);
+        sys.settle();
+        for v in 0..4 {
+            assert!(
+                !sys.view(v).contains(&forged),
+                "node {v} adopted a forgery at f ≥ t"
+            );
+        }
+    }
+
+    #[test]
+    fn forgery_succeeds_when_f_below_t() {
+        // f = 1 < t = 2: threshold 2, and two Byzantine echoes certify a
+        // fabricated value "from" a correct node — the resilience
+        // reduction the paper warns about.
+        let mut sys = UnsignedSystem::new(6, 1, &[4, 5]);
+        let forged = UnsignedMsg {
+            author: 0,
+            seq: 0,
+            value: -1,
+        };
+        sys.byz_forge(4, forged, &[5]);
+        sys.settle();
+        let adopted = (0..4).filter(|&v| sys.view(v).contains(&forged)).count();
+        assert_eq!(adopted, 4, "t > f must let the forgery through");
+    }
+
+    #[test]
+    fn liveness_fails_when_threshold_exceeds_correct_count() {
+        // n = 5, t = 3 silent, f = 2: threshold 3 > n − t = 2 correct
+        // vouchers — a correct append can never be adopted by others.
+        let mut sys = UnsignedSystem::new(5, 2, &[2, 3, 4]);
+        let m = sys.append(0, 1);
+        sys.settle();
+        // Nodes 0 and 1 can gather at most 2 vouchers (authors 0 + echo 1).
+        assert!(
+            !sys.view(1).contains(&m),
+            "threshold f+1 > n−t must block adoption"
+        );
+    }
+
+    #[test]
+    fn direct_claim_from_wrong_channel_is_dropped() {
+        // A Direct message whose channel sender ≠ claimed author counts
+        // for nothing at correct receivers (not even as an echo — the
+        // sender did not claim receipt, it claimed authorship).
+        let mut sys = UnsignedSystem::new(4, 0, &[3]);
+        // Byzantine node 3 sends Direct claiming author 0 via byz_forge's
+        // Echo path would vouch; craft the Direct case by hand:
+        let forged = UnsignedMsg {
+            author: 0,
+            seq: 0,
+            value: -1,
+        };
+        sys.broadcast(3, Wire::Direct(forged));
+        sys.settle();
+        for v in 0..3 {
+            assert!(!sys.view(v).contains(&forged));
+        }
+    }
+
+    #[test]
+    fn echo_happens_once_message_cost_quadratic() {
+        let mut sys = UnsignedSystem::new(6, 1, &[]);
+        sys.append(0, 1);
+        sys.settle();
+        // 1 direct broadcast (n) + n echo broadcasts (n each) = n + n².
+        assert_eq!(sys.messages_sent(), 6 + 36);
+        assert_eq!(sys.threshold(), 2);
+    }
+}

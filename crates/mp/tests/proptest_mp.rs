@@ -1,0 +1,157 @@
+//! Failure injection for the message-passing simulation: random operation
+//! sequences (appends, reads, pauses/resumes, equivocations, forgeries,
+//! delivery reordering) must preserve the append-memory semantics of
+//! Lemmas 4.1/4.2 as long as a correct quorum stays reachable.
+
+use am_mp::{Delivery, MpMsg, MpSystem};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Append { node: u8, value: i8 },
+    Read { node: u8 },
+    Equivocate { byz: u8, a: i8, b: i8 },
+    Forge { byz: u8, victim: u8, guess: u64 },
+    Settle,
+}
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (any::<u8>(), -1i8..=1).prop_map(|(node, value)| OpSpec::Append { node, value }),
+        any::<u8>().prop_map(|node| OpSpec::Read { node }),
+        (any::<u8>(), -1i8..=1, -1i8..=1).prop_map(|(byz, a, b)| OpSpec::Equivocate { byz, a, b }),
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(byz, victim, guess)| OpSpec::Forge {
+            byz,
+            victim,
+            guess
+        }),
+        Just(OpSpec::Settle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence and any delivery order:
+    /// * every *completed* correct append is visible to every *subsequent*
+    ///   correct read (Lemma 4.2);
+    /// * forged messages never enter any correct view;
+    /// * per-author sequences of correct authors stay gap-free.
+    #[test]
+    fn abd_semantics_hold_under_random_ops(
+        n in 4usize..8,
+        t in 0usize..3,
+        ops in prop::collection::vec(op_spec(), 1..25),
+        delivery_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let t = t.min((n - 1) / 2);
+        let byz: Vec<usize> = (n - t..n).collect();
+        let n_corr = n - t;
+        let mut sys = MpSystem::new(n, &byz, seed);
+        sys.set_delivery(match delivery_pick {
+            0 => Delivery::Fifo,
+            1 => Delivery::Lifo,
+            _ => Delivery::Random,
+        });
+
+        let mut completed: Vec<MpMsg> = Vec::new();
+        let mut forged: HashSet<u64> = HashSet::new();
+
+        for op in &ops {
+            match *op {
+                OpSpec::Append { node, value } => {
+                    let v = node as usize % n_corr;
+                    let m = sys.append(v, value).expect("quorum reachable");
+                    // A forged guess can collide with a *later* legitimate
+                    // append (content = hash(author, seq, value)); once the
+                    // content is legitimately signed it is no longer a
+                    // forgery.
+                    forged.remove(&m.content);
+                    completed.push(m);
+                }
+                OpSpec::Read { node } => {
+                    let v = node as usize % n_corr;
+                    let view = sys.read(v).expect("quorum reachable");
+                    for m in &completed {
+                        prop_assert!(
+                            view.contains(m),
+                            "completed append {m:?} missing from read at {v}"
+                        );
+                    }
+                    for m in &view {
+                        prop_assert!(!forged.contains(&m.content), "forgery accepted");
+                    }
+                }
+                OpSpec::Equivocate { byz: b, a, b: vb } => {
+                    if t > 0 {
+                        let who = byz[b as usize % byz.len()];
+                        let half: Vec<usize> = (0..n_corr / 2).collect();
+                        let (ma, mb) = sys.byz_equivocate(who, a, vb, &half).unwrap();
+                        forged.remove(&ma.content);
+                        forged.remove(&mb.content);
+                    }
+                }
+                OpSpec::Forge { byz: b, victim, guess } => {
+                    if t > 0 {
+                        let who = byz[b as usize % byz.len()];
+                        let vic = victim as usize % n_corr;
+                        let content = sys.byz_forge(who, vic, -1, guess).unwrap();
+                        forged.insert(content);
+                    }
+                }
+                OpSpec::Settle => {
+                    sys.settle();
+                }
+            }
+        }
+        sys.settle();
+
+        // No forged content ever entered a correct view.
+        for v in 0..n_corr {
+            for m in sys.local_view(v) {
+                prop_assert!(!forged.contains(&m.content),
+                    "forged content in node {}'s view", v);
+            }
+        }
+
+        // Register integrity: every correct author's messages in every
+        // correct view have gap-free sequence numbers starting at 0
+        // (forgeries would collide with or skip sequence slots).
+        for v in 0..n_corr {
+            let view = sys.local_view(v);
+            for author in 0..n_corr {
+                let mut seqs: Vec<u64> = view
+                    .iter()
+                    .filter(|m| m.author == author)
+                    .map(|m| m.seq)
+                    .collect();
+                seqs.sort_unstable();
+                seqs.dedup();
+                for (i, &s) in seqs.iter().enumerate() {
+                    prop_assert_eq!(s, i as u64, "author {} register broken at {}", author, v);
+                }
+            }
+        }
+    }
+
+    /// Reads are monotone: a later read by the same node never loses a
+    /// value an earlier read returned.
+    #[test]
+    fn reads_are_monotone(
+        n in 4usize..7,
+        appends in prop::collection::vec((any::<u8>(), -1i8..=1), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut sys = MpSystem::new(n, &[], seed);
+        let mut prev: HashSet<u64> = HashSet::new();
+        for (node, value) in appends {
+            sys.append(node as usize % n, value).unwrap();
+            let view = sys.read((node as usize + 1) % n).unwrap();
+            let cur: HashSet<u64> = view.iter().map(|m| m.content).collect();
+            prop_assert!(prev.is_subset(&cur), "read went backwards");
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! A minimal discrete-event queue for the protocol runners.
+//!
+//! A binary heap of `(Time, seq, payload)` entries; `seq` breaks time ties
+//! in insertion order so runs are deterministic.
+
+use am_core::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Scheduled<E> {
+    /// Fire time.
+    pub time: Time,
+    seq: u64,
+    /// Payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour in BinaryHeap (max-heap).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-time event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `t`. Scheduling in the past is a
+    /// logic error and panics.
+    pub fn schedule(&mut self, t: Time, event: E) {
+        assert!(t >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: t,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `dt` after now.
+    pub fn schedule_after(&mut self, dt: f64, event: E) {
+        let t = self.now.after(dt);
+        self.schedule(t, event);
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some(s)
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(3.0), "c");
+        q.schedule(Time::new(1.0), "a");
+        q.schedule(Time::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(1.0), 1);
+        q.schedule(Time::new(1.0), 2);
+        q.schedule(Time::new(1.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(5.0), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::new(5.0));
+        q.schedule_after(1.5, ());
+        let s = q.pop().unwrap();
+        assert_eq!(s.time, Time::new(6.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(5.0), ());
+        q.pop();
+        q.schedule(Time::new(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::new(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Poisson processes via exponential inter-arrival times.
+//!
+//! A per-node process with rate `λ/Δ` events per unit time; the merged
+//! system process has rate `λn/Δ`. Merging uses the standard
+//! superposition: sample the merged exponential, then pick the node
+//! uniformly (correct because the minimum of `n` i.i.d. exponentials is
+//! exponential with the summed rate and the argmin is uniform).
+
+use am_core::Time;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A single Poisson process with a fixed rate (events per unit time).
+pub struct PoissonProcess {
+    rate: f64,
+    rng: ChaCha8Rng,
+    now: Time,
+}
+
+impl PoissonProcess {
+    /// Creates a process with `rate` events per unit time.
+    pub fn new(rate: f64, seed: u64) -> PoissonProcess {
+        assert!(rate > 0.0, "rate must be positive");
+        PoissonProcess {
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now: Time::ZERO,
+        }
+    }
+
+    /// The process rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Samples the next arrival time (strictly after the previous one).
+    pub fn next_arrival(&mut self) -> Time {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let dt = -u.ln() / self.rate;
+        self.now = self.now.after(dt);
+        self.now
+    }
+
+    /// Number of arrivals in `[0, horizon)`, resetting the clock first.
+    pub fn count_until(&mut self, horizon: f64) -> u64 {
+        self.now = Time::ZERO;
+        let mut k = 0;
+        loop {
+            if self.next_arrival().seconds() >= horizon {
+                self.now = Time::ZERO;
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// The merged system process: `(time, node)` arrivals with per-node rate
+/// `node_rate` over `n` nodes.
+pub struct MergedPoisson {
+    n: usize,
+    merged: PoissonProcess,
+    rng: ChaCha8Rng,
+}
+
+impl MergedPoisson {
+    /// Creates the merged stream: each of `n` nodes fires at `node_rate`.
+    pub fn new(n: usize, node_rate: f64, seed: u64) -> MergedPoisson {
+        assert!(n > 0);
+        MergedPoisson {
+            n,
+            merged: PoissonProcess::new(node_rate * n as f64, seed),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Number of merged nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The merged (system) rate.
+    pub fn system_rate(&self) -> f64 {
+        self.merged.rate()
+    }
+
+    /// The next `(time, node)` arrival.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> (Time, usize) {
+        let t = self.merged.next_arrival();
+        let node = self.rng.gen_range(0..self.n);
+        (t, node)
+    }
+}
+
+/// Convenience: the first `k` arrivals of a merged stream.
+pub fn merged_stream(n: usize, node_rate: f64, seed: u64, k: usize) -> Vec<(Time, usize)> {
+    let mut m = MergedPoisson::new(n, node_rate, seed);
+    (0..k).map(|_| m.next()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut p = PoissonProcess::new(2.0, 1);
+        let mut prev = Time::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut p = PoissonProcess::new(3.0, 2);
+        let horizon = 2000.0;
+        let k = p.count_until(horizon);
+        let measured = k as f64 / horizon;
+        assert!(
+            (measured - 3.0).abs() < 0.15,
+            "measured rate {measured} too far from 3.0"
+        );
+    }
+
+    #[test]
+    fn count_variance_is_poisson_like() {
+        // For Pois(λ·h), mean ≈ variance.
+        let mut counts = Vec::new();
+        for seed in 0..200u64 {
+            let mut p = PoissonProcess::new(1.0, seed);
+            counts.push(p.count_until(10.0) as f64);
+        }
+        let mean: f64 = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var: f64 =
+            counts.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (counts.len() - 1) as f64;
+        assert!((mean - 10.0).abs() < 1.0, "mean {mean}");
+        assert!(
+            (var / mean - 1.0).abs() < 0.5,
+            "index of dispersion {}",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn merged_rate_is_sum() {
+        let m = MergedPoisson::new(8, 0.5, 3);
+        assert_eq!(m.system_rate(), 4.0);
+        assert_eq!(m.n(), 8);
+    }
+
+    #[test]
+    fn merged_nodes_roughly_uniform() {
+        let arrivals = merged_stream(4, 1.0, 5, 8000);
+        let mut counts = [0usize; 4];
+        for (_, node) in &arrivals {
+            counts[*node] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 2000.0).abs() < 250.0,
+                "node counts skewed: {counts:?}"
+            );
+        }
+        // Times ascend.
+        for w in arrivals.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = merged_stream(3, 1.0, 9, 50);
+        let b = merged_stream(3, 1.0, 9, 50);
+        assert_eq!(a, b);
+        let c = merged_stream(3, 1.0, 10, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let _ = PoissonProcess::new(0.0, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Correct-silence interval statistics (the raw material of Lemma 5.5).
+//!
+//! The DAG analysis hinges on the interval `T` "during which no correct
+//! node appends a value to the memory": the adversary's withheld burst is
+//! limited by the tokens it collects inside `T`. This module measures
+//! silence intervals of a grant stream directly, so the Lemma 5.5
+//! experiment can compare the simulated process against the exponential
+//! tail `P[T > x] = exp(−rate_corr · x)`.
+
+use crate::token::TokenAuthority;
+use am_core::NodeId;
+
+/// Silence-interval measurements over a horizon of `k_correct` correct
+/// grants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SilenceStats {
+    /// Every gap between consecutive correct grants (simulated time).
+    pub gaps: Vec<f64>,
+    /// The largest gap observed.
+    pub max_gap: f64,
+    /// Byzantine grants that fell inside the largest gap — the bank the
+    /// Lemma 5.5 adversary can amass during it.
+    pub byz_in_max_gap: usize,
+}
+
+/// Draws grants until `k_correct` correct grants occurred and reports the
+/// correct-silence structure.
+pub fn measure_silence(
+    n: usize,
+    t: usize,
+    lambda: f64,
+    delta: f64,
+    k_correct: usize,
+    seed: u64,
+) -> SilenceStats {
+    assert!(t < n && k_correct >= 2);
+    let byz: Vec<NodeId> = (n - t..n).map(|i| NodeId(i as u32)).collect();
+    let mut auth = TokenAuthority::new(n, lambda, delta, &byz, seed);
+    let mut last_correct = 0.0f64;
+    let mut gaps = Vec::with_capacity(k_correct);
+    let mut byz_times: Vec<f64> = Vec::new();
+    let mut correct_seen = 0usize;
+    while correct_seen < k_correct {
+        let g = auth.next_grant();
+        let ts = g.time.seconds();
+        if auth.is_byz(g.node) {
+            byz_times.push(ts);
+        } else {
+            gaps.push(ts - last_correct);
+            last_correct = ts;
+            correct_seen += 1;
+        }
+    }
+    let (max_idx, max_gap) = gaps
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &g)| (i, g))
+        .expect("k_correct >= 2");
+    // Reconstruct the bounds of the max gap to count Byzantine grants in it.
+    let start: f64 = gaps[..max_idx].iter().sum();
+    let end = start + max_gap;
+    let byz_in_max_gap = byz_times.iter().filter(|&&x| x > start && x < end).count();
+    SilenceStats {
+        max_gap,
+        byz_in_max_gap,
+        gaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_stats::{exponential_cdf, ks_fits};
+
+    #[test]
+    fn correct_gaps_are_exponential() {
+        // Correct arrivals form a Poisson process with rate λ(n−t)/Δ;
+        // gaps must pass a KS test against that exponential.
+        let (n, t, lambda, delta) = (10usize, 3usize, 0.5f64, 1.0f64);
+        let stats = measure_silence(n, t, lambda, delta, 800, 11);
+        let rate = lambda * (n - t) as f64 / delta;
+        let mut gaps = stats.gaps.clone();
+        assert!(
+            ks_fits(&mut gaps, exponential_cdf(rate)),
+            "correct-gap sample failed KS against Exp({rate})"
+        );
+    }
+
+    #[test]
+    fn max_gap_grows_with_byzantine_share() {
+        // Fewer correct nodes → slower correct process → longer silences.
+        let lo = measure_silence(12, 1, 0.4, 1.0, 400, 3).max_gap;
+        let hi = measure_silence(12, 8, 0.4, 1.0, 400, 3).max_gap;
+        assert!(hi > lo, "t=8 silence {hi} must exceed t=1 silence {lo}");
+    }
+
+    #[test]
+    fn byz_bank_in_gap_scales_with_t() {
+        let mut small = 0usize;
+        let mut large = 0usize;
+        for seed in 0..20 {
+            small += measure_silence(12, 2, 0.5, 1.0, 300, seed).byz_in_max_gap;
+            large += measure_silence(12, 6, 0.5, 1.0, 300, seed).byz_in_max_gap;
+        }
+        assert!(
+            large > small,
+            "more Byzantine nodes must bank more in the silence: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = measure_silence(8, 2, 0.5, 1.0, 100, 9);
+        let b = measure_silence(8, 2, 0.5, 1.0, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silence_tail_matches_theory() {
+        // P[gap > x] ≈ exp(−rate·x): compare the empirical exceedance at
+        // one point against the closed form.
+        let (n, t, lambda) = (10usize, 3usize, 0.5f64);
+        let rate = lambda * (n - t) as f64;
+        let x = 1.0 / rate; // P ≈ e^{-1} ≈ 0.3679
+        let stats = measure_silence(n, t, lambda, 1.0, 4000, 21);
+        let p_emp = stats.gaps.iter().filter(|&&g| g > x).count() as f64 / stats.gaps.len() as f64;
+        assert!(
+            (p_emp - (-1.0f64).exp()).abs() < 0.03,
+            "empirical exceedance {p_emp} vs theory {:.4}",
+            (-1.0f64).exp()
+        );
+    }
+}

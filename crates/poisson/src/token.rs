@@ -1,0 +1,178 @@
+//! The token authority: randomized append access.
+//!
+//! "An append operation … will require a token that is given to the node
+//! by some authority who controls the access." The authority samples the
+//! merged Poisson stream and hands out [`Grant`]s. Correct nodes must
+//! spend a grant immediately (synchronous nodes, Section 5: the access
+//! rate is tied to Δ); Byzantine nodes may *bank* grants and spend them in
+//! a burst later — the withholding power behind Lemma 5.5.
+
+use crate::process::MergedPoisson;
+use am_core::{NodeId, Time};
+
+/// One append token: `node` may append at `time`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grant {
+    /// The granted node.
+    pub node: NodeId,
+    /// The grant (and, for correct nodes, spend) time.
+    pub time: Time,
+}
+
+/// A seeded, replayable stream of grants with Byzantine banking.
+///
+/// ```
+/// use am_poisson::TokenAuthority;
+/// use am_core::NodeId;
+/// let mut auth = TokenAuthority::new(4, 1.0, 1.0, &[NodeId(3)], 7);
+/// let g = auth.next_grant();
+/// assert!(g.time.seconds() > 0.0);
+/// assert!(g.node.index() < 4);
+/// ```
+pub struct TokenAuthority {
+    stream: MergedPoisson,
+    byz: Vec<bool>,
+    banked: Vec<Grant>,
+    granted: u64,
+    granted_byz: u64,
+}
+
+impl TokenAuthority {
+    /// Creates the authority: `n` nodes, per-node rate `lambda / delta`
+    /// (so that a node receives `Pois(λ)` tokens per interval Δ, as the
+    /// model prescribes), with `byz` marking Byzantine nodes.
+    pub fn new(n: usize, lambda: f64, delta: f64, byz: &[NodeId], seed: u64) -> TokenAuthority {
+        assert!(lambda > 0.0 && delta > 0.0);
+        let mut flags = vec![false; n];
+        for b in byz {
+            flags[b.index()] = true;
+        }
+        TokenAuthority {
+            stream: MergedPoisson::new(n, lambda / delta, seed),
+            byz: flags,
+            banked: Vec::new(),
+            granted: 0,
+            granted_byz: 0,
+        }
+    }
+
+    /// Whether `node` is Byzantine.
+    pub fn is_byz(&self, node: NodeId) -> bool {
+        self.byz[node.index()]
+    }
+
+    /// Draws the next grant from the Poisson stream.
+    pub fn next_grant(&mut self) -> Grant {
+        let (time, node) = self.stream.next();
+        self.granted += 1;
+        let node = NodeId(node as u32);
+        if self.is_byz(node) {
+            self.granted_byz += 1;
+        }
+        Grant { node, time }
+    }
+
+    /// Draws the next grant; if it belongs to a Byzantine node, banks it
+    /// and keeps drawing until a correct node's grant appears. Returns the
+    /// correct grant. (The adversary's "withhold everything" mode.)
+    pub fn next_correct_grant_banking_byz(&mut self) -> Grant {
+        loop {
+            let g = self.next_grant();
+            if self.is_byz(g.node) {
+                self.banked.push(g);
+            } else {
+                return g;
+            }
+        }
+    }
+
+    /// Takes all banked Byzantine grants (the adversary spends its burst).
+    pub fn drain_banked(&mut self) -> Vec<Grant> {
+        std::mem::take(&mut self.banked)
+    }
+
+    /// Banked grants currently held.
+    pub fn banked_count(&self) -> usize {
+        self.banked.len()
+    }
+
+    /// Total grants drawn.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Grants drawn for Byzantine nodes.
+    pub fn granted_byz(&self) -> u64 {
+        self.granted_byz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_ascend_in_time() {
+        let mut auth = TokenAuthority::new(4, 1.0, 1.0, &[], 11);
+        let mut prev = Time::ZERO;
+        for _ in 0..100 {
+            let g = auth.next_grant();
+            assert!(g.time > prev);
+            prev = g.time;
+            assert!(g.node.index() < 4);
+        }
+        assert_eq!(auth.granted(), 100);
+        assert_eq!(auth.granted_byz(), 0);
+    }
+
+    #[test]
+    fn byzantine_fraction_of_grants_matches_t_over_n() {
+        let byz: Vec<NodeId> = (6..8).map(NodeId).collect(); // t=2, n=8
+        let mut auth = TokenAuthority::new(8, 0.5, 1.0, &byz, 13);
+        for _ in 0..8000 {
+            auth.next_grant();
+        }
+        let frac = auth.granted_byz() as f64 / auth.granted() as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.03,
+            "byz token share {frac} should be ≈ t/n = 0.25"
+        );
+    }
+
+    #[test]
+    fn banking_accumulates_and_drains() {
+        let byz = vec![NodeId(3)];
+        let mut auth = TokenAuthority::new(4, 1.0, 1.0, &byz, 17);
+        let mut correct_seen = 0;
+        while correct_seen < 50 {
+            let g = auth.next_correct_grant_banking_byz();
+            assert!(!auth.is_byz(g.node));
+            correct_seen += 1;
+        }
+        let banked = auth.banked_count();
+        assert!(
+            banked > 5,
+            "≈1/4 of grants should have banked, got {banked}"
+        );
+        let drained = auth.drain_banked();
+        assert_eq!(drained.len(), banked);
+        assert!(drained.iter().all(|g| auth.is_byz(g.node)));
+        assert_eq!(auth.banked_count(), 0);
+    }
+
+    #[test]
+    fn per_node_rate_is_lambda_per_delta() {
+        // λ=2, Δ=4 → per-node rate 0.5/unit; 4 nodes → system rate 2.
+        let mut auth = TokenAuthority::new(4, 2.0, 4.0, &[], 23);
+        let mut last = Time::ZERO;
+        let k = 4000;
+        for _ in 0..k {
+            last = auth.next_grant().time;
+        }
+        let measured = k as f64 / last.seconds();
+        assert!(
+            (measured - 2.0).abs() < 0.15,
+            "system rate {measured} should be ≈ 2"
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! Algorithm 6: Byzantine agreement with DAGs.
+//!
+//! "Contrary to the chain, the DAG follows an inclusive strategy": a
+//! correct node appends a block referencing *every* tip of its view. The
+//! DAG is then ordered along the longest (or GHOST-heaviest) chain and the
+//! decision is the sign of the sum of the first `k` values in the
+//! ordering. Forked correct values are *included* later rather than
+//! orphaned, which is why the resilience stays near `1/2` independent of
+//! the rate λ (Theorem 5.6).
+//!
+//! The dangerous adversary is the Lemma 5.5 *withhold-burst*: bank tokens
+//! (within their Δ lifetime), wait until the decision is imminent, and
+//! release a private chain that simultaneously completes the `k`-value
+//! condition and stuffs Byzantine values into the decided prefix. The
+//! lemma bounds the burst by the token yield of a correct-silence
+//! interval, `O(λ log n)` w.h.p. — measured by experiment E9.
+
+use crate::params::{Params, ViewPolicy};
+use am_core::{
+    ghost, linearize, longest_chain, pivot_chain, AppendMemory, IncrementalDag, MemoryView,
+    MessageBuilder, MsgId, Sign, Value,
+};
+use am_poisson::{Grant, TokenAuthority};
+
+/// Chain-selection rule for the DAG ordering (Algorithm 6 line 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagRule {
+    /// Longest chain.
+    LongestChain,
+    /// GHOST heaviest subtree \[22\].
+    Ghost,
+    /// Conflux-style pivot chain (heaviest first-parent subtree) \[14\].
+    Pivot,
+}
+
+/// The Byzantine strategy of a DAG trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagAdversary {
+    /// Tokens wasted.
+    Absent,
+    /// Spend tokens honestly on `−1` blocks referencing all tips.
+    Dissenter,
+    /// Lemma 5.5: bank tokens and release a private chain just before the
+    /// decision.
+    WithholdBurst,
+}
+
+/// Outcome of one Algorithm 6 trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DagTrial {
+    /// The common decision.
+    pub decision: Option<Sign>,
+    /// Whether validity held.
+    pub validity: bool,
+    /// Byzantine values among the decided first `k`.
+    pub byz_in_prefix: usize,
+    /// Length of the released withheld burst (0 for other adversaries).
+    pub burst_len: usize,
+    /// Values covered by the selected chain at decision time.
+    pub covered_values: usize,
+    /// Total appends in the memory (genesis excluded).
+    pub total_appends: usize,
+    /// Simulated time at which the decision condition was met.
+    pub finish_time: f64,
+}
+
+/// Incremental bookkeeping for the DAG simulation (shared with the weak
+/// agreement / temporal-asynchrony runners in [`crate::weak`]).
+pub(crate) struct DagSim {
+    pub(crate) mem: AppendMemory,
+    /// Incremental depth / tips / arrival bookkeeping.
+    pub(crate) inc: IncrementalDag,
+    pub(crate) byz_author: Vec<bool>,
+}
+
+impl DagSim {
+    pub(crate) fn new(p: &Params) -> DagSim {
+        let mut byz_author = vec![false; p.n];
+        for b in p.byz_nodes() {
+            byz_author[b.index()] = true;
+        }
+        DagSim {
+            mem: AppendMemory::new(p.n),
+            inc: IncrementalDag::new(),
+            byz_author,
+        }
+    }
+
+    pub(crate) fn append(
+        &mut self,
+        node: am_core::NodeId,
+        value: Value,
+        parents: &[MsgId],
+        time: am_core::Time,
+    ) -> MsgId {
+        let id = self
+            .mem
+            .append_at(
+                MessageBuilder::new(node, value).parents(parents.iter().copied()),
+                time,
+            )
+            .expect("dag append is valid");
+        self.inc.on_append(id, parents, time);
+        id
+    }
+
+    /// Tips of the prefix view of length `prefix`.
+    pub(crate) fn tips_of_prefix(&self, prefix: usize) -> Vec<MsgId> {
+        self.inc.tips_of_prefix(prefix)
+    }
+
+    /// Id of the deepest message (ties to smallest id).
+    pub(crate) fn deepest(&self) -> MsgId {
+        self.inc.deepest()
+    }
+
+    /// Prefix visible under the view policy at grant time `now`.
+    pub(crate) fn view_prefix(
+        &self,
+        policy: ViewPolicy,
+        boundary_len: usize,
+        now: am_core::Time,
+        delta: f64,
+    ) -> usize {
+        match policy {
+            ViewPolicy::IntervalSnapshot => boundary_len,
+            ViewPolicy::LaggedDelta => self
+                .inc
+                .prefix_at_time(am_core::Time::new(now.seconds() - delta)),
+        }
+    }
+
+    /// Number of value-carrying messages in the closed past cone of `tip`
+    /// — the "chain containing at least k values" gate of Algorithm 6.
+    pub(crate) fn covered_values(&self, view: &MemoryView, tip: MsgId) -> usize {
+        let mut seen = vec![false; view.len()];
+        let mut stack = vec![tip];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            let i = id.index();
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            let m = view.get(id).expect("cone id in view");
+            if m.value.as_sign().is_some() {
+                count += 1;
+            }
+            stack.extend_from_slice(&m.parents);
+        }
+        count
+    }
+}
+
+/// Runs one trial of Algorithm 6.
+///
+/// ```
+/// use am_protocols::{run_dag, DagAdversary, DagRule, Params};
+/// let p = Params::new(8, 2, 0.3, 15, 7);
+/// let out = run_dag(&p, DagRule::LongestChain, DagAdversary::WithholdBurst);
+/// assert!(out.covered_values >= p.k);
+/// ```
+pub fn run_dag(p: &Params, rule: DagRule, adv: DagAdversary) -> DagTrial {
+    let mut sim = DagSim::new(p);
+    let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
+
+    let mut boundary_len = 1usize;
+    let mut cur_interval = 0u64;
+    let mut banked: Vec<Grant> = Vec::new();
+    let mut burst_len = 0usize;
+    let ttl = p.token_ttl * p.delta;
+    let max_grants = 10_000 + 400 * p.k * (p.n + 1);
+    let mut grants = 0usize;
+
+    loop {
+        // Decision gate: the selected chain covers ≥ k values.
+        if sim.mem.len() > p.k {
+            let view = sim.mem.read();
+            let covered = sim.covered_values(&view, sim.deepest());
+            if covered >= p.k {
+                break;
+            }
+            // Withhold-burst: fire when the bank can bridge the gap.
+            if adv == DagAdversary::WithholdBurst
+                && !banked.is_empty()
+                && covered + banked.len() >= p.k
+            {
+                let mut tip = sim.deepest();
+                let fire_at = sim.mem.now();
+                for tok in banked.drain(..) {
+                    tip = sim.append(tok.node, Value::minus(), &[tip], fire_at);
+                    burst_len += 1;
+                }
+                continue;
+            }
+        }
+
+        grants += 1;
+        if grants > max_grants {
+            break;
+        }
+        let g = auth.next_grant();
+        let interval = (g.time.seconds() / p.delta) as u64;
+        if interval != cur_interval {
+            cur_interval = interval;
+            boundary_len = sim.mem.len();
+        }
+        banked.retain(|b| b.time.seconds() + ttl >= g.time.seconds());
+
+        if auth.is_byz(g.node) {
+            match adv {
+                DagAdversary::Absent => {}
+                DagAdversary::Dissenter => {
+                    let tips = sim.tips_of_prefix(sim.mem.len());
+                    sim.append(g.node, Value::minus(), &tips, g.time);
+                }
+                DagAdversary::WithholdBurst => banked.push(g),
+            }
+            continue;
+        }
+
+        // Correct append: reference every tip of the policy-lagged view.
+        let prefix = sim.view_prefix(p.view_policy, boundary_len, g.time, p.delta);
+        let tips = sim.tips_of_prefix(prefix);
+        sim.append(g.node, Value::plus(), &tips, g.time);
+    }
+
+    decide(p, &sim, rule, burst_len)
+}
+
+/// Chain selection for a rule on a view.
+pub(crate) fn select_chain(rule: DagRule, view: &MemoryView) -> Vec<MsgId> {
+    match rule {
+        DagRule::LongestChain => longest_chain(view),
+        DagRule::Ghost => ghost::ghost_pivot(view),
+        DagRule::Pivot => pivot_chain(view),
+    }
+}
+
+fn decide(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) -> DagTrial {
+    let view = sim.mem.read();
+    let chain = select_chain(rule, &view);
+    let lin = linearize(&view, &chain);
+    let prefix = lin.first_k_values(&view, p.k);
+    let mut sum = 0i64;
+    let mut byz_in_prefix = 0usize;
+    for id in &prefix {
+        let m = view.get(*id).unwrap();
+        sum += m.value.spin_contribution();
+        if m.author.map(|a| sim.byz_author[a.index()]).unwrap_or(false) {
+            byz_in_prefix += 1;
+        }
+    }
+    let decision = Sign::of_sum(sum);
+    let covered = chain
+        .last()
+        .map(|&tip| sim.covered_values(&view, tip))
+        .unwrap_or(0);
+    DagTrial {
+        decision,
+        validity: decision == Some(Sign::Plus),
+        byz_in_prefix,
+        burst_len,
+        covered_values: covered,
+        total_appends: view.append_count(),
+        finish_time: sim.mem.now().seconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure_rate(p0: Params, rule: DagRule, adv: DagAdversary, trials: u64) -> f64 {
+        let fails = (0..trials)
+            .filter(|&s| !run_dag(&p0.with_seed(s), rule, adv).validity)
+            .count();
+        fails as f64 / trials as f64
+    }
+
+    #[test]
+    fn no_adversary_decides_plus() {
+        for seed in 0..10 {
+            let p = Params::new(8, 2, 0.5, 15, seed);
+            for rule in [DagRule::LongestChain, DagRule::Ghost] {
+                let out = run_dag(&p, rule, DagAdversary::Absent);
+                assert_eq!(out.decision, Some(Sign::Plus), "seed {seed} {rule:?}");
+                assert!(out.validity);
+                assert_eq!(out.byz_in_prefix, 0);
+                assert!(out.covered_values >= p.k);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_includes_forked_values_no_waste() {
+        // Even at a high rate (heavy forking), covered values ≈ total
+        // appends — the inclusive property. Compare with the chain's heavy
+        // orphaning under identical parameters.
+        let p = Params::new(16, 0, 1.0, 25, 3);
+        let out = run_dag(&p, DagRule::LongestChain, DagAdversary::Absent);
+        let inclusion = out.covered_values as f64 / out.total_appends as f64;
+        assert!(
+            inclusion > 0.8,
+            "DAG must cover most appends, covered {} of {}",
+            out.covered_values,
+            out.total_appends
+        );
+    }
+
+    #[test]
+    fn dissenter_below_half_keeps_validity() {
+        let p = Params::new(10, 3, 0.5, 41, 0); // t/n = 0.3
+        for rule in [DagRule::LongestChain, DagRule::Ghost] {
+            let rate = failure_rate(p, rule, DagAdversary::Dissenter, 40);
+            assert!(rate < 0.2, "{rule:?} must tolerate t=0.3n, rate {rate}");
+        }
+    }
+
+    #[test]
+    fn dissenter_beyond_half_breaks_validity() {
+        let p = Params::new(10, 6, 0.5, 41, 0); // t/n = 0.6
+        let rate = failure_rate(p, DagRule::LongestChain, DagAdversary::Dissenter, 40);
+        assert!(rate > 0.8, "t=0.6n must fail, rate {rate}");
+    }
+
+    #[test]
+    fn dag_survives_the_chain_killer_parameters() {
+        // The tie-breaker parameters that destroy the chain (λt = 2,
+        // t/n = 1/3) leave the DAG's validity intact — the headline claim.
+        let p = Params::new(12, 4, 0.5, 41, 0);
+        let rate = failure_rate(p, DagRule::LongestChain, DagAdversary::WithholdBurst, 40);
+        assert!(
+            rate < 0.25,
+            "DAG at λt=2, t=n/3 must hold validity, rate {rate}"
+        );
+    }
+
+    #[test]
+    fn withhold_burst_fires_and_is_bounded() {
+        let p = Params::new(12, 4, 0.5, 41, 7);
+        let out = run_dag(&p, DagRule::LongestChain, DagAdversary::WithholdBurst);
+        // The burst must have fired (banked tokens exist w.h.p.) and be
+        // small relative to k (Lemma 5.5: O(λ log n), not Θ(k)).
+        assert!(out.burst_len > 0, "burst never fired");
+        assert!(
+            out.burst_len < p.k / 2,
+            "burst {} must stay far below k={}",
+            out.burst_len,
+            p.k
+        );
+    }
+
+    #[test]
+    fn byz_prefix_share_is_fair_plus_burst() {
+        // Withholding cannot push the Byzantine prefix share far beyond
+        // t/n + burst/k.
+        let p = Params::new(10, 3, 0.5, 61, 0);
+        let mut share_sum = 0.0;
+        let trials = 30;
+        for s in 0..trials {
+            let out = run_dag(
+                &p.with_seed(s),
+                DagRule::LongestChain,
+                DagAdversary::WithholdBurst,
+            );
+            share_sum += out.byz_in_prefix as f64 / p.k as f64;
+        }
+        let mean_share = share_sum / trials as f64;
+        assert!(
+            mean_share < 0.45,
+            "byz prefix share {mean_share} must stay below 1/2 for t/n=0.3"
+        );
+    }
+
+    #[test]
+    fn ghost_and_longest_agree_without_adversary() {
+        let p = Params::new(8, 0, 0.3, 21, 11);
+        let a = run_dag(&p, DagRule::LongestChain, DagAdversary::Absent);
+        let b = run_dag(&p, DagRule::Ghost, DagAdversary::Absent);
+        assert_eq!(a.decision, b.decision);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Params::new(10, 3, 0.5, 21, 42);
+        let a = run_dag(&p, DagRule::Ghost, DagAdversary::WithholdBurst);
+        let b = run_dag(&p, DagRule::Ghost, DagAdversary::WithholdBurst);
+        assert_eq!(a, b);
+    }
+}

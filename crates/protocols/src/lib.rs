@@ -1,0 +1,52 @@
+//! # am-protocols — Byzantine agreement with randomized memory access
+//!
+//! Section 5 of the paper: the three protocols that decide by "the sign of
+//! the sum of the first k appends", under Poisson-gated append access.
+//!
+//! * [`timestamp`] — **Algorithm 4**: the absolute-timestamp baseline. A
+//!   central authority stamps every append; the first `k` stamps order the
+//!   decision. Best possible resilience in the model (Theorem 5.2).
+//! * [`chain`] — **Algorithm 5**: append to the longest chain, break ties
+//!   deterministically (first in memory, Theorem 5.3) or uniformly at
+//!   random (Theorem 5.4). Adversaries: *fork-maker* (forks every correct
+//!   tip and wins deterministic ties) and *tie-breaker* (extends the first
+//!   correct append of each interval, orphaning the rest).
+//! * [`dag`] — **Algorithm 6**: append referencing every tip; order the
+//!   DAG along the longest/heaviest chain; decide on the first `k` values.
+//!   Adversaries: *dissenter* (spends its fair token share on minority
+//!   values) and *withhold-burst* (banks tokens and releases a private
+//!   chain just before the decision — Lemma 5.5).
+//! * [`runner`] — parallel Monte-Carlo estimation of validity-failure
+//!   rates and resilience thresholds (rayon fan-out, per-trial seeding).
+//!
+//! ## Modelling notes (see DESIGN.md)
+//!
+//! * **Interval concurrency.** Synchronous nodes with bound Δ are modelled
+//!   by interval snapshots: a correct append granted in interval `i` uses
+//!   the memory state at the start of interval `i` — appends within one
+//!   interval are mutually concurrent, exactly the fork-generating worst
+//!   case of Theorem 5.4's analysis.
+//! * **Token TTL.** Grants expire Δ after issue. Byzantine nodes may delay
+//!   a grant within its lifetime (the "withhold … for a small period of
+//!   time" of Lemma 5.5) but cannot hoard tokens indefinitely — the only
+//!   reading of the access model under which the Lemma 5.5 burst bound
+//!   (and hence DAG resilience 1/2) is actually true.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod dag;
+pub mod params;
+pub mod runner;
+pub mod timestamp;
+pub mod weak;
+
+pub use chain::{run_chain, ChainAdversary, ChainTrial, TieBreak};
+pub use dag::{run_dag, DagAdversary, DagRule, DagTrial};
+pub use params::{Params, ViewPolicy};
+pub use runner::{measure_failure_rate, resilience_threshold, TrialKind};
+pub use timestamp::{run_timestamp, TimestampTrial};
+pub use weak::{
+    run_chain_staggered, run_dag_multinode, run_dag_staggered, MultiTrial, StaggeredTrial,
+};

@@ -1,0 +1,143 @@
+//! Parallel Monte-Carlo estimation over trials.
+//!
+//! Fans trials out with rayon (`par_iter` over trial indices), each trial
+//! deterministically seeded from the base seed and its index, and reduces
+//! into [`Proportion`] tallies — the pattern the experiment harness and
+//! the resilience-threshold searches are built on.
+
+use crate::chain::{run_chain, ChainAdversary, TieBreak};
+use crate::dag::{run_dag, DagAdversary, DagRule};
+use crate::params::Params;
+use crate::timestamp::run_timestamp;
+use am_stats::{search_threshold, Proportion, ThresholdResult};
+use rayon::prelude::*;
+
+/// Which protocol/strategy combination a measurement runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrialKind {
+    /// Algorithm 4 under worst-case Byzantine values.
+    Timestamp,
+    /// Algorithm 5 with a tie-break rule and adversary.
+    Chain(TieBreak, ChainAdversary),
+    /// Algorithm 6 with an ordering rule and adversary.
+    Dag(DagRule, DagAdversary),
+}
+
+impl TrialKind {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            TrialKind::Timestamp => "timestamp".into(),
+            TrialKind::Chain(tie, adv) => format!("chain/{tie:?}/{adv:?}").to_lowercase(),
+            TrialKind::Dag(rule, adv) => format!("dag/{rule:?}/{adv:?}").to_lowercase(),
+        }
+    }
+
+    /// Runs one trial; returns whether **validity failed**.
+    pub fn run_one(&self, p: &Params) -> bool {
+        match self {
+            TrialKind::Timestamp => !run_timestamp(p).validity,
+            TrialKind::Chain(tie, adv) => !run_chain(p, *tie, *adv).validity,
+            TrialKind::Dag(rule, adv) => !run_dag(p, *rule, *adv).validity,
+        }
+    }
+}
+
+/// Per-trial seed derivation: SplitMix of the base seed and index, so
+/// parallel runs are reproducible and independent of scheduling.
+pub fn trial_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Measures the validity-failure rate of `kind` at `p` over `trials`
+/// Monte-Carlo runs, in parallel.
+pub fn measure_failure_rate(p: &Params, kind: TrialKind, trials: u64) -> Proportion {
+    let failures = (0..trials)
+        .into_par_iter()
+        .map(|i| kind.run_one(&p.with_seed(trial_seed(p.seed, i))))
+        .filter(|&failed| failed)
+        .count() as u64;
+    Proportion::from_counts(failures, trials)
+}
+
+/// Empirical resilience threshold: the largest `t` (over a probe grid up
+/// to `n/2`) whose failure rate stays below `tol`.
+pub fn resilience_threshold(
+    base: &Params,
+    kind: TrialKind,
+    trials: u64,
+    tol: f64,
+) -> ThresholdResult {
+    let grid = am_stats::threshold::byzantine_grid(base.n as u64, 8);
+    search_threshold(base.n as u64, &grid, tol, 0.9, |t| {
+        measure_failure_rate(&base.with_t(t as usize), kind, trials)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let a = trial_seed(1, 0);
+        let b = trial_seed(1, 1);
+        let c = trial_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(trial_seed(1, 0), a);
+    }
+
+    #[test]
+    fn measure_is_reproducible_despite_parallelism() {
+        let p = Params::new(8, 3, 0.5, 15, 77);
+        let kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker);
+        let a = measure_failure_rate(&p, kind, 64);
+        let b = measure_failure_rate(&p, kind, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timestamp_clean_at_zero_byz() {
+        let p = Params::new(8, 0, 1.0, 15, 1);
+        let rate = measure_failure_rate(&p, TrialKind::Timestamp, 50);
+        assert_eq!(rate.hits, 0);
+    }
+
+    #[test]
+    fn threshold_search_finds_dag_above_chain() {
+        // Small but end-to-end: at λ = 0.5, the DAG's empirical threshold
+        // must exceed the chain's under their respective worst adversaries.
+        let base = Params::new(8, 1, 0.5, 21, 5);
+        let chain = resilience_threshold(
+            &base,
+            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
+            24,
+            0.3,
+        );
+        let dag = resilience_threshold(
+            &base,
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+            24,
+            0.3,
+        );
+        assert!(
+            dag.resilience >= chain.resilience,
+            "dag {} must be ≥ chain {}",
+            dag.resilience,
+            chain.resilience
+        );
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(TrialKind::Timestamp.label(), "timestamp");
+        let l = TrialKind::Chain(TieBreak::Deterministic, ChainAdversary::ForkMaker).label();
+        assert!(l.contains("chain") && l.contains("fork"));
+        let l = TrialKind::Dag(DagRule::Ghost, DagAdversary::WithholdBurst).label();
+        assert!(l.contains("dag") && l.contains("ghost"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Configurations, events, and exhaustive exploration of the computation
+//! graph (Section 2.1 formalism).
+//!
+//! A configuration `C = {s_1, …, s_n} × M(τ*)` is modelled as per-author
+//! logs plus per-node local states; an event is one node executing its
+//! deterministic next operation. The explorer interns configurations,
+//! builds the reachable computation graph, and classifies valency.
+
+use crate::proto::{AsyncProtocol, Op, ViewRef};
+use std::collections::{HashMap, VecDeque};
+
+/// Reference to a message by `(author, seq)` — the content-derived identity
+/// nodes can actually name (the memory exposes no arrival order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref {
+    /// Authoring node.
+    pub author: u8,
+    /// Index in that author's own append order.
+    pub seq: u8,
+}
+
+/// One appended command in a per-author log.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// The appended value.
+    pub value: u8,
+    /// Parent references.
+    pub parents: Vec<Ref>,
+}
+
+/// Local state of one node: `s_i = (M(τ), val_i)` of the paper, realised as
+/// the per-author counts the node saw at its last read plus its decision
+/// status. A node always sees its own appends.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LocalState {
+    /// Binary input value.
+    pub input: u8,
+    /// Per-author visible counts at last read (own appends included).
+    pub view: Vec<u8>,
+    /// Number of appends this node has performed.
+    pub own: u8,
+    /// The decision, once taken.
+    pub decided: Option<u8>,
+}
+
+/// A configuration of the system: the memory (as per-author logs — set
+/// semantics, so concurrent appends commute) and all node states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Per-author append logs.
+    pub logs: Vec<Vec<Entry>>,
+    /// Per-node local states.
+    pub nodes: Vec<LocalState>,
+}
+
+impl Config {
+    /// The initial configuration for the given binary inputs: empty memory,
+    /// every node knowing only its input (Section 2.1's `C_0`).
+    pub fn initial(inputs: &[u8]) -> Config {
+        let n = inputs.len();
+        Config {
+            logs: vec![Vec::new(); n],
+            nodes: inputs
+                .iter()
+                .map(|&b| {
+                    assert!(b <= 1, "inputs are binary");
+                    LocalState {
+                        input: b,
+                        view: vec![0; n],
+                        own: 0,
+                        decided: None,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of appends in the memory.
+    pub fn total_appends(&self) -> usize {
+        self.logs.iter().map(Vec::len).sum()
+    }
+
+    /// Set of decisions present in this configuration.
+    pub fn decisions(&self) -> Vec<u8> {
+        let mut d: Vec<u8> = self.nodes.iter().filter_map(|s| s.decided).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    /// Whether two nodes have decided on different values — an agreement
+    /// violation witnessed directly by this configuration.
+    pub fn violates_agreement(&self) -> bool {
+        self.decisions().len() > 1
+    }
+
+    /// Whether every node has decided.
+    pub fn all_decided(&self) -> bool {
+        self.nodes.iter().all(|s| s.decided.is_some())
+    }
+}
+
+/// An event: node `node` executed operation `op` (Section 2.1's `e_v`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The acting node.
+    pub node: usize,
+    /// The operation it performed.
+    pub op: Op,
+}
+
+/// Valency of a configuration (Section 2.1 definitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Valency {
+    /// Only decision 0 is reachable.
+    Zero,
+    /// Only decision 1 is reachable.
+    One,
+    /// Both decisions are reachable — bivalent.
+    Bivalent,
+    /// No decision is reachable (non-terminating region or truncated).
+    NoDecision,
+}
+
+impl Valency {
+    fn from_bits(zero: bool, one: bool) -> Valency {
+        match (zero, one) {
+            (true, true) => Valency::Bivalent,
+            (true, false) => Valency::Zero,
+            (false, true) => Valency::One,
+            (false, false) => Valency::NoDecision,
+        }
+    }
+}
+
+/// Result of exhaustively analysing the computation graph from one initial
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Number of distinct configurations reached.
+    pub configs: usize,
+    /// Whether exploration hit the configuration budget (results are then
+    /// lower bounds).
+    pub truncated: bool,
+    /// Valency of the initial configuration.
+    pub valency: Valency,
+    /// A reachable configuration where two nodes decided differently.
+    pub agreement_violation: Option<Config>,
+    /// A reachable configuration where all of a (n−1)-subset of nodes are
+    /// permanently stuck undecided — a v-free computation that cannot
+    /// terminate, i.e. the protocol is not 1-resilient. Stored as
+    /// `(crashed_node, stuck_config)`.
+    pub vfree_nontermination: Option<(usize, Config)>,
+}
+
+/// Exhaustive explorer of a protocol's computation graph.
+pub struct Explorer<'p> {
+    proto: &'p dyn AsyncProtocol,
+    /// Configuration budget; exploration past it sets `truncated`.
+    pub max_configs: usize,
+}
+
+impl<'p> Explorer<'p> {
+    /// Creates an explorer with a configuration budget.
+    pub fn new(proto: &'p dyn AsyncProtocol, max_configs: usize) -> Explorer<'p> {
+        Explorer { proto, max_configs }
+    }
+
+    /// Applies node `v`'s next operation to `c`.
+    ///
+    /// Returns `Some((event, c'))` when the operation changes the
+    /// configuration, `None` when the node has halted (decided) or its
+    /// operation is the rule-(b) self-loop (a read of an unchanged memory
+    /// or an explicit `Idle`).
+    pub fn apply(&self, c: &Config, v: usize) -> Option<(Event, Config)> {
+        let st = &c.nodes[v];
+        if st.decided.is_some() {
+            return None;
+        }
+        let fresh = (0..c.logs.len()).any(|a| c.logs[a].len() > st.view[a] as usize);
+        let op = self.proto.next_op(
+            v,
+            st.input,
+            st.own as usize,
+            &ViewRef {
+                logs: &c.logs,
+                counts: &st.view,
+            },
+            fresh,
+        );
+        match op {
+            Op::Idle => None,
+            Op::Read => {
+                if !fresh {
+                    return None; // rule (b): e_v(C) = C
+                }
+                let mut c2 = c.clone();
+                for a in 0..c2.logs.len() {
+                    c2.nodes[v].view[a] = c2.logs[a].len() as u8;
+                }
+                Some((
+                    Event {
+                        node: v,
+                        op: Op::Read,
+                    },
+                    c2,
+                ))
+            }
+            Op::Append { value, parents } => {
+                let mut c2 = c.clone();
+                c2.logs[v].push(Entry {
+                    value,
+                    parents: parents.clone(),
+                });
+                c2.nodes[v].own += 1;
+                // A node always knows its own appends.
+                c2.nodes[v].view[v] = c2.nodes[v].view[v].max(c2.logs[v].len() as u8);
+                Some((
+                    Event {
+                        node: v,
+                        op: Op::Append { value, parents },
+                    },
+                    c2,
+                ))
+            }
+            Op::Decide(d) => {
+                let mut c2 = c.clone();
+                c2.nodes[v].decided = Some(d);
+                Some((
+                    Event {
+                        node: v,
+                        op: Op::Decide(d),
+                    },
+                    c2,
+                ))
+            }
+        }
+    }
+
+    /// Whether node `v` is permanently passive in `c`: decided, or idle
+    /// with nothing fresh to read (its state can only change if *someone
+    /// else* appends).
+    pub fn is_passive(&self, c: &Config, v: usize) -> bool {
+        self.apply(c, v).is_none()
+    }
+
+    /// Exhaustive BFS from `init`: builds the reachable set, classifies
+    /// valency, and hunts for agreement violations and v-free
+    /// non-termination.
+    pub fn analyze(&self, init: &Config) -> Analysis {
+        let n = self.proto.n();
+        let mut index: HashMap<Config, usize> = HashMap::new();
+        let mut configs: Vec<Config> = Vec::new();
+        let mut succs: Vec<Vec<usize>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut truncated = false;
+        let mut agreement_violation = None;
+        let mut vfree_nontermination = None;
+
+        index.insert(init.clone(), 0);
+        configs.push(init.clone());
+        succs.push(Vec::new());
+        queue.push_back(0);
+
+        while let Some(ci) = queue.pop_front() {
+            if configs.len() > self.max_configs {
+                truncated = true;
+                break;
+            }
+            let c = configs[ci].clone();
+            if agreement_violation.is_none() && c.violates_agreement() {
+                agreement_violation = Some(c.clone());
+            }
+            // v-free non-termination: some node v such that all others are
+            // passive and at least one other is undecided. (Passivity here
+            // is permanent unless an *active* node appends; if all others
+            // are passive, nobody ever appends again.)
+            if vfree_nontermination.is_none() {
+                for v in 0..n {
+                    let others_passive = (0..n).filter(|&u| u != v).all(|u| self.is_passive(&c, u));
+                    let someone_stuck = (0..n)
+                        .filter(|&u| u != v)
+                        .any(|u| c.nodes[u].decided.is_none());
+                    if others_passive && someone_stuck {
+                        vfree_nontermination = Some((v, c.clone()));
+                        break;
+                    }
+                }
+            }
+            let mut kids = Vec::new();
+            for v in 0..n {
+                if let Some((_, c2)) = self.apply(&c, v) {
+                    let next_id = match index.get(&c2) {
+                        Some(&id) => id,
+                        None => {
+                            let id = configs.len();
+                            index.insert(c2.clone(), id);
+                            configs.push(c2);
+                            succs.push(Vec::new());
+                            queue.push_back(id);
+                            id
+                        }
+                    };
+                    kids.push(next_id);
+                }
+            }
+            succs[ci] = kids;
+        }
+
+        // Valency: propagate reachable decisions backwards by iterating to
+        // a fixed point (the graph can contain cycles through re-reads).
+        let m = configs.len();
+        let mut zero = vec![false; m];
+        let mut one = vec![false; m];
+        for (i, c) in configs.iter().enumerate() {
+            for d in c.decisions() {
+                if d == 0 {
+                    zero[i] = true;
+                } else {
+                    one[i] = true;
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..m).rev() {
+                for &k in &succs[i] {
+                    if zero[k] && !zero[i] {
+                        zero[i] = true;
+                        changed = true;
+                    }
+                    if one[k] && !one[i] {
+                        one[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Analysis {
+            configs: m,
+            truncated,
+            valency: Valency::from_bits(zero[0], one[0]),
+            agreement_violation,
+            vfree_nontermination,
+        }
+    }
+
+    /// Valency of an arbitrary configuration (runs a fresh bounded
+    /// exploration from it).
+    pub fn valency_of(&self, c: &Config) -> Valency {
+        self.analyze(c).valency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{FirstSeenProtocol, QuorumVoteProtocol};
+
+    #[test]
+    fn initial_config_shape() {
+        let c = Config::initial(&[0, 1, 1]);
+        assert_eq!(c.logs.len(), 3);
+        assert_eq!(c.total_appends(), 0);
+        assert_eq!(c.nodes[2].input, 1);
+        assert!(c.decisions().is_empty());
+        assert!(!c.violates_agreement());
+        assert!(!c.all_decided());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn initial_rejects_non_binary() {
+        let _ = Config::initial(&[0, 2]);
+    }
+
+    #[test]
+    fn appends_commute_across_authors() {
+        let p = FirstSeenProtocol::new(2);
+        let ex = Explorer::new(&p, 10_000);
+        let c = Config::initial(&[0, 1]);
+        let (_, c_a) = ex.apply(&c, 0).unwrap();
+        let (_, c_ab) = ex.apply(&c_a, 1).unwrap();
+        let (_, c_b) = ex.apply(&c, 1).unwrap();
+        let (_, c_ba) = ex.apply(&c_b, 0).unwrap();
+        assert_eq!(c_ab, c_ba, "concurrent appends must commute");
+    }
+
+    #[test]
+    fn read_of_unchanged_memory_is_self_loop() {
+        let p = QuorumVoteProtocol::new(2, 2, 0);
+        let ex = Explorer::new(&p, 10_000);
+        let c = Config::initial(&[0, 1]);
+        let (_, c1) = ex.apply(&c, 0).unwrap(); // node 0 appends
+                                                // Node 0 has nothing new (it sees its own append): passive until
+                                                // node 1 appends.
+        assert!(ex.is_passive(&c1, 0));
+        let (_, c2) = ex.apply(&c1, 1).unwrap(); // node 1 appends
+        assert!(!ex.is_passive(&c2, 0), "fresh data wakes node 0");
+    }
+
+    #[test]
+    fn first_seen_violates_agreement() {
+        let p = FirstSeenProtocol::new(3);
+        let ex = Explorer::new(&p, 200_000);
+        let a = ex.analyze(&Config::initial(&[0, 1, 1]));
+        assert!(!a.truncated);
+        assert!(
+            a.agreement_violation.is_some(),
+            "first-seen must be caught disagreeing"
+        );
+        assert_eq!(a.valency, Valency::Bivalent);
+    }
+
+    #[test]
+    fn first_seen_uniform_inputs_are_univalent() {
+        let p = FirstSeenProtocol::new(3);
+        let ex = Explorer::new(&p, 200_000);
+        let a0 = ex.analyze(&Config::initial(&[0, 0, 0]));
+        assert_eq!(a0.valency, Valency::Zero, "validity direction 0");
+        let a1 = ex.analyze(&Config::initial(&[1, 1, 1]));
+        assert_eq!(a1.valency, Valency::One, "validity direction 1");
+    }
+
+    #[test]
+    fn full_quorum_is_not_crash_tolerant() {
+        let p = QuorumVoteProtocol::new(3, 3, 0);
+        let ex = Explorer::new(&p, 200_000);
+        let a = ex.analyze(&Config::initial(&[0, 1, 0]));
+        assert!(!a.truncated);
+        let (crashed, stuck) = a
+            .vfree_nontermination
+            .expect("waiting for all n nodes must block under one crash");
+        assert!(crashed < 3);
+        assert!(!stuck.all_decided());
+    }
+
+    #[test]
+    fn partial_quorum_violates_agreement() {
+        // q = n-1 = 2 with inputs (0,1,1): nodes deciding on different
+        // 2-subsets disagree (e.g. {0,1} ties to 0 vs {1,1} → 1).
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let ex = Explorer::new(&p, 500_000);
+        let a = ex.analyze(&Config::initial(&[0, 1, 1]));
+        assert!(!a.truncated);
+        assert!(a.agreement_violation.is_some());
+    }
+
+    #[test]
+    fn analysis_counts_configs() {
+        let p = QuorumVoteProtocol::new(2, 2, 0);
+        let ex = Explorer::new(&p, 100_000);
+        let a = ex.analyze(&Config::initial(&[0, 0]));
+        assert!(a.configs > 1);
+        assert!(!a.truncated);
+        assert_eq!(a.valency, Valency::Zero);
+    }
+
+    #[test]
+    fn truncation_flag_fires_on_tiny_budget() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let ex = Explorer::new(&p, 3);
+        let a = ex.analyze(&Config::initial(&[0, 1, 0]));
+        assert!(a.truncated);
+    }
+}

@@ -1,0 +1,153 @@
+//! The four commutativity cases of Lemma 2.3, as executable tests.
+//!
+//! The proof of Lemma 2.3 distinguishes how two events `e_p`, `e_q` of
+//! different nodes interact:
+//!
+//! 1. both reads — commutative (neither changes the memory);
+//! 2. both appends — commutative (the memory cannot order them);
+//! 3. (and 4.) read + append — the read does not change the memory, so
+//!    the other node's configurations coincide and a crash of the reader
+//!    makes the results indistinguishable.
+//!
+//! Our per-author-log representation is supposed to make cases 1–2 hold
+//! *by construction* and cases 3–4 hold up to the reader's local state.
+//! These tests pin that down for the actual `Explorer` transition
+//! function, on configurations where both nodes have real events enabled.
+
+use am_sched::{AsyncProtocol, Config, Explorer, Op, QuorumVoteProtocol, ViewRef};
+
+/// A protocol whose nodes append twice (so appends stay enabled long
+/// enough to build the interleavings we need).
+struct DoubleAppend;
+
+impl AsyncProtocol for DoubleAppend {
+    fn n(&self) -> usize {
+        3
+    }
+    fn name(&self) -> String {
+        "double-append".into()
+    }
+    fn next_op(&self, _node: usize, input: u8, own: usize, _view: &ViewRef<'_>, fresh: bool) -> Op {
+        if own < 2 {
+            Op::Append {
+                value: input,
+                parents: Vec::new(),
+            }
+        } else if fresh {
+            Op::Read
+        } else {
+            Op::Idle
+        }
+    }
+}
+
+#[test]
+fn case_appends_commute() {
+    let p = DoubleAppend;
+    let ex = Explorer::new(&p, 10_000);
+    let c = Config::initial(&[0, 1, 1]);
+    // e_p = append by node 0, e_q = append by node 1, in both orders.
+    let (_, c_p) = ex.apply(&c, 0).unwrap();
+    let (_, c_pq) = ex.apply(&c_p, 1).unwrap();
+    let (_, c_q) = ex.apply(&c, 1).unwrap();
+    let (_, c_qp) = ex.apply(&c_q, 0).unwrap();
+    assert_eq!(c_pq, c_qp, "appends by different authors must commute");
+}
+
+#[test]
+fn case_reads_commute() {
+    let p = QuorumVoteProtocol::new(3, 3, 0);
+    let ex = Explorer::new(&p, 10_000);
+    // Set up: nodes 0 and 1 appended; both 0 and 1 now have fresh reads
+    // pending (each sees the other's append as new).
+    let c = Config::initial(&[0, 1, 0]);
+    let (_, c1) = ex.apply(&c, 0).unwrap(); // append 0
+    let (_, c2) = ex.apply(&c1, 1).unwrap(); // append 1
+                                             // e_p = read by 0, e_q = read by 1.
+    let (ev_p, c_p) = ex.apply(&c2, 0).unwrap();
+    assert_eq!(ev_p.op, Op::Read);
+    let (_, c_pq) = ex.apply(&c_p, 1).unwrap();
+    let (ev_q, c_q) = ex.apply(&c2, 1).unwrap();
+    assert_eq!(ev_q.op, Op::Read);
+    let (_, c_qp) = ex.apply(&c_q, 0).unwrap();
+    assert_eq!(c_pq, c_qp, "reads must commute");
+}
+
+#[test]
+fn case_read_vs_append_preserves_other_nodes() {
+    // e_p = read by node 0, e_q = append by node 2. The proof's argument:
+    // applying e_q after e_p or directly to C yields configurations that
+    // agree on everything except node 0's local state (the reader might
+    // have crashed).
+    let p = DoubleAppend;
+    let ex = Explorer::new(&p, 10_000);
+    let c0 = Config::initial(&[0, 1, 1]);
+    let (_, a) = ex.apply(&c0, 0).unwrap(); // node 0 appends (own=1)
+    let (_, b) = ex.apply(&a, 0).unwrap(); // node 0 appends (own=2)
+    let (_, c) = ex.apply(&b, 1).unwrap(); // node 1 appends → node 0 fresh
+                                           // Now node 0's next op is a read; node 2's next op is an append.
+    let (ev_read, c_after_read) = ex.apply(&c, 0).unwrap();
+    assert_eq!(ev_read.op, Op::Read);
+    let (_, c_read_append) = ex.apply(&c_after_read, 2).unwrap();
+    let (_, c_append) = ex.apply(&c, 2).unwrap();
+    // Memory identical in both outcomes:
+    assert_eq!(c_read_append.logs, c_append.logs);
+    // All nodes except the reader identical:
+    for v in 1..3 {
+        assert_eq!(c_read_append.nodes[v], c_append.nodes[v]);
+    }
+    // The reader differs only in its view (it read).
+    assert_ne!(c_read_append.nodes[0].view, c_append.nodes[0].view);
+    assert_eq!(c_read_append.nodes[0].input, c_append.nodes[0].input);
+}
+
+#[test]
+fn append_to_obsolete_state_is_always_applicable() {
+    // "if e_p is an append command, it can either be appended to the
+    // configuration C, or it can be appended to any future configuration"
+    // — an append stays applicable no matter how many events intervene.
+    let p = DoubleAppend;
+    let ex = Explorer::new(&p, 10_000);
+    let mut c = Config::initial(&[1, 0, 1]);
+    // Let nodes 1 and 2 run for a while; node 0's append must remain
+    // applicable afterwards.
+    for _ in 0..2 {
+        if let Some((_, c2)) = ex.apply(&c, 1) {
+            c = c2;
+        }
+        if let Some((_, c2)) = ex.apply(&c, 2) {
+            c = c2;
+        }
+    }
+    let (ev, _) = ex.apply(&c, 0).expect("delayed append still applicable");
+    assert!(matches!(ev.op, Op::Append { .. }));
+}
+
+#[test]
+fn full_interleaving_diamond_closes() {
+    // Stronger than pairwise: all 3! orderings of one append per node
+    // reach the same configuration (memory is a set of per-author logs).
+    let p = DoubleAppend;
+    let ex = Explorer::new(&p, 10_000);
+    let c0 = Config::initial(&[0, 1, 0]);
+    let orders = [
+        [0usize, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let mut results = Vec::new();
+    for ord in orders {
+        let mut c = c0.clone();
+        for &v in &ord {
+            let (_, c2) = ex.apply(&c, v).unwrap();
+            c = c2;
+        }
+        results.push(c);
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "all interleavings must converge");
+    }
+}

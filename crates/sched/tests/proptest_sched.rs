@@ -1,0 +1,134 @@
+//! Property tests for the model checker: invariants that must hold for
+//! every protocol in the (parameterized) zoo and every initial input
+//! vector.
+
+use am_sched::{
+    AsyncProtocol, Config, EchoVoteProtocol, Explorer, FirstSeenProtocol, QuorumVoteProtocol,
+    Valency,
+};
+use proptest::prelude::*;
+
+/// Builds a zoo member from generator choices.
+fn make_proto(kind: u8, n: usize, q: usize, tie: u8) -> Box<dyn AsyncProtocol> {
+    match kind % 3 {
+        0 => Box::new(FirstSeenProtocol::new(n)),
+        1 => Box::new(QuorumVoteProtocol::new(n, q.clamp(1, n), tie % 2)),
+        _ => Box::new(EchoVoteProtocol::new(n, q.clamp(1, n), tie % 2)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform-input configurations are never bivalent for any protocol
+    /// that treats inputs symmetrically — and all our zoo protocols do:
+    /// their decisions are majorities/first-values of appended inputs, so
+    /// a uniform start can only ever reach the uniform decision (or no
+    /// decision at all).
+    #[test]
+    fn uniform_inputs_are_never_bivalent(
+        kind in 0u8..3,
+        n in 3usize..4,
+        q in 1usize..4,
+        tie in 0u8..2,
+        bit in 0u8..2,
+    ) {
+        let proto = make_proto(kind, n, q, tie);
+        let ex = Explorer::new(proto.as_ref(), 500_000);
+        let inputs = vec![bit; n];
+        let a = ex.analyze(&Config::initial(&inputs));
+        prop_assert!(!a.truncated, "budget too small");
+        prop_assert_ne!(
+            a.valency,
+            Valency::Bivalent,
+            "uniform inputs reached both decisions for {}",
+            proto.name()
+        );
+        // And validity direction when a decision is reachable at all.
+        match (bit, a.valency) {
+            (0, Valency::One) => prop_assert!(false, "uniform 0 decided 1"),
+            (1, Valency::Zero) => prop_assert!(false, "uniform 1 decided 0"),
+            _ => {}
+        }
+    }
+
+    /// Event application is deterministic and commutes across authors for
+    /// arbitrary short schedules: replaying the same schedule yields the
+    /// same configuration, and swapping two adjacent events of different
+    /// nodes that are both appends yields the same configuration.
+    #[test]
+    fn schedules_replay_deterministically(
+        kind in 0u8..3,
+        q in 1usize..4,
+        tie in 0u8..2,
+        mask in 0u32..8,
+        schedule in prop::collection::vec(0usize..3, 1..12),
+    ) {
+        let n = 3;
+        let proto = make_proto(kind, n, q, tie);
+        let ex = Explorer::new(proto.as_ref(), 500_000);
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let run = |sched: &[usize]| {
+            let mut c = Config::initial(&inputs);
+            for &v in sched {
+                if let Some((_, c2)) = ex.apply(&c, v) {
+                    c = c2;
+                }
+            }
+            c
+        };
+        prop_assert_eq!(run(&schedule), run(&schedule));
+    }
+
+    /// Total-appends monotonicity: applying any event never removes
+    /// messages from the memory (append-only).
+    #[test]
+    fn memory_is_append_only(
+        kind in 0u8..3,
+        q in 1usize..4,
+        mask in 0u32..8,
+        schedule in prop::collection::vec(0usize..3, 1..15),
+    ) {
+        let n = 3;
+        let proto = make_proto(kind, n, q, 0);
+        let ex = Explorer::new(proto.as_ref(), 500_000);
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let mut c = Config::initial(&inputs);
+        let mut prev_total = 0;
+        for &v in &schedule {
+            if let Some((_, c2)) = ex.apply(&c, v) {
+                prop_assert!(c2.total_appends() >= prev_total);
+                prev_total = c2.total_appends();
+                c = c2;
+            }
+        }
+    }
+
+    /// Decided nodes stay decided (halting is absorbing): once a node's
+    /// decision is set, no later event of any node changes it.
+    #[test]
+    fn decisions_are_absorbing(
+        kind in 0u8..3,
+        q in 1usize..4,
+        mask in 0u32..8,
+        schedule in prop::collection::vec(0usize..3, 1..20),
+    ) {
+        let n = 3;
+        let proto = make_proto(kind, n, q, 0);
+        let ex = Explorer::new(proto.as_ref(), 500_000);
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let mut c = Config::initial(&inputs);
+        let mut decided: Vec<Option<u8>> = vec![None; n];
+        for &v in &schedule {
+            if let Some((_, c2)) = ex.apply(&c, v) {
+                for (i, slot) in decided.iter_mut().enumerate() {
+                    if let Some(d) = *slot {
+                        prop_assert_eq!(c2.nodes[i].decided, Some(d), "node {} flipped", i);
+                    }
+                    *slot = c2.nodes[i].decided;
+                }
+                c = c2;
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Monte-Carlo proportion estimation with confidence intervals.
+//!
+//! Experiments measure event probabilities (validity failures, agreement
+//! failures) by repeated simulation; results are reported with Wilson-score
+//! intervals, which behave sanely at the extremes (0 or all successes) where
+//! the paper's w.h.p. claims put most of the mass.
+
+use serde::{Deserialize, Serialize};
+
+/// Running tally of a Bernoulli proportion.
+///
+/// ```
+/// use am_stats::Proportion;
+/// let mut p = Proportion::new();
+/// for i in 0..100 { p.record(i % 5 == 0); }
+/// assert!((p.estimate() - 0.2).abs() < 1e-12);
+/// assert!(p.wilson95().contains(0.2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of positive outcomes.
+    pub hits: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Proportion {
+    /// Empty tally.
+    pub fn new() -> Proportion {
+        Proportion::default()
+    }
+
+    /// Creates a tally directly from counts.
+    pub fn from_counts(hits: u64, trials: u64) -> Proportion {
+        assert!(hits <= trials, "hits cannot exceed trials");
+        Proportion { hits, trials }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Merges another tally (for parallel reduction).
+    pub fn merge(&mut self, other: Proportion) {
+        self.hits += other.hits;
+        self.trials += other.trials;
+    }
+
+    /// Point estimate `hits / trials`; 0 for an empty tally.
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson-score interval at confidence `z` standard deviations
+    /// (z = 1.96 for 95%).
+    pub fn wilson(&self, z: f64) -> WilsonInterval {
+        if self.trials == 0 {
+            return WilsonInterval { lo: 0.0, hi: 1.0 };
+        }
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        WilsonInterval {
+            lo: (center - half).max(0.0),
+            hi: (center + half).min(1.0),
+        }
+    }
+
+    /// Wilson interval at 95% confidence.
+    pub fn wilson95(&self) -> WilsonInterval {
+        self.wilson(1.959964)
+    }
+}
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WilsonInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl WilsonInterval {
+    /// Whether the interval contains `p`.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_estimate() {
+        let mut p = Proportion::new();
+        for i in 0..100 {
+            p.record(i % 4 == 0);
+        }
+        assert_eq!(p.trials, 100);
+        assert_eq!(p.hits, 25);
+        assert!((p.estimate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        let p = Proportion::new();
+        assert_eq!(p.estimate(), 0.0);
+        let w = p.wilson95();
+        assert_eq!(w.lo, 0.0);
+        assert_eq!(w.hi, 1.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = Proportion::from_counts(3, 10);
+        let b = Proportion::from_counts(7, 10);
+        a.merge(b);
+        assert_eq!(a, Proportion::from_counts(10, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "hits cannot exceed trials")]
+    fn from_counts_validates() {
+        let _ = Proportion::from_counts(5, 3);
+    }
+
+    #[test]
+    fn wilson_covers_point_estimate() {
+        let p = Proportion::from_counts(40, 100);
+        let w = p.wilson95();
+        assert!(w.contains(p.estimate()));
+        assert!(w.lo > 0.3 && w.hi < 0.5);
+    }
+
+    #[test]
+    fn wilson_sane_at_extremes() {
+        let all = Proportion::from_counts(50, 50).wilson95();
+        assert!(
+            all.hi > 0.999 && all.lo > 0.9,
+            "lo={} hi={}",
+            all.lo,
+            all.hi
+        );
+        let none = Proportion::from_counts(0, 50).wilson95();
+        assert!(
+            none.lo < 0.001 && none.hi < 0.1,
+            "lo={} hi={}",
+            none.lo,
+            none.hi
+        );
+    }
+
+    #[test]
+    fn wilson_narrows_with_samples() {
+        let small = Proportion::from_counts(5, 10).wilson95();
+        let large = Proportion::from_counts(500, 1000).wilson95();
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn wilson_coverage_simulation() {
+        // Crude frequentist check: for p=0.3, the 95% interval from 200
+        // trials should contain the truth almost always across seeds.
+        // Deterministic LCG to stay dependency-free.
+        let mut state = 0x12345678u64;
+        let mut rand01 = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let mut covered = 0;
+        let reps = 200;
+        for _ in 0..reps {
+            let mut tally = Proportion::new();
+            for _ in 0..200 {
+                tally.record(rand01() < 0.3);
+            }
+            if tally.wilson95().contains(0.3) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered as f64 / reps as f64 > 0.85,
+            "covered {covered}/{reps}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Kolmogorov–Smirnov goodness-of-fit machinery.
+//!
+//! The Poisson substrate's correctness is statistical: inter-arrival times
+//! must be exponential, merged arrivals uniform over nodes. The KS
+//! distance against a reference CDF gives the workspace a single,
+//! dependency-free way to assert "this sample really has that
+//! distribution" in tests and experiments.
+
+/// The one-sample KS statistic: `sup_x |F_emp(x) − F(x)|` for a sorted
+/// sample against a reference CDF.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &mut [f64], cdf: F) -> f64 {
+    assert!(!sample.is_empty(), "KS needs at least one sample");
+    sample.sort_by(|a, b| a.total_cmp(b));
+    let n = sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sample.iter().enumerate() {
+        let fx = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((fx - lo).abs()).max((hi - fx).abs());
+    }
+    d
+}
+
+/// Critical KS value at significance α ∈ {0.05, 0.01} for sample size `n`
+/// (asymptotic formula `c(α)·√(1/n)`; fine for n ≥ 35).
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    let c = if alpha <= 0.01 {
+        1.63
+    } else {
+        1.36 // α = 0.05
+    };
+    c / (n as f64).sqrt()
+}
+
+/// Whether a sorted-or-not sample is consistent with the CDF at α = 0.05.
+pub fn ks_fits<F: Fn(f64) -> f64>(sample: &mut [f64], cdf: F) -> bool {
+    let n = sample.len();
+    ks_statistic(sample, cdf) < ks_critical(n, 0.05)
+}
+
+/// Exponential CDF with the given rate.
+pub fn exponential_cdf(rate: f64) -> impl Fn(f64) -> f64 {
+    move |x: f64| {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-rate * x).exp()
+        }
+    }
+}
+
+/// Uniform CDF on `[0, hi)`.
+pub fn uniform_cdf(hi: f64) -> impl Fn(f64) -> f64 {
+    move |x: f64| (x / hi).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG uniform sampler for the tests.
+    fn uniforms(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 + 0.5) / (1u64 << 31) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_sample_fits_uniform() {
+        let mut s = uniforms(500, 42);
+        assert!(ks_fits(&mut s, uniform_cdf(1.0)));
+    }
+
+    #[test]
+    fn uniform_sample_rejects_exponential() {
+        let mut s = uniforms(500, 42);
+        assert!(!ks_fits(&mut s, exponential_cdf(1.0)));
+    }
+
+    #[test]
+    fn exponential_sample_fits_exponential() {
+        // Inverse-CDF sampling of Exp(2).
+        let mut s: Vec<f64> = uniforms(500, 7)
+            .into_iter()
+            .map(|u| -(1.0 - u).ln() / 2.0)
+            .collect();
+        assert!(ks_fits(&mut s, exponential_cdf(2.0)));
+        // And rejects the wrong rate decisively.
+        let mut s2 = s.clone();
+        assert!(!ks_fits(&mut s2, exponential_cdf(0.5)));
+    }
+
+    #[test]
+    fn statistic_is_zero_for_perfect_grid() {
+        // Sample at the exact quantile mid-points of U[0,1]: the KS
+        // distance is 1/(2n), far under critical.
+        let n = 100;
+        let mut s: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&mut s, uniform_cdf(1.0));
+        assert!(d <= 0.5 / n as f64 + 1e-12);
+    }
+
+    #[test]
+    fn critical_values_shrink_with_n() {
+        assert!(ks_critical(100, 0.05) < ks_critical(50, 0.05));
+        assert!(ks_critical(100, 0.01) > ks_critical(100, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_sample_rejected() {
+        let mut s: Vec<f64> = vec![];
+        let _ = ks_statistic(&mut s, uniform_cdf(1.0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Running numeric summaries (Welford mean/variance + exact quantiles).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates samples and reports mean, variance, min/max, and quantiles.
+///
+/// Keeps all samples (experiments are at most ~10⁶ trials) so quantiles are
+/// exact; mean and variance use Welford's online algorithm so they are also
+/// available without a sort.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "summary samples cannot be NaN");
+        self.samples.push(x);
+        let n = self.samples.len() as f64;
+        let d = x - self.mean;
+        self.mean += d / n;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        for &x in &other.samples {
+            self.add(x);
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            self.m2 / (self.samples.len() as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample (NaN-free by construction); 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .is_finite()
+        {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact quantile by nearest-rank (q in \[0,1\]); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    /// Median (0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Summary::new();
+        for x in 1..=10 {
+            s.add(x as f64);
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.1), 1.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut all = Summary::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
+            all.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Summary::new().add(f64::NAN);
+    }
+}

@@ -1,0 +1,208 @@
+//! Plain-text tables and series for the experiment harness.
+//!
+//! Each experiment prints a table (rows of labelled values, paper bound vs
+//! measured) and optionally a series (an x→y curve, the textual stand-in
+//! for a figure).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A column-aligned plain-text table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>w$}", c, w = width[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 3 * cols + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+}
+
+/// An x→y curve with a label — the textual stand-in for one figure line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Line label (e.g. "chain (measured)" / "chain (Thm 5.4 bound)").
+    pub label: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new<S: Into<String>>(label: S) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Renders as `label: (x, y) (x, y) ...` with fixed precision.
+    pub fn render(&self) -> String {
+        let pts: Vec<String> = self
+            .points
+            .iter()
+            .map(|(x, y)| format!("({x:.4}, {y:.4})"))
+            .collect();
+        format!("{}: {}", self.label, pts.join(" "))
+    }
+
+    /// Renders several series as a crude ASCII line chart, `height` rows
+    /// tall, shared y-scale — enough to eyeball a crossover in a terminal.
+    pub fn ascii_chart(series: &[Series], height: usize) -> String {
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() || height < 2 {
+            return String::from("(no data)");
+        }
+        let (ymin, ymax) = all
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            });
+        let span = (ymax - ymin).max(1e-12);
+        let width: usize = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let mut grid = vec![vec![b' '; width]; height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = b"*+ox#@"[si % 6];
+            for (xi, &(_, y)) in s.points.iter().enumerate() {
+                let row = ((ymax - y) / span * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][xi] = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let yval = ymax - span * i as f64 / (height - 1) as f64;
+            let _ = writeln!(out, "{yval:7.3} |{}", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "        +{}", "-".repeat(width));
+        for (si, s) in series.iter().enumerate() {
+            let glyph = b"*+ox#@"[si % 6] as char;
+            let _ = writeln!(out, "        {glyph} = {}", s.label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "measured", "bound"]);
+        t.row(&["16".into(), "0.4375".into(), "0.5".into()]);
+        t.row(&["128".into(), "0.49".into(), "0.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| measured |") || s.contains("measured"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Column alignment: every data line has the same length.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn series_render() {
+        let mut s = Series::new("chain");
+        s.push(1.0, 0.5);
+        s.push(2.0, 1.0 / 3.0);
+        let r = s.render();
+        assert!(r.starts_with("chain:"));
+        assert!(r.contains("(1.0000, 0.5000)"));
+    }
+
+    #[test]
+    fn ascii_chart_draws_both_series() {
+        let mut a = Series::new("flat");
+        let mut b = Series::new("decay");
+        for i in 0..10 {
+            a.push(i as f64, 0.5);
+            b.push(i as f64, 1.0 / (1.0 + i as f64));
+        }
+        let chart = Series::ascii_chart(&[a, b], 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("flat"));
+        assert!(chart.contains("decay"));
+    }
+
+    #[test]
+    fn ascii_chart_empty_safe() {
+        assert_eq!(Series::ascii_chart(&[], 5), "(no data)");
+    }
+}

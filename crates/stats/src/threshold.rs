@@ -1,0 +1,138 @@
+//! Empirical resilience-threshold search.
+//!
+//! The headline experiments (E8/E9/E10) ask: *what is the largest Byzantine
+//! fraction `t/n` at which the protocol still satisfies weak validity?*
+//! [`search_threshold`] answers by scanning `t` upward and finding the last
+//! value whose measured failure rate stays below a tolerance — monotonicity
+//! in `t` is a property of every adversary in the paper (more Byzantine
+//! nodes never hurt the adversary), which the scan also cross-checks.
+
+use crate::estimator::Proportion;
+use serde::{Deserialize, Serialize};
+
+/// Result of a threshold search over `t = 0 .. n/2`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThresholdResult {
+    /// The number of nodes used.
+    pub n: u64,
+    /// The largest `t` whose failure rate stayed below tolerance; `None`
+    /// when even `t = 0` (or the smallest probed `t`) fails.
+    pub max_tolerated_t: Option<u64>,
+    /// The resulting empirical resilience `max_tolerated_t / n` (0 if none).
+    pub resilience: f64,
+    /// Per-probed-`t` failure tallies (t, tally), in probe order.
+    pub curve: Vec<(u64, Proportion)>,
+}
+
+/// Scans Byzantine counts `ts` (ascending), calling
+/// `failure_rate(t) -> Proportion` for each, and returns the last `t` whose
+/// estimated failure probability is `< tol`. Stops probing after the first
+/// `t` that exceeds `stop_above` (failures only get worse with larger `t`;
+/// probing further wastes trials).
+pub fn search_threshold<F>(
+    n: u64,
+    ts: &[u64],
+    tol: f64,
+    stop_above: f64,
+    mut failure_rate: F,
+) -> ThresholdResult
+where
+    F: FnMut(u64) -> Proportion,
+{
+    assert!(
+        tol <= stop_above,
+        "tolerance must not exceed the stop level"
+    );
+    let mut curve = Vec::with_capacity(ts.len());
+    let mut max_ok: Option<u64> = None;
+    for &t in ts {
+        let tally = failure_rate(t);
+        let est = tally.estimate();
+        curve.push((t, tally));
+        if est < tol {
+            max_ok = Some(t);
+        }
+        if est > stop_above {
+            break;
+        }
+    }
+    ThresholdResult {
+        n,
+        max_tolerated_t: max_ok,
+        resilience: max_ok.map_or(0.0, |t| t as f64 / n as f64),
+        curve,
+    }
+}
+
+/// Evenly spaced Byzantine counts from 1 to just under `n/2` (inclusive of
+/// the boundary probe at `ceil(n/2) - 1` and one past it), the standard
+/// probe grid of the resilience experiments.
+pub fn byzantine_grid(n: u64, steps: usize) -> Vec<u64> {
+    assert!(n >= 4 && steps >= 2);
+    let half = n / 2;
+    let mut ts: Vec<u64> = (0..steps)
+        .map(|i| 1 + (i as u64 * (half.saturating_sub(1))) / (steps as u64 - 1))
+        .collect();
+    ts.push(half); // one probe at/over the theoretical wall
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_sharp_threshold() {
+        // Synthetic failure curve: 0 below t=5, 1 at and above.
+        let r = search_threshold(20, &[1, 2, 3, 4, 5, 6, 7], 0.1, 0.9, |t| {
+            if t < 5 {
+                Proportion::from_counts(0, 100)
+            } else {
+                Proportion::from_counts(100, 100)
+            }
+        });
+        assert_eq!(r.max_tolerated_t, Some(4));
+        assert!((r.resilience - 0.2).abs() < 1e-12);
+        // Stops probing after the wall: t=6,7 never probed.
+        assert_eq!(r.curve.len(), 5);
+    }
+
+    #[test]
+    fn none_when_everything_fails() {
+        let r = search_threshold(10, &[1, 2], 0.05, 0.5, |_| Proportion::from_counts(60, 100));
+        assert_eq!(r.max_tolerated_t, None);
+        assert_eq!(r.resilience, 0.0);
+        assert_eq!(
+            r.curve.len(),
+            1,
+            "stops after the first over-the-wall probe"
+        );
+    }
+
+    #[test]
+    fn gradual_curve_uses_tolerance() {
+        // Failure rate t/10: tolerance 0.35 tolerates t=3.
+        let r = search_threshold(10, &[1, 2, 3, 4, 5], 0.35, 0.9, |t| {
+            Proportion::from_counts(t * 10, 100)
+        });
+        assert_eq!(r.max_tolerated_t, Some(3));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = byzantine_grid(32, 6);
+        assert_eq!(*g.first().unwrap(), 1);
+        assert!(g.contains(&16));
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        let g2 = byzantine_grid(8, 4);
+        assert!(*g2.last().unwrap() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn validates_levels() {
+        let _ = search_threshold(10, &[1], 0.5, 0.1, |_| Proportion::new());
+    }
+}

@@ -1,0 +1,373 @@
+//! Byzantine strategies for the synchronous round model.
+//!
+//! A strategy plans, per round, a set of appends for the Byzantine nodes.
+//! Each planned append carries a *visibility set*: the correct nodes that
+//! must see it within the round (everyone else sees it at the next round's
+//! read). This is exactly the Section 3.1 straddling power. Because reads
+//! are atomic snapshots of one shared memory, the visibility sets of one
+//! round must be **nested**; the runner asserts this.
+
+use am_core::{MemoryView, MsgId, NodeId, Round};
+
+/// How a planned Byzantine message chooses its references.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefsPolicy {
+    /// Reference every message tagged with the previous round (looks
+    /// protocol-compliant).
+    PrevRound,
+    /// Reference exactly these ids (private-chain construction).
+    Ids(Vec<MsgId>),
+    /// Reference only genesis.
+    Genesis,
+}
+
+/// One planned Byzantine append.
+#[derive(Clone, Debug)]
+pub struct PlannedMsg {
+    /// The Byzantine author (must be one of the Byzantine nodes).
+    pub author: NodeId,
+    /// The claimed value.
+    pub value: bool,
+    /// The round tag the message claims.
+    pub round_tag: Round,
+    /// Reference selection.
+    pub refs: RefsPolicy,
+    /// Correct nodes that see this append within the current round.
+    /// Everyone else sees it one round later.
+    pub visible_to: Vec<NodeId>,
+}
+
+/// A full per-round plan.
+#[derive(Clone, Debug, Default)]
+pub struct ByzPlan {
+    /// Messages to append this round, in append order. Visibility sets
+    /// must be nested descending: `visible_to` of message `i+1` ⊆ that of
+    /// message `i`.
+    pub msgs: Vec<PlannedMsg>,
+}
+
+/// Context handed to a strategy when planning a round.
+pub struct PlanCtx<'a> {
+    /// Current round (1-based).
+    pub round: Round,
+    /// Total nodes.
+    pub n: usize,
+    /// Byzantine budget `t` (the protocol runs `t+1` rounds).
+    pub t: u32,
+    /// The Byzantine node ids (the last `t` indices).
+    pub byz_nodes: &'a [NodeId],
+    /// The correct node ids.
+    pub correct_nodes: &'a [NodeId],
+    /// The full current memory (Byzantine nodes read everything).
+    pub view: &'a MemoryView,
+    /// The correct nodes' input bits (a worst-case adversary knows them).
+    pub inputs: &'a [bool],
+}
+
+/// A Byzantine strategy.
+pub trait ByzStrategy: Send {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+    /// Plan the appends for this round.
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan;
+    /// Feedback: the ids the runner assigned to this round's planned
+    /// appends, in plan order (lets chain-building strategies reference
+    /// their own earlier links).
+    fn observe(&mut self, _appended: &[MsgId]) {}
+}
+
+/// Appends nothing, ever. Baseline: the protocol must simply agree on the
+/// correct majority.
+#[derive(Default)]
+pub struct Silent;
+
+impl ByzStrategy for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+    fn plan(&mut self, _ctx: &PlanCtx<'_>) -> ByzPlan {
+        ByzPlan::default()
+    }
+}
+
+/// Follows the protocol exactly but proposes the *minority* value of the
+/// correct inputs — the strategy that saturates the `t < n/2` resilience
+/// bound: once `t ≥ n/2`, these fully-accepted dissenting values flip the
+/// majority and break validity.
+#[derive(Default)]
+pub struct Dissenter;
+
+impl ByzStrategy for Dissenter {
+    fn name(&self) -> &'static str {
+        "dissenter"
+    }
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan {
+        let ones = ctx.inputs.iter().filter(|&&b| b).count();
+        let value = ones * 2 < ctx.inputs.len(); // minority of correct inputs
+        let msgs = ctx
+            .byz_nodes
+            .iter()
+            .map(|&b| PlannedMsg {
+                author: b,
+                value,
+                round_tag: ctx.round,
+                refs: RefsPolicy::PrevRound,
+                visible_to: ctx.correct_nodes.to_vec(),
+            })
+            .collect();
+        ByzPlan { msgs }
+    }
+}
+
+/// Round-1 equivocation: every Byzantine node appends *both* values, one
+/// visible to everyone, the other to a nested half — then relays honestly.
+#[derive(Default)]
+pub struct Equivocator;
+
+impl ByzStrategy for Equivocator {
+    fn name(&self) -> &'static str {
+        "equivocator"
+    }
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan {
+        let mut msgs = Vec::new();
+        if ctx.round == Round(1) {
+            let half = &ctx.correct_nodes[..ctx.correct_nodes.len() / 2];
+            for &b in ctx.byz_nodes {
+                msgs.push(PlannedMsg {
+                    author: b,
+                    value: true,
+                    round_tag: ctx.round,
+                    refs: RefsPolicy::Genesis,
+                    visible_to: ctx.correct_nodes.to_vec(),
+                });
+                msgs.push(PlannedMsg {
+                    author: b,
+                    value: false,
+                    round_tag: ctx.round,
+                    refs: RefsPolicy::Genesis,
+                    visible_to: half.to_vec(),
+                });
+            }
+        } else {
+            for &b in ctx.byz_nodes {
+                msgs.push(PlannedMsg {
+                    author: b,
+                    value: true,
+                    round_tag: ctx.round,
+                    refs: RefsPolicy::PrevRound,
+                    visible_to: ctx.correct_nodes.to_vec(),
+                });
+            }
+        }
+        ByzPlan { msgs }
+    }
+}
+
+/// The Lemma 3.1 adversary: each round, append the minority value visible
+/// to only half the correct nodes, so views straddle the round boundary.
+#[derive(Default)]
+pub struct Straddler;
+
+impl ByzStrategy for Straddler {
+    fn name(&self) -> &'static str {
+        "straddler"
+    }
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan {
+        let ones = ctx.inputs.iter().filter(|&&b| b).count();
+        let value = ones * 2 < ctx.inputs.len();
+        let half = &ctx.correct_nodes[..ctx.correct_nodes.len() / 2];
+        let msgs = ctx
+            .byz_nodes
+            .iter()
+            .map(|&b| PlannedMsg {
+                author: b,
+                value,
+                round_tag: ctx.round,
+                refs: RefsPolicy::PrevRound,
+                visible_to: half.to_vec(),
+            })
+            .collect();
+        ByzPlan { msgs }
+    }
+}
+
+/// Builds a private chain of Byzantine relays `b_1 → b_2 → … → b_t`,
+/// hidden from everyone, then reveals the tip to exactly one correct node
+/// in round `t` — forcing that node to extend the chain in round `t+1`,
+/// which (per the Theorem 3.2 proof) makes *every* correct node accept the
+/// injected value. Tests that late injection cannot split decisions.
+#[derive(Default)]
+pub struct ChainInjector {
+    /// The id of the previous private-chain link.
+    tip: Option<MsgId>,
+}
+
+impl ByzStrategy for ChainInjector {
+    fn name(&self) -> &'static str {
+        "chain-injector"
+    }
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan {
+        let Round(r) = ctx.round;
+        if ctx.t == 0 || r > ctx.t {
+            return ByzPlan::default();
+        }
+        let author = ctx.byz_nodes[(r - 1) as usize % ctx.byz_nodes.len()];
+        let ones = ctx.inputs.iter().filter(|&&b| b).count();
+        let value = ones * 2 < ctx.inputs.len();
+        let refs = match self.tip {
+            None => RefsPolicy::Genesis,
+            Some(id) => RefsPolicy::Ids(vec![id]),
+        };
+        // Reveal the final link to exactly one correct node in round t; all
+        // earlier links stay private this round.
+        let visible_to = if r == ctx.t {
+            vec![ctx.correct_nodes[0]]
+        } else {
+            Vec::new()
+        };
+        ByzPlan {
+            msgs: vec![PlannedMsg {
+                author,
+                value,
+                round_tag: ctx.round,
+                refs,
+                visible_to,
+            }],
+        }
+    }
+
+    fn observe(&mut self, appended: &[MsgId]) {
+        if let Some(&id) = appended.last() {
+            self.tip = Some(id);
+        }
+    }
+}
+
+impl ChainInjector {
+    /// Records the id the runner assigned to this round's link so the next
+    /// round can reference it.
+    pub fn note_tip(&mut self, id: MsgId) {
+        self.tip = Some(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_core::AppendMemory;
+
+    #[allow(clippy::too_many_arguments)]
+    fn ctx_fixture(
+        n: usize,
+        t: u32,
+        round: u32,
+        mem: &AppendMemory,
+        inputs: &[bool],
+        byz: &[NodeId],
+        correct: &[NodeId],
+        view: &MemoryView,
+    ) -> PlanCtx<'static> {
+        // Lifetimes: tests only — leak the slices.
+        let _ = mem;
+        PlanCtx {
+            round: Round(round),
+            n,
+            t,
+            byz_nodes: Box::leak(byz.to_vec().into_boxed_slice()),
+            correct_nodes: Box::leak(correct.to_vec().into_boxed_slice()),
+            view: Box::leak(Box::new(view.clone())),
+            inputs: Box::leak(inputs.to_vec().into_boxed_slice()),
+        }
+    }
+
+    #[test]
+    fn silent_plans_nothing() {
+        let mem = AppendMemory::new(4);
+        let v = mem.read();
+        let ctx = ctx_fixture(
+            4,
+            1,
+            1,
+            &mem,
+            &[true, true, false],
+            &[NodeId(3)],
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            &v,
+        );
+        assert!(Silent.plan(&ctx).msgs.is_empty());
+        assert_eq!(Silent.name(), "silent");
+    }
+
+    #[test]
+    fn dissenter_proposes_minority() {
+        let mem = AppendMemory::new(4);
+        let v = mem.read();
+        let ctx = ctx_fixture(
+            4,
+            1,
+            1,
+            &mem,
+            &[true, true, false],
+            &[NodeId(3)],
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            &v,
+        );
+        let plan = Dissenter.plan(&ctx);
+        assert_eq!(plan.msgs.len(), 1);
+        assert!(
+            !plan.msgs[0].value,
+            "correct majority is 1 → dissent with 0"
+        );
+        assert_eq!(plan.msgs[0].visible_to.len(), 3, "dissenter hides nothing");
+    }
+
+    #[test]
+    fn equivocator_splits_round_one() {
+        let mem = AppendMemory::new(5);
+        let v = mem.read();
+        let correct = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let ctx = ctx_fixture(
+            5,
+            1,
+            1,
+            &mem,
+            &[true, true, false, false],
+            &[NodeId(4)],
+            &correct,
+            &v,
+        );
+        let plan = Equivocator.plan(&ctx);
+        assert_eq!(plan.msgs.len(), 2);
+        assert_ne!(plan.msgs[0].value, plan.msgs[1].value);
+        // Nested visibility: second set is a subset of the first.
+        assert!(plan.msgs[1]
+            .visible_to
+            .iter()
+            .all(|x| plan.msgs[0].visible_to.contains(x)));
+    }
+
+    #[test]
+    fn chain_injector_stays_private_until_round_t() {
+        let mem = AppendMemory::new(5);
+        let v = mem.read();
+        let byz = [NodeId(3), NodeId(4)];
+        let correct = [NodeId(0), NodeId(1), NodeId(2)];
+        let mut s = ChainInjector::default();
+        let c1 = ctx_fixture(5, 2, 1, &mem, &[true, true, true], &byz, &correct, &v);
+        let p1 = s.plan(&c1);
+        assert_eq!(p1.msgs.len(), 1);
+        assert!(p1.msgs[0].visible_to.is_empty(), "round 1 link is private");
+        s.note_tip(MsgId(7));
+        let c2 = ctx_fixture(5, 2, 2, &mem, &[true, true, true], &byz, &correct, &v);
+        let p2 = s.plan(&c2);
+        assert_eq!(
+            p2.msgs[0].visible_to.len(),
+            1,
+            "round t reveals to one node"
+        );
+        assert_eq!(p2.msgs[0].refs, RefsPolicy::Ids(vec![MsgId(7)]));
+        // Past round t: silent.
+        let c3 = ctx_fixture(5, 2, 3, &mem, &[true, true, true], &byz, &correct, &v);
+        assert!(s.plan(&c3).msgs.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! The synchronous round scheduler for Algorithm 1.
+//!
+//! Executes `t + 1` rounds over one [`AppendMemory`]. Per round:
+//!
+//! 1. every correct node appends `(val(v), L_{r-1})` — its input plus
+//!    references to everything it saw for the first time at its previous
+//!    read (Line 2 of Algorithm 1);
+//! 2. the Byzantine strategy appends its planned messages;
+//! 3. every correct node reads (Line 4). Read order is scheduled so each
+//!    Byzantine message is seen this round by exactly its requested
+//!    visibility set — the Section 3.1 straddling power. Visibility sets
+//!    within a round must be nested (reads are atomic snapshots of one
+//!    shared memory), which the runner asserts.
+//!
+//! After round `t + 1` each correct node runs the chain-acceptance rule on
+//! its final view and decides the majority (Lines 6–7).
+
+use crate::accept::{accepted_values, decide};
+use crate::byz::{ByzPlan, ByzStrategy, PlanCtx, RefsPolicy};
+use am_core::{AppendMemory, MessageBuilder, MsgId, NodeId, Round, Time, Value, GENESIS};
+
+/// Parameters of a synchronous run.
+#[derive(Clone, Debug)]
+pub struct SyncConfig {
+    /// Total nodes; the last `t` are Byzantine.
+    pub n: usize,
+    /// Byzantine count; the protocol runs `t + 1` rounds.
+    pub t: u32,
+    /// The synchrony bound Δ (pure bookkeeping here: rounds advance the
+    /// simulated clock by Δ so outcomes report wall-clock `O(tΔ)`).
+    pub delta: f64,
+}
+
+impl SyncConfig {
+    /// Standard configuration with Δ = 1.
+    pub fn new(n: usize, t: u32) -> SyncConfig {
+        assert!(n >= 1 && (t as usize) < n, "need t < n");
+        SyncConfig { n, t, delta: 1.0 }
+    }
+
+    /// Ids of correct nodes (`0 .. n-t`).
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        (0..self.n - self.t as usize)
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Ids of Byzantine nodes (`n-t .. n`).
+    pub fn byz_nodes(&self) -> Vec<NodeId> {
+        (self.n - self.t as usize..self.n)
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Result of one synchronous execution.
+#[derive(Clone, Debug)]
+pub struct SyncOutcome {
+    /// Per-correct-node decisions, in node order.
+    pub decisions: Vec<bool>,
+    /// Whether all correct nodes decided the same value.
+    pub agreement: bool,
+    /// Whether validity held: if all correct inputs were equal, the common
+    /// decision matches them (`true` vacuously for mixed inputs, provided
+    /// agreement held).
+    pub validity: bool,
+    /// Rounds executed (`t + 1`).
+    pub rounds: u32,
+    /// Simulated completion time (`(t+1)·Δ` — the `O(tΔ)` of Theorem 3.2).
+    pub finish_time: Time,
+    /// Total messages in the memory at decision time.
+    pub memory_len: usize,
+    /// Total reference-list entries across correct appends — the
+    /// "information exchange" a message-passing simulation would have to
+    /// ship. Grows Θ(n²·t) for Algorithm 1 (every round, every node
+    /// references everything it newly saw), which is what makes the
+    /// Section 4 simulation of full-information protocols expensive.
+    pub total_refs: usize,
+}
+
+/// Runs Algorithm 1 with the given inputs for the correct nodes and the
+/// given Byzantine strategy.
+///
+/// `inputs` must have length `n - t` (one bit per correct node).
+///
+/// ```
+/// use am_sync::{run, Dissenter, SyncConfig};
+/// let cfg = SyncConfig::new(4, 1); // t = 1 < n/2: guarantees hold
+/// let out = run(&cfg, &[true, true, false], &mut Dissenter);
+/// assert!(out.agreement && out.validity);
+/// assert_eq!(out.rounds, 2); // t + 1
+/// ```
+pub fn run(cfg: &SyncConfig, inputs: &[bool], strategy: &mut dyn ByzStrategy) -> SyncOutcome {
+    let n_corr = cfg.n - cfg.t as usize;
+    assert_eq!(inputs.len(), n_corr, "one input per correct node");
+    let correct = cfg.correct_nodes();
+    let byz = cfg.byz_nodes();
+    let mem = AppendMemory::new(cfg.n);
+    let rounds = cfg.t + 1;
+
+    // Per correct node: memory prefix length at its last read. Everyone
+    // starts having "read" only genesis.
+    let mut read_prefix: Vec<usize> = vec![1; n_corr];
+    // Per correct node: ids newly seen at the last read (the L_{r-1} the
+    // next append references).
+    let mut newly_seen: Vec<Vec<MsgId>> = vec![vec![GENESIS]; n_corr];
+    let mut total_refs = 0usize;
+
+    for r in 1..=rounds {
+        let round = Round(r);
+        // --- Phase 1: correct appends (all land before any read). ---
+        for (i, &node) in correct.iter().enumerate() {
+            total_refs += newly_seen[i].len();
+            mem.append(
+                MessageBuilder::new(node, Value::Bit(inputs[i]))
+                    .parents(newly_seen[i].iter().copied())
+                    .round(round),
+            )
+            .expect("correct append is valid");
+        }
+
+        // --- Phase 2: Byzantine plan. ---
+        let view = mem.read();
+        let plan: ByzPlan = strategy.plan(&PlanCtx {
+            round,
+            n: cfg.n,
+            t: cfg.t,
+            byz_nodes: &byz,
+            correct_nodes: &correct,
+            view: &view,
+            inputs,
+        });
+        // Order appends so visibility sets descend (the adversary controls
+        // its own append order), then assert they nest.
+        let mut plan = plan;
+        plan.msgs
+            .sort_by_key(|m| std::cmp::Reverse(m.visible_to.len()));
+        for w in plan.msgs.windows(2) {
+            assert!(
+                w[1].visible_to.iter().all(|x| w[0].visible_to.contains(x)),
+                "visibility sets within a round must be nested (atomic reads)"
+            );
+        }
+
+        // --- Phase 3: interleave Byzantine appends with correct reads so
+        // each message is seen exactly by its visibility set this round. ---
+        let mut pending_readers: Vec<usize> = (0..n_corr).collect();
+        let do_reads = |mem: &AppendMemory,
+                        keep: &dyn Fn(NodeId) -> bool,
+                        pending: &mut Vec<usize>,
+                        read_prefix: &mut Vec<usize>,
+                        newly_seen: &mut Vec<Vec<MsgId>>| {
+            let mut still = Vec::new();
+            for &i in pending.iter() {
+                if keep(correct[i]) {
+                    still.push(i);
+                } else {
+                    let len = mem.len();
+                    newly_seen[i] = (read_prefix[i]..len).map(|x| MsgId(x as u64)).collect();
+                    read_prefix[i] = len;
+                }
+            }
+            *pending = still;
+        };
+
+        let mut appended_ids = Vec::with_capacity(plan.msgs.len());
+        for pm in &plan.msgs {
+            // Readers not entitled to see `pm` this round read now.
+            do_reads(
+                &mem,
+                &|node| pm.visible_to.contains(&node),
+                &mut pending_readers,
+                &mut read_prefix,
+                &mut newly_seen,
+            );
+            let parents: Vec<MsgId> = match &pm.refs {
+                RefsPolicy::Genesis => vec![GENESIS],
+                RefsPolicy::Ids(ids) => ids.clone(),
+                RefsPolicy::PrevRound => {
+                    if r == 1 {
+                        vec![GENESIS]
+                    } else {
+                        mem.read()
+                            .iter()
+                            .filter(|m| m.round == Some(Round(r - 1)))
+                            .map(|m| m.id)
+                            .collect()
+                    }
+                }
+            };
+            let id = mem
+                .append(
+                    MessageBuilder::new(pm.author, Value::Bit(pm.value))
+                        .parents(parents)
+                        .round(pm.round_tag),
+                )
+                .expect("byzantine append is structurally valid");
+            appended_ids.push(id);
+        }
+        strategy.observe(&appended_ids);
+        // Remaining readers (inside every visibility set) read last.
+        do_reads(
+            &mem,
+            &|_| false,
+            &mut pending_readers,
+            &mut read_prefix,
+            &mut newly_seen,
+        );
+
+        mem.set_now(Time::new(r as f64 * cfg.delta));
+    }
+
+    // --- Decision: each node applies Lines 6–7 to its final view. ---
+    let decisions: Vec<bool> = (0..n_corr)
+        .map(|i| {
+            let view = mem.read_prefix(read_prefix[i]);
+            decide(&accepted_values(&view, cfg.t))
+        })
+        .collect();
+
+    let agreement = decisions.iter().all(|&d| d == decisions[0]);
+    let uniform = inputs.iter().all(|&b| b == inputs[0]);
+    let validity = if uniform {
+        agreement && decisions[0] == inputs[0]
+    } else {
+        agreement
+    };
+
+    SyncOutcome {
+        agreement,
+        validity,
+        decisions,
+        rounds,
+        finish_time: Time::new(rounds as f64 * cfg.delta),
+        memory_len: mem.len(),
+        total_refs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byz::{ChainInjector, Dissenter, Equivocator, Silent, Straddler};
+
+    #[test]
+    fn silent_byz_agrees_on_majority() {
+        let cfg = SyncConfig::new(4, 1);
+        let out = run(&cfg, &[true, true, false], &mut Silent);
+        assert!(out.agreement);
+        assert!(out.validity);
+        assert!(
+            out.decisions.iter().all(|&d| d),
+            "majority of {{1,1,0}} is 1"
+        );
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.finish_time, Time::new(2.0));
+    }
+
+    #[test]
+    fn uniform_inputs_satisfy_validity_under_all_strategies() {
+        for t in [1u32, 2] {
+            let n = 2 * t as usize + 2; // t < n/2
+            let inputs = vec![true; n - t as usize];
+            let strategies: Vec<Box<dyn ByzStrategy>> = vec![
+                Box::new(Silent),
+                Box::new(Dissenter),
+                Box::new(Equivocator),
+                Box::new(Straddler),
+                Box::new(ChainInjector::default()),
+            ];
+            for mut s in strategies {
+                let cfg = SyncConfig::new(n, t);
+                let out = run(&cfg, &inputs, s.as_mut());
+                assert!(
+                    out.agreement && out.validity,
+                    "strategy {} broke t={t}: {:?}",
+                    s.name(),
+                    out.decisions
+                );
+                assert!(out.decisions[0], "must decide the uniform input 1");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_still_agree_below_half() {
+        for t in [1u32, 2] {
+            let n = 2 * t as usize + 3;
+            let n_corr = n - t as usize;
+            let inputs: Vec<bool> = (0..n_corr).map(|i| i % 2 == 0).collect();
+            let strategies: Vec<Box<dyn ByzStrategy>> = vec![
+                Box::new(Dissenter),
+                Box::new(Equivocator),
+                Box::new(Straddler),
+                Box::new(ChainInjector::default()),
+            ];
+            for mut s in strategies {
+                let cfg = SyncConfig::new(n, t);
+                let out = run(&cfg, &inputs, s.as_mut());
+                assert!(
+                    out.agreement,
+                    "strategy {} split decisions at t={t}: {:?}",
+                    s.name(),
+                    out.decisions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dissenter_breaks_validity_at_half() {
+        // t = n/2: Byzantine dissenting values tie/outnumber the correct
+        // ones and flip the uniform decision — the resilience wall.
+        let n = 6;
+        let t = 3u32;
+        let cfg = SyncConfig::new(n, t);
+        let inputs = vec![true; n - t as usize];
+        let out = run(&cfg, &inputs, &mut Dissenter);
+        assert!(
+            !out.validity,
+            "t = n/2 must break validity, got {:?}",
+            out.decisions
+        );
+    }
+
+    #[test]
+    fn chain_injector_value_accepted_by_all_or_none() {
+        // The injected value must never split the decision (Theorem 3.2's
+        // "accepted iff at least one correct node extends the chain").
+        for n in [5usize, 6, 7] {
+            let t = 2u32;
+            let n_corr = n - t as usize;
+            let inputs: Vec<bool> = (0..n_corr).map(|i| i % 2 == 0).collect();
+            let cfg = SyncConfig::new(n, t);
+            let out = run(&cfg, &inputs, &mut ChainInjector::default());
+            assert!(out.agreement, "n={n}: {:?}", out.decisions);
+        }
+    }
+
+    #[test]
+    fn straddler_cannot_split_with_t_plus_one_rounds() {
+        for inputs in [
+            vec![true, false, true],
+            vec![false, false, true],
+            vec![true, true, false],
+        ] {
+            let cfg = SyncConfig::new(4, 1);
+            let out = run(&cfg, &inputs, &mut Straddler);
+            assert!(out.agreement, "inputs {inputs:?}: {:?}", out.decisions);
+        }
+    }
+
+    #[test]
+    fn memory_grows_linearly_in_rounds() {
+        let cfg = SyncConfig::new(4, 1);
+        let out = run(&cfg, &[true, true, false], &mut Dissenter);
+        // genesis + 2 rounds × (3 correct + 1 byz) = 9.
+        assert_eq!(out.memory_len, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per correct node")]
+    fn input_arity_checked() {
+        let cfg = SyncConfig::new(4, 1);
+        let _ = run(&cfg, &[true], &mut Silent);
+    }
+
+    #[test]
+    fn reference_volume_grows_quadratically() {
+        // The "exponential information exchange" observation of Section 4:
+        // each correct node references everything it newly saw, so the
+        // total reference volume scales like n²·t — quadratic growth in n
+        // at fixed t ratio.
+        let refs = |n: usize, t: u32| {
+            let inputs = vec![true; n - t as usize];
+            run(&SyncConfig::new(n, t), &inputs, &mut Silent).total_refs
+        };
+        let r8 = refs(8, 3);
+        let r16 = refs(16, 7);
+        let r32 = refs(32, 15);
+        assert!(r16 as f64 > 3.0 * r8 as f64, "n 8→16: {r8} → {r16}");
+        assert!(r32 as f64 > 3.0 * r16 as f64, "n 16→32: {r16} → {r32}");
+    }
+
+    #[test]
+    fn t_zero_single_round() {
+        let cfg = SyncConfig::new(3, 0);
+        let out = run(&cfg, &[false, false, true], &mut Silent);
+        assert_eq!(out.rounds, 1);
+        assert!(out.agreement);
+        assert!(!out.decisions[0], "majority of {{0,0,1}} is 0");
+    }
+}

@@ -1,0 +1,125 @@
+//! Failure injection for Algorithm 1: proptest generates *arbitrary*
+//! Byzantine plans (values, claimed rounds, reference policies, nested
+//! visibility sets) and asserts the theorem's guarantees survive them all
+//! below t < n/2.
+
+use am_core::{MsgId, Round};
+use am_sync::{run, ByzPlan, ByzStrategy, PlanCtx, PlannedMsg, RefsPolicy, SyncConfig};
+use proptest::prelude::*;
+
+/// Description of one planned message, in generator-friendly form.
+#[derive(Clone, Debug)]
+struct MsgSpec {
+    byz_pick: u8,
+    value: bool,
+    round_lie: u8, // 0 = honest tag, 1 = previous round, 2 = next round
+    refs_pick: u8, // 0 = prev round, 1 = genesis, 2 = arbitrary known ids
+    visible_len: u8,
+}
+
+/// A fully random—but structurally admissible—Byzantine strategy: each
+/// round plays the generated specs, with visibility sets realized as
+/// nested prefixes of the correct-node list.
+struct RandomPlan {
+    per_round: Vec<Vec<MsgSpec>>,
+}
+
+impl ByzStrategy for RandomPlan {
+    fn name(&self) -> &'static str {
+        "random-plan"
+    }
+    fn plan(&mut self, ctx: &PlanCtx<'_>) -> ByzPlan {
+        let Round(r) = ctx.round;
+        let specs = match self.per_round.get((r - 1) as usize) {
+            Some(s) => s,
+            None => return ByzPlan::default(),
+        };
+        let mut msgs = Vec::new();
+        // Sort by descending visibility so the nesting requirement holds.
+        let mut ordered: Vec<&MsgSpec> = specs.iter().collect();
+        ordered.sort_by_key(|s| std::cmp::Reverse(s.visible_len));
+        for spec in ordered {
+            let author = ctx.byz_nodes[spec.byz_pick as usize % ctx.byz_nodes.len()];
+            let round_tag = match spec.round_lie {
+                1 if r > 1 => Round(r - 1),
+                2 => Round(r + 1),
+                _ => Round(r),
+            };
+            let refs = match spec.refs_pick {
+                0 => RefsPolicy::PrevRound,
+                1 => RefsPolicy::Genesis,
+                _ => {
+                    // Arbitrary known ids: a few low ids always exist.
+                    let hi = ctx.view.len() as u64;
+                    RefsPolicy::Ids(vec![MsgId(spec.refs_pick as u64 % hi)])
+                }
+            };
+            let vis_len = spec.visible_len as usize % (ctx.correct_nodes.len() + 1);
+            msgs.push(PlannedMsg {
+                author,
+                value: spec.value,
+                round_tag,
+                refs,
+                visible_to: ctx.correct_nodes[..vis_len].to_vec(),
+            });
+        }
+        ByzPlan { msgs }
+    }
+}
+
+fn msg_spec() -> impl Strategy<Value = MsgSpec> {
+    (any::<u8>(), any::<bool>(), 0u8..3, 0u8..6, any::<u8>()).prop_map(
+        |(byz_pick, value, round_lie, refs_pick, visible_len)| MsgSpec {
+            byz_pick,
+            value,
+            round_lie,
+            refs_pick,
+            visible_len,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Agreement and (for uniform inputs) validity hold against arbitrary
+    /// admissible Byzantine plans whenever t < n/2.
+    #[test]
+    fn algorithm1_survives_arbitrary_plans(
+        n in 4usize..8,
+        t in 1u32..3,
+        pattern in any::<u16>(),
+        plans in prop::collection::vec(prop::collection::vec(msg_spec(), 0..4), 1..4),
+    ) {
+        let t = t.min(((n - 1) / 2) as u32);
+        let n_corr = n - t as usize;
+        let inputs: Vec<bool> = (0..n_corr).map(|i| (pattern >> i) & 1 == 1).collect();
+        let cfg = SyncConfig::new(n, t);
+        let mut strat = RandomPlan { per_round: plans };
+        let out = run(&cfg, &inputs, &mut strat);
+        prop_assert!(out.agreement, "decisions split: {:?}", out.decisions);
+        if inputs.iter().all(|&b| b == inputs[0]) {
+            prop_assert!(out.validity, "uniform input flipped: {:?}", out.decisions);
+        }
+    }
+
+    /// The runner never panics and always produces one decision per
+    /// correct node, even at t ≥ n/2 (only the guarantees lapse, not the
+    /// execution).
+    #[test]
+    fn runner_is_total_even_past_half(
+        n in 4usize..8,
+        extra in 0u32..2,
+        plans in prop::collection::vec(prop::collection::vec(msg_spec(), 0..3), 1..5),
+    ) {
+        let t = (n as u32) / 2 + extra;
+        prop_assume!((t as usize) < n);
+        let n_corr = n - t as usize;
+        let inputs = vec![true; n_corr];
+        let cfg = SyncConfig::new(n, t);
+        let mut strat = RandomPlan { per_round: plans };
+        let out = run(&cfg, &inputs, &mut strat);
+        prop_assert_eq!(out.decisions.len(), n_corr);
+        prop_assert_eq!(out.rounds, t + 1);
+    }
+}

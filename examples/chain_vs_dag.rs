@@ -1,0 +1,62 @@
+//! Chain vs DAG, head to head — the paper's headline in one binary.
+//!
+//! ```text
+//! cargo run --release --example chain_vs_dag            # defaults
+//! cargo run --release --example chain_vs_dag 0.4 12 41  # λ n k
+//! ```
+//!
+//! Runs Algorithm 5 (chain, randomized tie-breaking, tie-breaker
+//! adversary) and Algorithm 6 (DAG, withhold-burst adversary) across a
+//! Byzantine sweep at the given rate, printing validity-failure rates side
+//! by side.
+
+use append_memory::protocols::{
+    measure_failure_rate, ChainAdversary, DagAdversary, DagRule, Params, TieBreak, TrialKind,
+};
+use append_memory::stats::theory::chain_resilience_bound;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lambda: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(41);
+    let trials = 300;
+
+    println!("n = {n}, λ = {lambda}, k = {k}, {trials} trials per cell");
+    println!("chain bound at t: 1/(1+λ(n−t));  DAG bound: 1/2\n");
+    println!(
+        "{:>3} {:>6} | {:>14} {:>12} | {:>14}",
+        "t", "t/n", "chain failure", "chain bound", "dag failure"
+    );
+    for t in 1..=n / 2 {
+        let p = Params::new(n, t, lambda, k, 7);
+        let chain = measure_failure_rate(
+            &p,
+            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
+            trials,
+        );
+        let dag = measure_failure_rate(
+            &p,
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+            trials,
+        );
+        let bound = chain_resilience_bound(lambda * (n - t) as f64);
+        let marker = if t as f64 / n as f64 > bound {
+            "  <- past chain bound"
+        } else {
+            ""
+        };
+        println!(
+            "{:>3} {:>6.3} | {:>14.3} {:>12.3} | {:>14.3}{marker}",
+            t,
+            t as f64 / n as f64,
+            chain.estimate(),
+            bound,
+            dag.estimate(),
+        );
+    }
+    println!(
+        "\nThe chain's failure wall moves left as λ grows; the DAG's stays \
+         at t/n ≈ 1/2 — \"why BlockDAGs excel blockchains\"."
+    );
+}

@@ -1,0 +1,79 @@
+//! Export, inspect, and replay append-memory histories.
+//!
+//! ```text
+//! cargo run --release --example history_replay           # demo roundtrip
+//! cargo run --release --example history_replay dump f.json
+//! cargo run --release --example history_replay load f.json
+//! ```
+//!
+//! Histories are the debugging currency of this repository: a failed
+//! Monte-Carlo trial can be captured as JSON, shipped in a bug report, and
+//! replayed deterministically — the import path re-validates every
+//! construction rule, so corrupt histories are rejected, not trusted.
+
+use append_memory::core::{
+    check_view, longest_chain, AppendMemory, History, MessageBuilder, NodeId, Value, GENESIS,
+};
+
+fn build_demo() -> AppendMemory {
+    let mem = AppendMemory::new(4);
+    let a = mem
+        .append(MessageBuilder::new(NodeId(0), Value::plus()).parent(GENESIS))
+        .unwrap();
+    let b = mem
+        .append(MessageBuilder::new(NodeId(1), Value::minus()).parent(GENESIS))
+        .unwrap();
+    let c = mem
+        .append(MessageBuilder::new(NodeId(2), Value::plus()).parents([a, b]))
+        .unwrap();
+    mem.append(MessageBuilder::new(NodeId(3), Value::plus()).parent(c))
+        .unwrap();
+    mem
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("dump"), Some(path)) => {
+            let mem = build_demo();
+            let h = History::capture(4, &mem.read());
+            std::fs::write(path, h.to_json()).expect("write history");
+            println!("wrote {} messages to {path}", h.messages.len());
+        }
+        (Some("load"), Some(path)) => {
+            let json = std::fs::read_to_string(path).expect("read history");
+            let h = History::from_json(&json).expect("parse history");
+            match h.replay() {
+                Ok(mem) => {
+                    let view = mem.read();
+                    println!(
+                        "replayed {} messages; violations: {:?}; longest chain: {:?}",
+                        view.len(),
+                        check_view(&view, true),
+                        longest_chain(&view)
+                    );
+                }
+                Err(e) => println!("REJECTED: {e}"),
+            }
+        }
+        _ => {
+            // In-memory roundtrip demo.
+            let mem = build_demo();
+            let h = History::capture(4, &mem.read());
+            let json = h.to_json();
+            println!("captured history ({} bytes of JSON)", json.len());
+            let h2 = History::from_json(&json).unwrap();
+            let mem2 = h2.replay().unwrap();
+            assert_eq!(longest_chain(&mem.read()), longest_chain(&mem2.read()));
+            println!("replay is protocol-equivalent: same longest chain");
+
+            // Corruption is caught on import.
+            let mut bad = h.clone();
+            bad.messages[1].parents = vec![append_memory::core::MsgId(999)];
+            match bad.replay() {
+                Err(e) => println!("corrupt history rejected: {e}"),
+                Ok(_) => unreachable!("corruption must be caught"),
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Picking the decision prefix size k — the parameter every Section 5
+//! protocol gates its decision on.
+//!
+//! ```text
+//! cargo run --release --example tuning_k             # defaults
+//! cargo run --release --example tuning_k 50 20 1e-3  # n t eps
+//! ```
+//!
+//! A downstream user deploying the DAG protocol needs k large enough that
+//! the validity-failure probability stays below a target ε. This example
+//! uses the Theorem 5.2 closed form to propose k, then validates it
+//! empirically against the strongest DAG adversary.
+
+use append_memory::protocols::{measure_failure_rate, DagAdversary, DagRule, Params, TrialKind};
+use append_memory::stats::theory::{
+    dag_validity_failure_bound, timestamp_k_required, timestamp_validity_failure_bound,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let t: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let eps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+    let lambda = 0.4;
+
+    println!(
+        "planning k for n = {n}, t = {t} (t/n = {:.2}), ε = {eps}\n",
+        t as f64 / n as f64
+    );
+
+    // Step 1: the Theorem 5.2 closed form (timestamp baseline — the
+    // best-case envelope every structure sits inside).
+    let k_theory = timestamp_k_required(n as u64, t as u64, eps);
+    println!("Theorem 5.2 bound suggests k ≥ {k_theory}");
+    for k in [k_theory / 4, k_theory, k_theory * 4] {
+        let b = timestamp_validity_failure_bound(k.max(1), n as u64, t as u64);
+        let d = dag_validity_failure_bound(k.max(1), n as u64, t as u64, lambda);
+        println!("  k = {k:>8}: timestamp bound {b:.2e}, DAG bound (Thm 5.6) {d:.2e}");
+    }
+
+    // Step 2: empirical validation on the DAG with the withhold-burst
+    // adversary at a few candidate k (odd, to avoid ties).
+    println!("\nempirical DAG failure (λ = {lambda}, withhold-burst, 400 trials):");
+    let mut k = ((k_theory | 1).max(11)) as usize;
+    let mut best = None;
+    for _ in 0..4 {
+        let p = Params::new(n, t, lambda, k, 99);
+        let rate = measure_failure_rate(
+            &p,
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+            400,
+        );
+        let ci = rate.wilson95();
+        println!(
+            "  k = {k:>8}: measured {:.4} [{:.4}, {:.4}]",
+            rate.estimate(),
+            ci.lo,
+            ci.hi
+        );
+        if ci.hi < eps.max(0.01) && best.is_none() {
+            best = Some(k);
+        }
+        if rate.hits == 0 {
+            break;
+        }
+        k = k * 2 + 1;
+    }
+    match best {
+        Some(k) => println!("\nrecommendation: k = {k} (empirically below target)"),
+        None => println!(
+            "\nrecommendation: k = {k} (smallest k with zero observed failures; \
+             increase trials to certify ε = {eps})"
+        ),
+    }
+}

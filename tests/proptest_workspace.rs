@@ -1,0 +1,109 @@
+//! Workspace-level property tests: invariants that must hold across the
+//! protocol stack for arbitrary parameters, not just the tuned points the
+//! experiments use.
+
+use append_memory::protocols::{
+    run_chain, run_dag, run_timestamp, ChainAdversary, DagAdversary, DagRule, Params, TieBreak,
+};
+use append_memory::sync::{run as run_sync, Dissenter, Equivocator, Silent, Straddler, SyncConfig};
+use proptest::prelude::*;
+
+/// Small-parameter strategy for randomized-access trials.
+fn params() -> impl Strategy<Value = Params> {
+    (4usize..10, 0usize..3, 1u32..8, 5usize..20, any::<u64>()).prop_map(
+        |(n, t, lam10, khalf, seed)| {
+            Params::new(n, t.min(n - 1), lam10 as f64 / 10.0, khalf * 2 + 1, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every chain trial terminates with a chain of at least k blocks, a
+    /// consistent prefix count, and the Byzantine prefix never exceeding k.
+    #[test]
+    fn chain_trials_are_well_formed(p in params(),
+        tie in prop_oneof![Just(TieBreak::Deterministic), Just(TieBreak::Randomized)],
+        adv in prop_oneof![
+            Just(ChainAdversary::Absent),
+            Just(ChainAdversary::Dissenter),
+            Just(ChainAdversary::ForkMaker),
+            Just(ChainAdversary::TieBreaker),
+        ],
+    ) {
+        let out = run_chain(&p, tie, adv);
+        prop_assert!(out.chain_len >= p.k, "chain too short: {}", out.chain_len);
+        prop_assert!(out.byz_in_prefix <= p.k);
+        prop_assert!(out.total_appends >= out.chain_len);
+        // With no Byzantine nodes validity must hold outright.
+        if p.t == 0 {
+            prop_assert!(out.validity, "t=0 must be valid");
+            prop_assert_eq!(out.byz_in_prefix, 0);
+        }
+    }
+
+    /// Every DAG trial covers at least k values, and its inclusivity
+    /// dominates the chain's: covered values ≥ chain length of the same
+    /// parameters (the DAG wastes nothing).
+    #[test]
+    fn dag_trials_are_well_formed(p in params(),
+        rule in prop_oneof![Just(DagRule::LongestChain), Just(DagRule::Ghost)],
+        adv in prop_oneof![
+            Just(DagAdversary::Absent),
+            Just(DagAdversary::Dissenter),
+            Just(DagAdversary::WithholdBurst),
+        ],
+    ) {
+        let out = run_dag(&p, rule, adv);
+        prop_assert!(out.covered_values >= p.k);
+        prop_assert!(out.byz_in_prefix <= p.k);
+        if p.t == 0 {
+            prop_assert!(out.validity);
+            prop_assert_eq!(out.burst_len, 0);
+        }
+        if adv != DagAdversary::WithholdBurst {
+            prop_assert_eq!(out.burst_len, 0);
+        }
+    }
+
+    /// Timestamp trials: the Byzantine prefix count and decision are
+    /// consistent (sum parity), and t = 0 is always valid.
+    #[test]
+    fn timestamp_trials_are_consistent(p in params()) {
+        let out = run_timestamp(&p);
+        let corr = p.k - out.byz_in_prefix;
+        let sum = corr as i64 - out.byz_in_prefix as i64;
+        prop_assert_eq!(out.decision.is_none(), sum == 0);
+        if p.t == 0 {
+            prop_assert!(out.validity);
+        }
+    }
+
+    /// Algorithm 1 with t < n/2 satisfies agreement for every strategy and
+    /// every input pattern the generator produces.
+    #[test]
+    fn algorithm1_agreement_below_half(
+        n in 4usize..8,
+        t in 1u32..3,
+        pattern in any::<u16>(),
+        strat_idx in 0usize..4,
+    ) {
+        let t = t.min(((n - 1) / 2) as u32);
+        let n_corr = n - t as usize;
+        let inputs: Vec<bool> = (0..n_corr).map(|i| (pattern >> i) & 1 == 1).collect();
+        let cfg = SyncConfig::new(n, t);
+        let mut strat: Box<dyn append_memory::sync::ByzStrategy> = match strat_idx {
+            0 => Box::new(Silent),
+            1 => Box::new(Dissenter),
+            2 => Box::new(Equivocator),
+            _ => Box::new(Straddler),
+        };
+        let out = run_sync(&cfg, &inputs, strat.as_mut());
+        prop_assert!(out.agreement, "strategy {strat_idx} split {:?}", out.decisions);
+        // Uniform inputs must also satisfy validity below n/2.
+        if inputs.iter().all(|&b| b == inputs[0]) {
+            prop_assert!(out.validity);
+        }
+    }
+}
