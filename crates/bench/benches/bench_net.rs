@@ -1,0 +1,91 @@
+//! am-net kernels: the discrete-event simulator's broadcast+drain cost
+//! across sizes and latency models, against the reliable in-process
+//! network as the zero-overhead baseline — the price of simulated time.
+
+use am_mp::{Network, Payload};
+use am_net::{Fault, LatencyModel, SimNet, Transport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Broadcasts `rounds` waves from every node and drains all arrivals.
+fn pump<T: Transport<Payload>>(net: &mut T, rounds: u64) -> u64 {
+    let n = net.n();
+    for round in 0..rounds {
+        for from in 0..n {
+            net.broadcast(
+                from,
+                Payload::ReadReq {
+                    op: round * n as u64 + from as u64,
+                },
+            );
+        }
+        loop {
+            let mut any = false;
+            for node in 0..n {
+                while net.deliver(node).is_some() {
+                    any = true;
+                }
+            }
+            if !net.advance() && !any {
+                break;
+            }
+        }
+    }
+    net.delivered_count()
+}
+
+fn bench_broadcast_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_broadcast_drain");
+    g.sample_size(20);
+    for n in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("reliable", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(n);
+                black_box(pump(&mut net, 8))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sim_constant", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net: SimNet<Payload> =
+                    SimNet::new(n, 1).with_latency(LatencyModel::Constant(1_000));
+                black_box(pump(&mut net, 8))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sim_exponential", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net: SimNet<Payload> =
+                    SimNet::new(n, 1).with_latency(LatencyModel::Exponential { mean: 1_000 });
+                black_box(pump(&mut net, 8))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_fault_pipeline");
+    g.sample_size(20);
+    // Cost of the injector chain itself: same load, drops+dup+reorder on.
+    g.bench_function("faulty_n16", |b| {
+        b.iter(|| {
+            let mut net: SimNet<Payload> = SimNet::new(16, 1).with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 10_000,
+            });
+            net.add_fault(Fault::Drop { prob: 0.1 });
+            net.add_fault(Fault::Duplicate {
+                prob: 0.05,
+                extra: LatencyModel::Constant(500),
+            });
+            net.add_fault(Fault::Reorder {
+                prob: 0.2,
+                extra: LatencyModel::Constant(2_000),
+            });
+            black_box(pump(&mut net, 8))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast_drain, bench_fault_pipeline);
+criterion_main!(benches);

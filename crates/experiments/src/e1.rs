@@ -12,8 +12,8 @@ use am_sched::{
 };
 use am_stats::Table;
 
-/// Runs E1.
-pub fn run() -> Report {
+/// Runs E1 (deterministic; the seed is unused).
+pub fn run(_seed: u64) -> Report {
     let mut rep = Report::new(
         "E1",
         "No 1-resilient asynchronous consensus in the append memory",

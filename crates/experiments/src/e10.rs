@@ -8,7 +8,7 @@ use am_stats::theory::chain_resilience_bound;
 use am_stats::{Series, Table};
 
 /// Runs E10.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E10",
         "Chain vs DAG: the resilience crossover",
@@ -42,8 +42,8 @@ pub fn run() -> Report {
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::Dissenter),
         ];
-        let (chain_r, _) = empirical_resilience(n, lambda, k, &chain_kinds, trials, tol);
-        let (dag_r, _) = empirical_resilience(n, lambda, k, &dag_kinds, trials, tol);
+        let (chain_r, _) = empirical_resilience(n, lambda, k, &chain_kinds, trials, tol, seed);
+        let (dag_r, _) = empirical_resilience(n, lambda, k, &dag_kinds, trials, tol, seed);
         let mut t_star = n as f64 / 3.0;
         for _ in 0..50 {
             t_star = n as f64 / (1.0 + lambda * (n as f64 - t_star));

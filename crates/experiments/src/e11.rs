@@ -12,11 +12,11 @@ use am_protocols::{run_dag_staggered, DagRule, Params};
 use am_stats::{Series, Summary, Table};
 
 /// Failure = agreement or validity broken across the staggered deciders.
-fn bad_rate(p: &Params, ttl_factor: f64, trials: u64) -> (f64, f64) {
+fn bad_rate(p: &Params, ttl_factor: f64, trials: u64, seed: u64) -> (f64, f64) {
     let mut bad = 0u64;
     let mut reorg = Summary::new();
     for s in 0..trials {
-        let out = run_dag_staggered(&p.with_seed(s), DagRule::LongestChain, ttl_factor);
+        let out = run_dag_staggered(&p.with_seed(seed ^ s), DagRule::LongestChain, ttl_factor);
         if !(out.agreement && out.validity) {
             bad += 1;
         }
@@ -26,7 +26,7 @@ fn bad_rate(p: &Params, ttl_factor: f64, trials: u64) -> (f64, f64) {
 }
 
 /// Runs E11.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E11",
         "Temporal asynchrony reduces DAG Byzantine-agreement resilience",
@@ -50,8 +50,8 @@ pub fn run() -> Report {
         let mut cells = vec![f(w)];
         let mut reorg_t4 = 0.0;
         for (i, &t) in [2usize, 3, 4].iter().enumerate() {
-            let p = Params::new(n, t, lambda, k, 77);
-            let (rate, reorg) = bad_rate(&p, w, trials);
+            let p = Params::new(n, t, lambda, k, seed ^ 77);
+            let (rate, reorg) = bad_rate(&p, w, trials, seed);
             cells.push(f(rate));
             series[i].push(w, rate);
             if t == 4 {

@@ -13,17 +13,17 @@ use crate::report::{f, Report};
 use am_protocols::{run_chain_staggered, run_dag_staggered, DagRule, Params};
 use am_stats::{Proportion, Series, Table};
 
-fn disagreement(p: &Params, rule: DagRule, trials: u64) -> Proportion {
+fn disagreement(p: &Params, rule: DagRule, trials: u64, seed: u64) -> Proportion {
     let mut tally = Proportion::new();
     for s in 0..trials {
-        let out = run_dag_staggered(&p.with_seed(s), rule, 1.0);
+        let out = run_dag_staggered(&p.with_seed(seed ^ s), rule, 1.0);
         tally.record(!out.agreement);
     }
     tally
 }
 
 /// Runs E12.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E12",
         "Weak agreement: staggered deciders disagree with probability → 0 in k",
@@ -41,9 +41,9 @@ pub fn run() -> Report {
     let mut s_gh = Series::new("ghost disagreement");
     for &k in &[11usize, 21, 41, 81, 161] {
         let p = Params::new(n, 4, lambda, k, 31);
-        let lc = disagreement(&p, DagRule::LongestChain, trials);
-        let gh = disagreement(&p, DagRule::Ghost, trials);
-        let pv = disagreement(&p, DagRule::Pivot, trials);
+        let lc = disagreement(&p, DagRule::LongestChain, trials, seed);
+        let gh = disagreement(&p, DagRule::Ghost, trials, seed);
+        let pv = disagreement(&p, DagRule::Pivot, trials, seed);
         table.row(&[
             k.to_string(),
             f(lc.estimate()),
@@ -72,10 +72,10 @@ pub fn run() -> Report {
         let mut chain_bad = Proportion::new();
         let mut dag_bad = Proportion::new();
         for s in 0..trials {
-            let p = Params::new(n, 4, lambda, 21, s);
-            let c = run_chain_staggered(&p.with_seed(s), w);
+            let p = Params::new(n, 4, lambda, 21, seed ^ s);
+            let c = run_chain_staggered(&p.with_seed(seed ^ s), w);
             chain_bad.record(!(c.agreement && c.validity));
-            let d = run_dag_staggered(&p.with_seed(s), DagRule::LongestChain, w);
+            let d = run_dag_staggered(&p.with_seed(seed ^ s), DagRule::LongestChain, w);
             dag_bad.record(!(d.agreement && d.validity));
         }
         table2.row(&[f(w), f(chain_bad.estimate()), f(dag_bad.estimate())]);

@@ -16,7 +16,7 @@ use am_protocols::{run_chain, run_dag, ChainAdversary, DagAdversary, DagRule, Pa
 use am_stats::{Series, Summary, Table};
 
 /// Runs E13.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E13",
         "Decision latency: chain saturates at 1 block/Δ, the DAG scales with λn",
@@ -46,8 +46,8 @@ pub fn run() -> Report {
         let mut dag_t = Summary::new();
         let mut chain_total = Summary::new();
         let mut dag_total = Summary::new();
-        for seed in 0..reps {
-            let p = Params::new(n, t, lambda, k, seed);
+        for s in 0..reps {
+            let p = Params::new(n, t, lambda, k, seed ^ s);
             let c = run_chain(&p, TieBreak::Randomized, ChainAdversary::Absent);
             let d = run_dag(&p, DagRule::LongestChain, DagAdversary::Absent);
             chain_t.add(c.finish_time);

@@ -10,8 +10,8 @@ use crate::report::Report;
 use am_sched::search_disagreement_t;
 use am_stats::Table;
 
-/// Runs E2.
-pub fn run() -> Report {
+/// Runs E2 (deterministic; the seed is unused).
+pub fn run(_seed: u64) -> Report {
     let mut rep = Report::new(
         "E2",
         "Round lower bound: t+1 rounds are necessary and sufficient",

@@ -33,7 +33,7 @@ fn input_patterns(n_corr: usize) -> Vec<Vec<bool>> {
 }
 
 /// Runs E3.
-pub fn run_experiment() -> Report {
+pub fn run_experiment(_seed: u64) -> Report {
     let mut rep = Report::new(
         "E3",
         "Algorithm 1: Byzantine agreement for t < n/2 within O(tΔ)",

@@ -15,8 +15,8 @@ use am_sched::{
 };
 use am_stats::Table;
 
-/// Runs E5.
-pub fn run() -> Report {
+/// Runs E5 (deterministic; the seed is unused).
+pub fn run(_seed: u64) -> Report {
     let mut rep = Report::new(
         "E5",
         "Randomized access + asynchronous nodes: still no consensus",

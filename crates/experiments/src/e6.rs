@@ -10,7 +10,7 @@ use am_stats::theory::{timestamp_k_required, timestamp_validity_failure_bound};
 use am_stats::{Series, Table};
 
 /// Runs E6.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E6",
         "Timestamp baseline: validity failure vs k (Algorithm 4)",
@@ -28,7 +28,7 @@ pub fn run() -> Report {
     let mut s_bound_small = Series::new("gap=2: bound");
     for &(t, label) in &[(24usize, "2"), (13usize, "n/2")] {
         for &k in &[5usize, 15, 45, 135, 405] {
-            let p = Params::new(n, t, 1.0, k, 1234);
+            let p = Params::new(n, t, 1.0, k, seed ^ 1234);
             let measured = measure_failure_rate(&p, TrialKind::Timestamp, trials);
             let bound = timestamp_validity_failure_bound(k as u64, n as u64, t as u64);
             table.row(&[

@@ -10,7 +10,7 @@ use am_protocols::{measure_failure_rate, run_chain, ChainAdversary, Params, TieB
 use am_stats::{Series, Table};
 
 /// Runs E7.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E7",
         "Chain + deterministic tie-break: the n/3 wall (fork-maker)",
@@ -35,7 +35,7 @@ pub fn run() -> Report {
     let mut s_det = Series::new("deterministic tie: failure");
     let mut s_rand = Series::new("randomized tie: failure");
     for &t in &[1usize, 2, 3, 4, 5] {
-        let p = Params::new(n, t, lambda, k, 99);
+        let p = Params::new(n, t, lambda, k, seed ^ 99);
         let det = measure_failure_rate(
             &p,
             TrialKind::Chain(TieBreak::Deterministic, ChainAdversary::ForkMaker),
@@ -51,7 +51,7 @@ pub fn run() -> Report {
         let reps = 30;
         for s in 0..reps {
             let out = run_chain(
-                &p.with_seed(s),
+                &p.with_seed(seed ^ s),
                 TieBreak::Deterministic,
                 ChainAdversary::ForkMaker,
             );

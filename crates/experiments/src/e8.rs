@@ -26,6 +26,7 @@ pub fn empirical_resilience(
     kinds: &[TrialKind],
     trials: u64,
     tol: f64,
+    seed: u64,
 ) -> (f64, Vec<(usize, f64)>) {
     let mut curve = Vec::new();
     let mut best = 0.0f64;
@@ -33,7 +34,7 @@ pub fn empirical_resilience(
         if t >= n {
             break;
         }
-        let p = Params::new(n, t, lambda, k, 2024);
+        let p = Params::new(n, t, lambda, k, seed ^ 2024);
         let rate = kinds
             .iter()
             .map(|kind| measure_failure_rate(&p, *kind, trials).estimate())
@@ -50,7 +51,7 @@ pub fn empirical_resilience(
 }
 
 /// Runs E8.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E8",
         "Chain resilience vs rate: t/n ≤ 1/(1+λ(n−t)) (tie-breaker adversary)",
@@ -77,7 +78,7 @@ pub fn run() -> Report {
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::Dissenter),
         ];
-        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol);
+        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol, seed);
         // The bound is implicit in t; evaluate it at its own fixed point:
         // t* solving t = n/(1+λ(n−t)) — iterate a few times.
         let mut t_star = n as f64 / 3.0;

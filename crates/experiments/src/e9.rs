@@ -9,7 +9,7 @@ use am_stats::theory::{silence_interval_tail, withhold_burst_bound};
 use am_stats::{Series, Summary, Table};
 
 /// Runs E9.
-pub fn run() -> Report {
+pub fn run(seed: u64) -> Report {
     let mut rep = Report::new(
         "E9",
         "DAG resilience ≈ 1/2 independent of λ; withheld burst is O(λ log n)",
@@ -30,7 +30,7 @@ pub fn run() -> Report {
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::Dissenter),
         ];
-        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol);
+        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol, seed);
         table.row(&[f(lambda), f(resilience), f(0.5)]);
         s_meas.push(lambda, resilience);
     }
@@ -54,8 +54,8 @@ pub fn run() -> Report {
     for &(n, lambda) in &[(12usize, 0.4f64), (24, 0.4), (48, 0.4), (24, 0.8)] {
         let t = n / 3;
         let mut bursts = Summary::new();
-        for seed in 0..200u64 {
-            let p = Params::new(n, t, lambda, k, seed);
+        for s in 0..200u64 {
+            let p = Params::new(n, t, lambda, k, seed ^ s);
             let out = run_dag(&p, DagRule::LongestChain, DagAdversary::WithholdBurst);
             bursts.add(out.burst_len as f64);
         }
@@ -90,8 +90,8 @@ pub fn run() -> Report {
         let mut exceed = 0usize;
         let mut total_gaps = 0usize;
         let threshold = (n as f64).ln(); // Δ = 1
-        for seed in 0..60u64 {
-            let st = measure_silence(n, t, lambda, 1.0, 200, seed);
+        for s in 0..60u64 {
+            let st = measure_silence(n, t, lambda, 1.0, 200, seed ^ s);
             max_gaps.add(st.max_gap);
             byz_bank.add(st.byz_in_max_gap as f64);
             exceed += st.gaps.iter().filter(|&&g| g > threshold).count();

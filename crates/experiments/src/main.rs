@@ -3,13 +3,15 @@
 //! Blockchains" (SPAA 2020).
 //!
 //! ```text
-//! am-experiments            # run everything (E1..E13)
-//! am-experiments e8 e9 e10  # run a subset
-//! am-experiments --list     # list experiments
+//! am-experiments                  # run everything (E1..E14)
+//! am-experiments e8 e9 e10        # run a subset
+//! am-experiments --seed 7 e8      # shift every Monte-Carlo trial
+//! am-experiments --list           # list experiments
 //! ```
 //!
 //! Each experiment prints its tables/series and writes
-//! `results/<id>.json`.
+//! `results/<id>.json`. The default seed 0 reproduces the historic
+//! outputs exactly.
 
 use am_experiments::{describe, run_one, ALL};
 
@@ -21,14 +23,34 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<String> = if args.is_empty() {
+    let mut seed: u64 = 0;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" || a == "-s" {
+            let Some(v) = it.next() else {
+                eprintln!("--seed needs a value");
+                std::process::exit(2);
+            };
+            seed = match v.parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed needs a u64, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            ids.push(a.to_lowercase());
+        }
+    }
+    let selected: Vec<String> = if ids.is_empty() {
         ALL.iter().map(|s| s.to_string()).collect()
     } else {
-        args.iter().map(|s| s.to_lowercase()).collect()
+        ids
     };
     let mut failed = false;
     for id in &selected {
-        match run_one(id) {
+        match run_one(id, seed) {
             Some(rep) => {
                 println!("{}", rep.render());
                 rep.save_json();

@@ -14,6 +14,7 @@
 
 use crate::net::{Network, Payload};
 use crate::sig::{content_hash, KeyRing, Signature};
+use am_net::Transport;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
@@ -75,6 +76,11 @@ pub enum MpError {
 
 /// The simulated system: network, keys, local views.
 ///
+/// Generic over the network substrate `T`: the default is the reliable
+/// in-process [`Network`]; [`MpSystem::with_transport`] runs the same
+/// Algorithms 2/3 unchanged over any other [`Transport`], such as the
+/// fault-injecting [`am_net::SimNet`].
+///
 /// ```
 /// use am_mp::MpSystem;
 /// let mut sys = MpSystem::new(5, &[4], 42); // node 4 Byzantine-silent
@@ -82,8 +88,8 @@ pub enum MpError {
 /// let view = sys.read(2).unwrap();          // Algorithm 3
 /// assert!(view.contains(&m));               // quorum intersection
 /// ```
-pub struct MpSystem {
-    net: Network,
+pub struct MpSystem<T: Transport<Payload> = Network> {
+    net: T,
     ring: KeyRing,
     byz: Vec<bool>,
     paused: Vec<bool>,
@@ -120,14 +126,24 @@ pub enum Delivery {
 }
 
 impl MpSystem {
-    /// Creates a system of `n` nodes; `byz` lists the Byzantine ones.
+    /// Creates a system of `n` nodes over the reliable in-process
+    /// network; `byz` lists the Byzantine ones.
     pub fn new(n: usize, byz: &[usize], seed: u64) -> MpSystem {
+        Self::with_transport(Network::new(n), byz, seed)
+    }
+}
+
+impl<T: Transport<Payload>> MpSystem<T> {
+    /// Creates a system over an arbitrary substrate (e.g. a fault-
+    /// injecting [`am_net::SimNet`]); `byz` lists the Byzantine nodes.
+    pub fn with_transport(net: T, byz: &[usize], seed: u64) -> MpSystem<T> {
+        let n = net.n();
         let mut byz_flags = vec![false; n];
         for &b in byz {
             byz_flags[b] = true;
         }
         MpSystem {
-            net: Network::new(n),
+            net,
             ring: KeyRing::new(n, seed),
             byz: byz_flags,
             paused: vec![false; n],
@@ -204,6 +220,18 @@ impl MpSystem {
     /// Total network messages sent so far.
     pub fn total_sent(&self) -> u64 {
         self.net.sent_count()
+    }
+
+    /// The underlying network substrate (e.g. to read
+    /// [`am_net::SimNet::stats`] after a run).
+    pub fn transport(&self) -> &T {
+        &self.net
+    }
+
+    /// Consumes the system and hands back the substrate (e.g. to keep a
+    /// `SimNet`'s statistics alive past the system's lifetime).
+    pub fn into_transport(self) -> T {
+        self.net
     }
 
     fn msg_content(author: usize, seq: u64, value: i8) -> u64 {
@@ -308,7 +336,7 @@ impl MpSystem {
         }
         let seq = self.next_seq[b];
         self.next_seq[b] += 1;
-        let mk = |sys: &MpSystem, value: i8| {
+        let mk = |sys: &MpSystem<T>, value: i8| {
             let content = Self::msg_content(b, seq, value);
             MpMsg {
                 author: b,
@@ -392,12 +420,20 @@ impl MpSystem {
     /// that case, `Some(None)` for any other delivery, `None` when stuck.
     fn pump_one_tracking_read(&mut self, reader: usize, op: u64) -> Option<Option<usize>> {
         let n = self.n();
-        let candidates: Vec<usize> = (0..n)
-            .filter(|&i| !self.paused[i] && self.net.backlog(i) > 0)
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
+        let candidates: Vec<usize> = loop {
+            let c: Vec<usize> = (0..n)
+                .filter(|&i| !self.paused[i] && self.net.backlog(i) > 0)
+                .collect();
+            if !c.is_empty() {
+                break c;
+            }
+            // Nothing arrived for an unpaused node: progress simulated
+            // time. When the substrate has nothing in flight either, the
+            // system is stuck (reliable networks always return false).
+            if !self.net.advance() {
+                return None;
+            }
+        };
         let target = match self.delivery {
             Delivery::Fifo | Delivery::Lifo => candidates[0],
             Delivery::Random => candidates[self.delivery_rng.gen_range(0..candidates.len())],

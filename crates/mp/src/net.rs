@@ -6,6 +6,7 @@
 //! Section 4 model requires correct nodes to be available at all times).
 
 use crate::sig::Signature;
+use am_net::{Kinded, Transport};
 use std::collections::VecDeque;
 
 /// The wire payloads of Algorithms 2 and 3.
@@ -47,16 +48,19 @@ pub enum Payload {
     },
 }
 
-/// A message in flight.
-#[derive(Clone, Debug)]
-pub struct Envelope {
-    /// Sender.
-    pub from: usize,
-    /// Receiver.
-    pub to: usize,
-    /// Payload.
-    pub payload: Payload,
+impl Kinded for Payload {
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::Append { .. } => "append",
+            Payload::Ack { .. } => "ack",
+            Payload::ReadReq { .. } => "read_req",
+            Payload::ViewResp { .. } => "view_resp",
+        }
+    }
 }
+
+/// A message in flight.
+pub type Envelope = am_net::Envelope<Payload>;
 
 /// The simulated network: per-node FIFO inboxes plus counters.
 pub struct Network {
@@ -134,6 +138,45 @@ impl Network {
     /// Messages waiting for `node`.
     pub fn backlog(&self, node: usize) -> usize {
         self.inboxes[node].len()
+    }
+}
+
+/// The reliable network is the degenerate substrate: every sent message
+/// arrives instantly, so `advance` has nothing to do. Algorithms written
+/// against [`Transport`] run identically over [`Network`] and a
+/// fault-free zero-latency [`am_net::SimNet`] (see the
+/// `transport_equiv` tests).
+impl Transport<Payload> for Network {
+    fn n(&self) -> usize {
+        Network::n(self)
+    }
+
+    fn send(&mut self, from: usize, to: usize, payload: Payload) {
+        Network::send(self, from, to, payload);
+    }
+
+    fn backlog(&self, node: usize) -> usize {
+        Network::backlog(self, node)
+    }
+
+    fn deliver_at(&mut self, node: usize, idx: usize) -> Option<Envelope> {
+        Network::deliver_at(self, node, idx)
+    }
+
+    fn advance(&mut self) -> bool {
+        false // nothing is ever "in flight"
+    }
+
+    fn quiescent(&self) -> bool {
+        Network::quiescent(self)
+    }
+
+    fn sent_count(&self) -> u64 {
+        Network::sent_count(self)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        Network::delivered_count(self)
     }
 }
 

@@ -1,0 +1,93 @@
+//! Per-link latency models.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// How long a link holds a message before arrival. All times are
+/// nanoseconds of *simulated* time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum latency.
+        lo: u64,
+        /// Maximum latency (inclusive).
+        hi: u64,
+    },
+    /// Exponentially distributed with the given mean — the memoryless
+    /// model matching the paper's Poisson-process view of the world.
+    Exponential {
+        /// Mean latency.
+        mean: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        match *self {
+            LatencyModel::Constant(ns) => ns,
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency: lo > hi");
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::Exponential { mean } => {
+                if mean == 0 {
+                    return 0;
+                }
+                // Inverse CDF; the range sampler never returns 0, so ln is
+                // finite.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let x = -(mean as f64) * u.ln();
+                // Clamp to keep simulated clocks well away from u64 wrap.
+                x.min(1e18) as u64
+            }
+        }
+    }
+
+    /// The mean of the model (exact, no sampling).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(ns) => ns as f64,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::Exponential { mean } => mean as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_model() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Constant(50).sample(&mut rng), 50);
+        for _ in 0..100 {
+            let u = LatencyModel::Uniform { lo: 10, hi: 20 }.sample(&mut rng);
+            assert!((10..=20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let model = LatencyModel::Exponential { mean: 1_000 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| model.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 1_000.0).abs() < 50.0,
+            "empirical mean {mean} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(LatencyModel::Exponential { mean: 0 }.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # am-net — a fault-injecting discrete-event network simulator
+//!
+//! The paper's Section 4 simulation (Algorithms 2/3) and the Section 6/7
+//! protocol experiments all assume a *reliable* asynchronous network:
+//! every message is eventually delivered, and asynchrony is modelled only
+//! as delivery-order freedom. This crate supplies the other half of the
+//! picture — a network that can *misbehave* — so the experiments can
+//! measure where the paper's guarantees start to degrade when the model's
+//! assumptions are violated.
+//!
+//! Three layers:
+//!
+//! * [`Transport`] — the substrate interface the algorithms run over.
+//!   `am-mp`'s reliable [`Network`](../am_mp/net/struct.Network.html)
+//!   implements it, and so does [`SimNet`]; Algorithms 2/3 run unchanged
+//!   over either.
+//! * [`SimNet`] — a seeded discrete-event simulator: a binary-heap event
+//!   queue keyed by `(time_ns, seq)` drives per-link latency models
+//!   ([`LatencyModel`]: constant, uniform, exponential) and composable
+//!   fault injectors ([`Fault`]: probabilistic drops, duplication,
+//!   reorder-by-extra-delay, node crash/recover windows, scheduled
+//!   partitions with heal times).
+//! * [`NetStats`] — per-link and per-payload-kind counters (sent,
+//!   delivered, dropped, duplicated) plus log-bucketed delay histograms,
+//!   exportable as JSON next to an experiment's `results/<id>.json`.
+//!
+//! Everything is deterministic per seed: the same seed yields the same
+//! delivery trace, byte for byte (see the `determinism` tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod latency;
+pub mod sim;
+pub mod stats;
+pub mod transport;
+
+pub use fault::{Fault, PartitionSpec};
+pub use latency::LatencyModel;
+pub use sim::{NetProfile, SimNet};
+pub use stats::{DeliveryRecord, NetStats};
+pub use transport::{Envelope, Kinded, Transport};

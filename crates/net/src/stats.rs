@@ -1,0 +1,328 @@
+//! Per-link / per-kind observability.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Counter set shared by links and payload kinds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages accepted by `send` on this link/kind.
+    pub sent: u64,
+    /// Messages that arrived and were consumed.
+    pub delivered: u64,
+    /// Messages lost to drops, crashes, or partitions.
+    pub dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+}
+
+impl Counters {
+    fn is_zero(&self) -> bool {
+        *self == Counters::default()
+    }
+
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            ("sent".into(), Value::Number(self.sent.into())),
+            ("delivered".into(), Value::Number(self.delivered.into())),
+            ("dropped".into(), Value::Number(self.dropped.into())),
+            ("duplicated".into(), Value::Number(self.duplicated.into())),
+        ])
+    }
+}
+
+/// A log₂-bucketed histogram of delivery delays in nanoseconds: bucket
+/// `i` counts delays `d` with `2^(i-1) ≤ d < 2^i` (bucket 0 counts 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+}
+
+impl Default for DelayHistogram {
+    fn default() -> Self {
+        DelayHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl DelayHistogram {
+    /// Records one delay.
+    pub fn record(&mut self, delay_ns: u64) {
+        let idx = if delay_ns == 0 {
+            0
+        } else {
+            64 - delay_ns.leading_zeros() as usize
+        };
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+        self.total_ns += delay_ns;
+    }
+
+    /// Number of recorded delays.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delay in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                Value::Object(vec![
+                    ("le_ns".into(), Value::Number(le.into())),
+                    ("count".into(), Value::Number(c.into())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::Number(self.count.into())),
+            (
+                "mean_ns".into(),
+                Value::Number(serde::Number::Float(self.mean_ns())),
+            ),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+/// One line of the delivery trace — the determinism witness: two runs
+/// with the same seed produce identical traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Simulated arrival time.
+    pub at_ns: u64,
+    /// Sender.
+    pub from: usize,
+    /// Receiver.
+    pub to: usize,
+    /// Payload kind.
+    pub kind: &'static str,
+    /// The send sequence number of the underlying message.
+    pub seq: u64,
+}
+
+/// Aggregated network observability: per-link counters, per-kind counters
+/// with delay histograms, and the delivery trace.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    n: usize,
+    links: Vec<Counters>,
+    kinds: BTreeMap<&'static str, (Counters, DelayHistogram)>,
+    trace: Vec<DeliveryRecord>,
+}
+
+impl NetStats {
+    /// Stats for an `n`-node network.
+    pub fn new(n: usize) -> NetStats {
+        NetStats {
+            n,
+            links: vec![Counters::default(); n * n],
+            kinds: BTreeMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn link_mut(&mut self, from: usize, to: usize) -> &mut Counters {
+        &mut self.links[from * self.n + to]
+    }
+
+    fn kind_mut(&mut self, kind: &'static str) -> &mut (Counters, DelayHistogram) {
+        self.kinds.entry(kind).or_default()
+    }
+
+    /// Records a send.
+    pub fn on_sent(&mut self, from: usize, to: usize, kind: &'static str) {
+        self.link_mut(from, to).sent += 1;
+        self.kind_mut(kind).0.sent += 1;
+    }
+
+    /// Records a drop (fault loss).
+    pub fn on_dropped(&mut self, from: usize, to: usize, kind: &'static str) {
+        self.link_mut(from, to).dropped += 1;
+        self.kind_mut(kind).0.dropped += 1;
+    }
+
+    /// Records an injected duplicate.
+    pub fn on_duplicated(&mut self, from: usize, to: usize, kind: &'static str) {
+        self.link_mut(from, to).duplicated += 1;
+        self.kind_mut(kind).0.duplicated += 1;
+    }
+
+    /// Records a consumed delivery with its in-flight delay.
+    pub fn on_delivered(&mut self, rec: DeliveryRecord, delay_ns: u64) {
+        self.link_mut(rec.from, rec.to).delivered += 1;
+        let (c, h) = self.kind_mut(rec.kind);
+        c.delivered += 1;
+        h.record(delay_ns);
+        self.trace.push(rec);
+    }
+
+    /// Per-link counters for `from → to`.
+    pub fn link(&self, from: usize, to: usize) -> Counters {
+        self.links[from * self.n + to]
+    }
+
+    /// Per-kind counters for `kind` (zeroes if never seen).
+    pub fn kind(&self, kind: &str) -> Counters {
+        self.kinds.get(kind).map(|(c, _)| *c).unwrap_or_default()
+    }
+
+    /// Mean delivery delay for `kind` in nanoseconds.
+    pub fn kind_mean_delay_ns(&self, kind: &str) -> f64 {
+        self.kinds
+            .get(kind)
+            .map(|(_, h)| h.mean_ns())
+            .unwrap_or(0.0)
+    }
+
+    /// Totals across all links.
+    pub fn totals(&self) -> Counters {
+        let mut t = Counters::default();
+        for c in &self.links {
+            t.sent += c.sent;
+            t.delivered += c.delivered;
+            t.dropped += c.dropped;
+            t.duplicated += c.duplicated;
+        }
+        t
+    }
+
+    /// The delivery trace (arrival-ordered).
+    pub fn trace(&self) -> &[DeliveryRecord] {
+        &self.trace
+    }
+
+    /// Renders everything as a JSON value: totals, per-kind counters with
+    /// delay histograms, and the non-empty links.
+    pub fn to_json(&self) -> Value {
+        let kinds: Vec<(String, Value)> = self
+            .kinds
+            .iter()
+            .map(|(k, (c, h))| {
+                let mut obj = match c.to_json() {
+                    Value::Object(fields) => fields,
+                    _ => unreachable!("counters render as object"),
+                };
+                obj.push(("delay".into(), h.to_json()));
+                (k.to_string(), Value::Object(obj))
+            })
+            .collect();
+        let links: Vec<Value> = (0..self.n)
+            .flat_map(|from| (0..self.n).map(move |to| (from, to)))
+            .filter(|&(from, to)| !self.link(from, to).is_zero())
+            .map(|(from, to)| {
+                let mut obj = vec![
+                    ("from".into(), Value::Number((from as u64).into())),
+                    ("to".into(), Value::Number((to as u64).into())),
+                ];
+                if let Value::Object(fields) = self.link(from, to).to_json() {
+                    obj.extend(fields);
+                }
+                Value::Object(obj)
+            })
+            .collect();
+        Value::Object(vec![
+            ("n".into(), Value::Number((self.n as u64).into())),
+            ("totals".into(), self.totals().to_json()),
+            ("kinds".into(), Value::Object(kinds)),
+            ("links".into(), Value::Array(links)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = DelayHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), (1 + 2 + 3 + 1000) as f64 / 5.0);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn counters_aggregate_per_link_and_kind() {
+        let mut s = NetStats::new(3);
+        s.on_sent(0, 1, "a");
+        s.on_sent(0, 1, "a");
+        s.on_sent(1, 2, "b");
+        s.on_dropped(0, 1, "a");
+        s.on_duplicated(1, 2, "b");
+        s.on_delivered(
+            DeliveryRecord {
+                at_ns: 5,
+                from: 0,
+                to: 1,
+                kind: "a",
+                seq: 0,
+            },
+            5,
+        );
+        assert_eq!(s.link(0, 1).sent, 2);
+        assert_eq!(s.link(0, 1).dropped, 1);
+        assert_eq!(s.link(0, 1).delivered, 1);
+        assert_eq!(s.kind("a").sent, 2);
+        assert_eq!(s.kind("b").duplicated, 1);
+        assert_eq!(s.totals().sent, 3);
+        assert_eq!(s.trace().len(), 1);
+        assert_eq!(s.kind_mean_delay_ns("a"), 5.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut s = NetStats::new(2);
+        s.on_sent(0, 1, "x");
+        s.on_delivered(
+            DeliveryRecord {
+                at_ns: 7,
+                from: 0,
+                to: 1,
+                kind: "x",
+                seq: 0,
+            },
+            7,
+        );
+        let j = s.to_json();
+        assert_eq!(
+            j.get("totals").unwrap().get("sent").unwrap().as_u64(),
+            Some(1)
+        );
+        let kinds = j.get("kinds").unwrap();
+        assert_eq!(
+            kinds.get("x").unwrap().get("delivered").unwrap().as_u64(),
+            Some(1)
+        );
+        // Only the one active link is listed.
+        match j.get("links").unwrap() {
+            Value::Array(ls) => assert_eq!(ls.len(), 1),
+            other => panic!("links not an array: {other:?}"),
+        }
+    }
+}

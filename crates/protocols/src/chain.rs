@@ -221,8 +221,9 @@ fn self_prefix_lagged(sim: &ChainSim, now: am_core::Time, delta: f64) -> usize {
 
 /// The common decision: all nodes read the same final memory, select the
 /// first longest chain, and take the sign of the sum of its first `k`
-/// appends (Algorithm 5 lines 8–10).
-fn decide(p: &Params, sim: &ChainSim, correct_appends: usize) -> ChainTrial {
+/// appends (Algorithm 5 lines 8–10). Shared with the network-propagated
+/// runner in [`crate::propagation`].
+pub(crate) fn decide(p: &Params, sim: &ChainSim, correct_appends: usize) -> ChainTrial {
     // Canonical chain: walk back from the smallest-id deepest tip.
     let tips = sim.deepest_in_prefix(sim.mem.len());
     let tip = tips[0];

@@ -237,7 +237,7 @@ pub(crate) fn select_chain(rule: DagRule, view: &MemoryView) -> Vec<MsgId> {
     }
 }
 
-fn decide(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) -> DagTrial {
+pub(crate) fn decide(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) -> DagTrial {
     let view = sim.mem.read();
     let chain = select_chain(rule, &view);
     let lin = linearize(&view, &chain);

@@ -38,6 +38,7 @@
 pub mod chain;
 pub mod dag;
 pub mod params;
+pub mod propagation;
 pub mod runner;
 pub mod timestamp;
 pub mod weak;
@@ -45,6 +46,7 @@ pub mod weak;
 pub use chain::{run_chain, ChainAdversary, ChainTrial, TieBreak};
 pub use dag::{run_dag, DagAdversary, DagRule, DagTrial};
 pub use params::{Params, ViewPolicy};
+pub use propagation::{run_chain_net, run_dag_net, BlockMsg, Propagation};
 pub use runner::{measure_failure_rate, resilience_threshold, TrialKind};
 pub use timestamp::{run_timestamp, TimestampTrial};
 pub use weak::{

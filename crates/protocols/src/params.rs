@@ -1,6 +1,7 @@
 //! Shared parameters of the Section 5 experiments.
 
 use am_core::NodeId;
+use am_net::NetProfile;
 
 /// How a correct node's append-time view lags the true memory (both are
 /// admissible readings of "synchronous nodes with bound Δ"; ablation A5
@@ -42,6 +43,10 @@ pub struct Params {
     pub view_policy: ViewPolicy,
     /// Trial seed.
     pub seed: u64,
+    /// Optional network profile: when set, trials run with real block
+    /// propagation over an `am-net` simulator instead of the abstract
+    /// interval-snapshot views (see [`crate::propagation`]).
+    pub net: Option<NetProfile>,
 }
 
 impl Params {
@@ -59,6 +64,7 @@ impl Params {
             token_ttl: 1.0,
             view_policy: ViewPolicy::IntervalSnapshot,
             seed,
+            net: None,
         }
     }
 
@@ -66,6 +72,13 @@ impl Params {
     #[must_use]
     pub fn with_view_policy(mut self, vp: ViewPolicy) -> Params {
         self.view_policy = vp;
+        self
+    }
+
+    /// Same parameters with trials run over a faulty network (E14).
+    #[must_use]
+    pub fn with_net(mut self, profile: NetProfile) -> Params {
+        self.net = Some(profile);
         self
     }
 

@@ -1,0 +1,499 @@
+//! Block propagation over a faulty network (Algorithms 5/6 over `am-net`).
+//!
+//! The baseline runners in [`crate::chain`] and [`crate::dag`] model the
+//! synchrony bound Δ abstractly: a correct node's view is the shared
+//! memory truncated to an interval snapshot. This module replaces the
+//! abstraction with an actual message-passing substrate — every block is
+//! broadcast over an [`am_net::SimNet`] and a node's view is exactly the
+//! set of blocks that *arrived* (closed under ancestors), so latency,
+//! drops, duplication, and partitions directly shape the views.
+//!
+//! Under a fault-free low-latency profile the behaviour matches the
+//! abstract model; as faults grow, correct nodes build on stale tips. The
+//! chain *orphans* the resulting forks while the DAG *includes* them —
+//! experiment E14 measures how the paper's chain-vs-DAG validity gap
+//! responds (the exclusive chain degrades first, Theorems 5.4/5.6).
+//!
+//! Time base: one simulated second (one Δ at the default `delta = 1`)
+//! is `1e9` ns on the network clock, so latency models are in ns and a
+//! `Constant(50_000_000)` link is 0.05 Δ.
+
+use crate::chain::{ChainAdversary, ChainSim, ChainTrial, TieBreak};
+use crate::dag::{DagAdversary, DagRule, DagSim, DagTrial};
+use crate::params::Params;
+use am_core::{MsgId, Time, Value, GENESIS};
+use am_net::{Kinded, NetProfile, NetStats, SimNet, Transport};
+use am_poisson::{Grant, TokenAuthority};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// The gossip payload: a block reference (contents live in the shared
+/// arrival log; the network only decides *when* each node learns of it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockMsg {
+    /// The announced block.
+    pub id: MsgId,
+}
+
+impl Kinded for BlockMsg {
+    fn kind(&self) -> &'static str {
+        "block"
+    }
+}
+
+/// Converts protocol time (seconds) to network time (ns).
+fn ns(t: Time) -> u64 {
+    (t.seconds() * 1e9) as u64
+}
+
+/// Per-node visibility of the growing block DAG, driven by deliveries
+/// from a [`SimNet`].
+///
+/// A block becomes *visible* to a node only once all its parents are
+/// visible (arrivals of orphan announcements are buffered) — views are
+/// always ancestor-closed sub-DAGs, as required by both protocols.
+pub struct Propagation {
+    net: SimNet<BlockMsg>,
+    n: usize,
+    /// Global block metadata, indexed by `MsgId::index()`.
+    depth: Vec<u32>,
+    parents: Vec<Vec<MsgId>>,
+    /// `visible[node][id.index()]`.
+    visible: Vec<Vec<bool>>,
+    /// Arrived blocks waiting for parents, per node.
+    pending: Vec<Vec<MsgId>>,
+    /// Current tips (visible blocks with no visible child), per node.
+    tips: Vec<Vec<MsgId>>,
+    /// Max visible depth and the blocks achieving it, per node.
+    best_depth: Vec<u32>,
+    deepest: Vec<Vec<MsgId>>,
+}
+
+impl Propagation {
+    /// A propagation layer for `n` nodes over `profile`, seeded.
+    pub fn new(n: usize, profile: &NetProfile, seed: u64) -> Propagation {
+        Propagation {
+            net: profile.build(n, seed),
+            n,
+            depth: vec![0],
+            parents: vec![Vec::new()],
+            visible: vec![vec![true]; n], // genesis is visible everywhere
+            pending: vec![Vec::new(); n],
+            tips: vec![vec![GENESIS]; n],
+            best_depth: vec![0; n],
+            deepest: vec![vec![GENESIS]; n],
+        }
+    }
+
+    /// Registers a freshly appended block and broadcasts its announcement
+    /// from `author` (who sees it instantly). Call [`Self::advance_to`]
+    /// with the append time first so fault windows line up.
+    pub fn on_append(&mut self, author: usize, id: MsgId, parents: &[MsgId], _at: Time) {
+        let idx = id.index();
+        debug_assert_eq!(idx, self.depth.len(), "appends must arrive in id order");
+        let d = parents
+            .iter()
+            .map(|p| self.depth[p.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        self.depth.push(d);
+        self.parents.push(parents.to_vec());
+        for v in &mut self.visible {
+            v.push(false);
+        }
+        self.mark_visible(author, id);
+        for to in 0..self.n {
+            if to != author {
+                self.net.send(author, to, BlockMsg { id });
+            }
+        }
+    }
+
+    /// Delivers everything scheduled up to `at` and folds the arrivals
+    /// into per-node views.
+    pub fn advance_to(&mut self, at: Time) {
+        self.net.advance_until(ns(at));
+        for node in 0..self.n {
+            while let Some(env) = self.net.deliver(node) {
+                self.try_admit(node, env.payload.id);
+            }
+        }
+    }
+
+    /// Drains every remaining in-flight announcement (used before the
+    /// final common read in tests; the protocols decide on the shared log,
+    /// so the runners themselves don't need it).
+    pub fn settle(&mut self) {
+        while self.net.advance() {
+            for node in 0..self.n {
+                while let Some(env) = self.net.deliver(node) {
+                    self.try_admit(node, env.payload.id);
+                }
+            }
+        }
+    }
+
+    fn try_admit(&mut self, node: usize, id: MsgId) {
+        if self.visible[node][id.index()] {
+            return; // duplicate delivery
+        }
+        if self.parents_visible(node, id) {
+            self.mark_visible(node, id);
+            self.flush_pending(node);
+        } else {
+            self.pending[node].push(id);
+        }
+    }
+
+    fn parents_visible(&self, node: usize, id: MsgId) -> bool {
+        self.parents[id.index()]
+            .iter()
+            .all(|p| self.visible[node][p.index()])
+    }
+
+    fn flush_pending(&mut self, node: usize) {
+        loop {
+            let ready: Vec<MsgId> = self.pending[node]
+                .iter()
+                .copied()
+                .filter(|&id| self.parents_visible(node, id))
+                .collect();
+            if ready.is_empty() {
+                return;
+            }
+            self.pending[node].retain(|id| !ready.contains(id));
+            for id in ready {
+                if !self.visible[node][id.index()] {
+                    self.mark_visible(node, id);
+                }
+            }
+        }
+    }
+
+    fn mark_visible(&mut self, node: usize, id: MsgId) {
+        let idx = id.index();
+        self.visible[node][idx] = true;
+        let parents = &self.parents[idx];
+        self.tips[node].retain(|t| !parents.contains(t));
+        self.tips[node].push(id);
+        let d = self.depth[idx];
+        match d.cmp(&self.best_depth[node]) {
+            std::cmp::Ordering::Greater => {
+                self.best_depth[node] = d;
+                self.deepest[node] = vec![id];
+            }
+            std::cmp::Ordering::Equal => self.deepest[node].push(id),
+            std::cmp::Ordering::Less => {}
+        }
+    }
+
+    /// The tips of `node`'s visible sub-DAG, sorted by id (what an
+    /// Algorithm 6 append references).
+    pub fn visible_tips(&self, node: usize) -> Vec<MsgId> {
+        let mut t = self.tips[node].clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// The deepest visible blocks of `node`, sorted by id — the longest
+    /// chains of its view (Algorithm 5 line 6; index 0 is the
+    /// deterministic "first in memory" tie-break winner).
+    pub fn deepest_visible(&self, node: usize) -> Vec<MsgId> {
+        let mut t = self.deepest[node].clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// How many blocks (genesis included) `node` can see.
+    pub fn visible_count(&self, node: usize) -> usize {
+        self.visible[node].iter().filter(|&&v| v).count()
+    }
+
+    /// The network's observability data.
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+}
+
+/// Runs one Algorithm 5 trial with block propagation over `profile`,
+/// returning the trial outcome and the network statistics.
+///
+/// The adversary stays omniscient (it reads the shared log directly —
+/// the worst case), but its blocks travel the same faulty network.
+pub fn run_chain_net(
+    p: &Params,
+    tie: TieBreak,
+    adv: ChainAdversary,
+    profile: &NetProfile,
+) -> (ChainTrial, NetStats) {
+    let mut sim = ChainSim::new(p);
+    let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
+    let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(p.seed ^ 0x5eed5eed5eed5eed);
+
+    let mut cur_interval = 0u64;
+    let mut banked: Vec<Grant> = Vec::new();
+    let mut forked: HashSet<MsgId> = HashSet::new();
+    let mut hit_this_interval = false;
+    let mut correct_appends = 0usize;
+
+    let ttl = p.token_ttl * p.delta;
+    let max_grants = 10_000 + 400 * p.k * (p.n + 1);
+    let mut grants = 0usize;
+
+    while (sim.max_depth() as usize) < p.k {
+        grants += 1;
+        if grants > max_grants {
+            break; // undelivered blocks can stall growth; count as failure
+        }
+        let g = auth.next_grant();
+        prop.advance_to(g.time);
+        let interval = (g.time.seconds() / p.delta) as u64;
+        if interval != cur_interval {
+            cur_interval = interval;
+            hit_this_interval = false;
+        }
+        banked.retain(|b| b.time.seconds() + ttl >= g.time.seconds());
+
+        if auth.is_byz(g.node) {
+            match adv {
+                ChainAdversary::Absent => {}
+                ChainAdversary::Dissenter => {
+                    let tip = sim.deepest_in_prefix(sim.mem.len())[0];
+                    let id = sim.append(g.node, Value::minus(), tip, g.time);
+                    prop.on_append(g.node.index(), id, &[tip], g.time);
+                }
+                ChainAdversary::ForkMaker | ChainAdversary::TieBreaker => banked.push(g),
+            }
+            continue;
+        }
+
+        // Correct append: the longest chain of what actually arrived.
+        let tips = prop.deepest_visible(g.node.index());
+        let tip = match tie {
+            TieBreak::Deterministic => tips[0],
+            TieBreak::Randomized => tips[rng.gen_range(0..tips.len())],
+        };
+
+        if adv == ChainAdversary::ForkMaker && !forked.contains(&tip) {
+            if let Some(tok) = banked.pop() {
+                let id = sim.append(tok.node, Value::minus(), tip, g.time);
+                prop.on_append(tok.node.index(), id, &[tip], g.time);
+                forked.insert(tip);
+            }
+        }
+
+        let correct_block = sim.append(g.node, Value::plus(), tip, g.time);
+        prop.on_append(g.node.index(), correct_block, &[tip], g.time);
+        correct_appends += 1;
+
+        if adv == ChainAdversary::TieBreaker && !hit_this_interval && !banked.is_empty() {
+            let mut tip = correct_block;
+            for tok in banked.drain(..) {
+                let id = sim.append(tok.node, Value::minus(), tip, g.time);
+                prop.on_append(tok.node.index(), id, &[tip], g.time);
+                tip = id;
+            }
+            hit_this_interval = true;
+        }
+    }
+
+    (
+        crate::chain::decide(p, &sim, correct_appends),
+        prop.stats().clone(),
+    )
+}
+
+/// Runs one Algorithm 6 trial with block propagation over `profile`,
+/// returning the trial outcome and the network statistics.
+pub fn run_dag_net(
+    p: &Params,
+    rule: DagRule,
+    adv: DagAdversary,
+    profile: &NetProfile,
+) -> (DagTrial, NetStats) {
+    let mut sim = DagSim::new(p);
+    let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
+    let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
+
+    let mut banked: Vec<Grant> = Vec::new();
+    let mut burst_len = 0usize;
+    let ttl = p.token_ttl * p.delta;
+    let max_grants = 10_000 + 400 * p.k * (p.n + 1);
+    let mut grants = 0usize;
+
+    loop {
+        if sim.mem.len() > p.k {
+            let view = sim.mem.read();
+            let covered = sim.covered_values(&view, sim.deepest());
+            if covered >= p.k {
+                break;
+            }
+            if adv == DagAdversary::WithholdBurst
+                && !banked.is_empty()
+                && covered + banked.len() >= p.k
+            {
+                let mut tip = sim.deepest();
+                let fire_at = sim.mem.now();
+                prop.advance_to(fire_at);
+                for tok in banked.drain(..) {
+                    let id = sim.append(tok.node, Value::minus(), &[tip], fire_at);
+                    prop.on_append(tok.node.index(), id, &[tip], fire_at);
+                    tip = id;
+                    burst_len += 1;
+                }
+                continue;
+            }
+        }
+
+        grants += 1;
+        if grants > max_grants {
+            break;
+        }
+        let g = auth.next_grant();
+        prop.advance_to(g.time);
+        banked.retain(|b| b.time.seconds() + ttl >= g.time.seconds());
+
+        if auth.is_byz(g.node) {
+            match adv {
+                DagAdversary::Absent => {}
+                DagAdversary::Dissenter => {
+                    let tips = sim.tips_of_prefix(sim.mem.len());
+                    let id = sim.append(g.node, Value::minus(), &tips, g.time);
+                    prop.on_append(g.node.index(), id, &tips, g.time);
+                }
+                DagAdversary::WithholdBurst => banked.push(g),
+            }
+            continue;
+        }
+
+        // Correct append: reference every tip that actually arrived.
+        let tips = prop.visible_tips(g.node.index());
+        let id = sim.append(g.node, Value::plus(), &tips, g.time);
+        prop.on_append(g.node.index(), id, &tips, g.time);
+    }
+
+    (
+        crate::dag::decide(p, &sim, rule, burst_len),
+        prop.stats().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_net::LatencyModel;
+
+    /// 0.01 Δ constant latency — effectively the synchronous ideal.
+    fn fast() -> NetProfile {
+        NetProfile::ideal(LatencyModel::Constant(10_000_000))
+    }
+
+    #[test]
+    fn visibility_is_ancestor_closed_under_reordering() {
+        // Child announced over a fast link, parent over a slow one: the
+        // child must stay buffered until the parent arrives.
+        let profile = NetProfile::ideal(LatencyModel::Constant(0));
+        let mut prop = Propagation::new(3, &profile, 1);
+        prop.net
+            .set_link_latency(0, 2, LatencyModel::Constant(1_000));
+        prop.net.set_link_latency(1, 2, LatencyModel::Constant(10));
+        let a = MsgId(1); // by node 0, slow to reach node 2
+        let b = MsgId(2); // by node 1 on top of a, fast to reach node 2
+        prop.on_append(0, a, &[GENESIS], Time::ZERO);
+        prop.advance_to(Time::new(1e-9 * 5.0));
+        prop.on_append(1, b, &[a], Time::new(1e-9 * 5.0));
+        prop.advance_to(Time::new(1e-9 * 100.0));
+        assert_eq!(prop.visible_count(2), 1, "b arrived but a hasn't: buffered");
+        assert_eq!(prop.visible_tips(2), vec![GENESIS]);
+        prop.advance_to(Time::new(1e-9 * 2000.0));
+        assert_eq!(prop.visible_count(2), 3, "a arrived, unlocking b");
+        assert_eq!(prop.visible_tips(2), vec![b]);
+        assert_eq!(prop.deepest_visible(2), vec![b]);
+    }
+
+    #[test]
+    fn fault_free_chain_decides_plus() {
+        for seed in 0..5 {
+            let p = Params::new(8, 2, 0.5, 15, seed);
+            let (out, stats) =
+                run_chain_net(&p, TieBreak::Randomized, ChainAdversary::Absent, &fast());
+            assert!(out.validity, "seed {seed}");
+            assert!(out.chain_len >= p.k);
+            assert!(stats.totals().sent > 0);
+            assert_eq!(stats.totals().dropped, 0);
+        }
+    }
+
+    #[test]
+    fn fault_free_dag_decides_plus() {
+        for seed in 0..5 {
+            let p = Params::new(8, 2, 0.5, 15, seed);
+            let (out, _) = run_dag_net(&p, DagRule::LongestChain, DagAdversary::Absent, &fast());
+            assert!(out.validity, "seed {seed}");
+            assert!(out.covered_values >= p.k);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Params::new(10, 3, 0.5, 21, 99);
+        let profile = fast().with_drop(0.1);
+        let (a, sa) = run_chain_net(
+            &p,
+            TieBreak::Randomized,
+            ChainAdversary::TieBreaker,
+            &profile,
+        );
+        let (b, sb) = run_chain_net(
+            &p,
+            TieBreak::Randomized,
+            ChainAdversary::TieBreaker,
+            &profile,
+        );
+        assert_eq!(a, b);
+        assert_eq!(sa.trace(), sb.trace());
+    }
+
+    #[test]
+    fn drops_orphan_the_chain_but_not_the_dag() {
+        // At a heavy drop rate correct nodes miss each other's blocks and
+        // fork; the chain wastes those appends, while the DAG's inclusive
+        // references recover most of them whenever views re-merge.
+        let mut chain_kept = 0.0;
+        let mut dag_kept = 0.0;
+        let mut chain_orphans = 0usize;
+        let trials = 8;
+        for seed in 0..trials {
+            let p = Params::new(8, 0, 0.5, 15, seed);
+            let profile = fast().with_drop(0.4);
+            let (c, _) = run_chain_net(&p, TieBreak::Randomized, ChainAdversary::Absent, &profile);
+            chain_orphans += c.orphaned_correct;
+            chain_kept += c.chain_len as f64 / c.total_appends as f64;
+            let (d, _) = run_dag_net(&p, DagRule::LongestChain, DagAdversary::Absent, &profile);
+            dag_kept += d.covered_values as f64 / d.total_appends as f64;
+        }
+        let (chain_kept, dag_kept) = (chain_kept / trials as f64, dag_kept / trials as f64);
+        assert!(
+            chain_orphans > trials as usize,
+            "40% drops must orphan chain appends, got {chain_orphans}"
+        );
+        assert!(
+            dag_kept > chain_kept + 0.1,
+            "the DAG must include clearly more appends than the chain keeps: \
+             dag {dag_kept:.3} vs chain {chain_kept:.3}"
+        );
+    }
+
+    #[test]
+    fn partition_forks_both_sides_then_heals() {
+        // A long partition makes the halves build privately; the DAG
+        // still covers nearly everything once views merge.
+        let p = Params::new(8, 0, 0.5, 15, 3);
+        let profile = fast().with_partition(0, 20_000_000_000); // 20 Δ
+        let (d, stats) = run_dag_net(&p, DagRule::LongestChain, DagAdversary::Absent, &profile);
+        assert!(stats.totals().dropped > 0, "the partition must cut traffic");
+        assert!(d.validity, "an adversary-free DAG stays valid across heal");
+    }
+}

@@ -8,6 +8,7 @@
 use crate::chain::{run_chain, ChainAdversary, TieBreak};
 use crate::dag::{run_dag, DagAdversary, DagRule};
 use crate::params::Params;
+use crate::propagation::{run_chain_net, run_dag_net};
 use crate::timestamp::run_timestamp;
 use am_stats::{search_threshold, Proportion, ThresholdResult};
 use rayon::prelude::*;
@@ -33,12 +34,21 @@ impl TrialKind {
         }
     }
 
-    /// Runs one trial; returns whether **validity failed**.
+    /// Runs one trial; returns whether **validity failed**. When
+    /// `p.net` is set, chain/DAG trials propagate blocks over the faulty
+    /// network (the timestamp baseline has a central authority and no
+    /// gossip, so the profile does not apply to it).
     pub fn run_one(&self, p: &Params) -> bool {
-        match self {
-            TrialKind::Timestamp => !run_timestamp(p).validity,
-            TrialKind::Chain(tie, adv) => !run_chain(p, *tie, *adv).validity,
-            TrialKind::Dag(rule, adv) => !run_dag(p, *rule, *adv).validity,
+        match (self, p.net) {
+            (TrialKind::Timestamp, _) => !run_timestamp(p).validity,
+            (TrialKind::Chain(tie, adv), None) => !run_chain(p, *tie, *adv).validity,
+            (TrialKind::Chain(tie, adv), Some(profile)) => {
+                !run_chain_net(p, *tie, *adv, &profile).0.validity
+            }
+            (TrialKind::Dag(rule, adv), None) => !run_dag(p, *rule, *adv).validity,
+            (TrialKind::Dag(rule, adv), Some(profile)) => {
+                !run_dag_net(p, *rule, *adv, &profile).0.validity
+            }
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the call shape of the real crate (`criterion_group!` /
+//! `criterion_main!` / `benchmark_group` / `bench_with_input` /
+//! `Bencher::iter`) but measures with a plain wall-clock loop and prints
+//! one line per benchmark — no statistics, plots, or baselines. Good
+//! enough to compare orders of magnitude offline; not a statistics suite.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the measured closure; handed to benchmark bodies.
+pub struct Bencher {
+    iters_hint: u64,
+}
+
+impl Bencher {
+    /// Times `f`: a short warm-up, then batches until the time budget is
+    /// spent, reporting mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < self.iters_hint {
+            black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.report(iters.max(1), total);
+    }
+
+    fn report(&mut self, iters: u64, total: Duration) {
+        let ns = total.as_nanos() as f64 / iters as f64;
+        // Stashed by the caller via println; the group prefixes the id.
+        println!("{:>14.1} ns/iter ({} iters)", ns, iters);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Caps measured iterations (the real crate's statistical sample
+    /// count; here a plain iteration ceiling).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a displayed input parameter.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        print!("bench {}/{} ... ", self.name, id.id);
+        let mut b = Bencher {
+            iters_hint: self.sample_size as u64 * 10,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Benchmarks a closure with no displayed input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {}/{} ... ", self.name, id.into());
+        let mut b = Bencher {
+            iters_hint: self.sample_size as u64 * 10,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark harness handle passed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {} ... ", id.into());
+        let mut b = Bencher { iters_hint: 1000 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

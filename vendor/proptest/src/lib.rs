@@ -1,0 +1,187 @@
+//! Vendored stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: the `proptest!` test macro,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `prop_map`, `Just`, `prop_oneof!`, `prop::collection::vec`, the
+//! `prop_assert*` / `prop_assume!` macros, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! * no shrinking — a failing case reports its case number, not a minimal
+//!   counterexample;
+//! * seeding is deterministic per test (hash of the test's module path),
+//!   so failures reproduce across runs without a regressions file;
+//! * `proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg(<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(&($($s,)+), |($($p,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Picks uniformly among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal (requires `Debug` for the default
+/// message, like real proptest).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides are {:?}", a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current sample without failing; the runner resamples.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Pick {
+        A(u8),
+        B,
+    }
+
+    fn pick() -> impl Strategy<Value = Pick> {
+        prop_oneof![any::<u8>().prop_map(Pick::A), Just(Pick::B)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..10, y in -1i8..=1, z in 0usize..3) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1..=1).contains(&y));
+            prop_assert!(z < 3);
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for &x in &xs {
+                prop_assert!(x < 5, "element {} out of range", x);
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(p in pick(), n in 0u8..10) {
+            prop_assume!(n != 0);
+            prop_assert_ne!(n, 0);
+            match p {
+                Pick::A(_) | Pick::B => {}
+            }
+        }
+    }
+
+    #[test]
+    fn same_name_same_samples() {
+        let draw = |name: &str| {
+            let mut r = TestRunner::new(ProptestConfig::with_cases(5), name);
+            let mut out = Vec::new();
+            r.run(&(0u64..1000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(draw("t1"), draw("t1"));
+        assert_ne!(draw("t1"), draw("t2"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The case loop: sample → run → pass / fail / resample.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+
+/// How many cases each property runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is violated; the test fails.
+    Fail(String),
+    /// The sample does not satisfy a `prop_assume!`; resample.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected sample with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies. Seeded deterministically per test so
+/// failures reproduce without a regressions file.
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+/// Drives a property: samples the strategy tuple `cases` times.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner whose RNG is seeded from `name` (use the test's
+    /// module path + function name).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name, then a fixed tweak so the seed is not the
+        // raw hash of a short string.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng {
+                rng: SmallRng::seed_from_u64(h ^ 0x9e37_79b9_7f4a_7c15),
+            },
+        }
+    }
+
+    /// Runs `test` on `config.cases` samples of `strategy`, panicking on
+    /// the first failing case. Rejected samples are redrawn and do not
+    /// count toward the case total.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let max_rejects = (self.config.cases as u64).saturating_mul(64).max(1024);
+        let mut rejects: u64 = 0;
+        for case in 0..self.config.cases {
+            loop {
+                let value = strategy.sample(&mut self.rng);
+                match test(value) {
+                    Ok(()) => break,
+                    Err(TestCaseError::Reject(why)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= max_rejects,
+                            "proptest: too many rejected samples ({rejects}); last: {why}"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} failed: {msg}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Vendored ChaCha-based generators (`ChaCha8Rng`, `ChaCha20Rng`).
+//!
+//! The block function is the genuine ChaCha permutation (RFC 8439 quarter
+//! rounds, 32-byte key, 64-bit counter), so the statistical quality matches
+//! the real `rand_chacha`. `seed_from_u64` expands the seed with SplitMix64
+//! into the key words; output streams are therefore *not* bit-identical to
+//! upstream `rand_chacha` (the workspace only requires seeded
+//! self-consistency, see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8 or 20 here).
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k" constants.
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14], state[15]: zero nonce (single-stream generator).
+    let mut work = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut work, 0, 4, 8, 12);
+        quarter_round(&mut work, 1, 5, 9, 13);
+        quarter_round(&mut work, 2, 6, 10, 14);
+        quarter_round(&mut work, 3, 7, 11, 15);
+        quarter_round(&mut work, 0, 5, 10, 15);
+        quarter_round(&mut work, 1, 6, 11, 12);
+        quarter_round(&mut work, 2, 7, 8, 13);
+        quarter_round(&mut work, 3, 4, 9, 14);
+    }
+    for (w, s) in work.iter_mut().zip(state.iter()) {
+        *w = w.wrapping_add(*s);
+    }
+    work
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread word index in `buf`; 16 means exhausted.
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.idx = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                // SplitMix64 key expansion, as upstream rand does for
+                // seed_from_u64.
+                let mut state = seed;
+                let mut next = || {
+                    state = state.wrapping_add(0x9e3779b97f4a7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                    z ^ (z >> 31)
+                };
+                let mut key = [0u32; 8];
+                for pair in key.chunks_exact_mut(2) {
+                    let w = next();
+                    pair[0] = w as u32;
+                    pair[1] = (w >> 32) as u32;
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buf: [0; 16],
+                    idx: 16,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds — the workspace's standard seeded generator."
+);
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn block_function_diffuses() {
+        // Flipping one key bit changes roughly half the output bits.
+        let mut k1 = [7u32; 8];
+        let k2 = k1;
+        k1[0] ^= 1;
+        let b1 = chacha_block(&k1, 0, 8);
+        let b2 = chacha_block(&k2, 0, 8);
+        let diff: u32 = b1
+            .iter()
+            .zip(b2.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert!((150..360).contains(&diff), "poor diffusion: {diff} bits");
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i} skewed: {b}");
+        }
+    }
+
+    #[test]
+    fn clone_continues_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,95 @@
+//! Vendored stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! `into_par_iter` / `par_iter` return the corresponding *sequential*
+//! std iterators, so every adapter chain written against rayon's API
+//! compiles and produces identical results, executed on one thread. All
+//! workspace uses of rayon are order-insensitive reductions over
+//! deterministically seeded trials, so sequential execution changes
+//! wall-clock only, never results.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    /// `rayon::prelude::IntoParallelIterator`, sequentially.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Hands back the sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `rayon::prelude::IntoParallelRefIterator`, sequentially.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Hands back the sequential borrowed iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `rayon::prelude::IntoParallelRefMutIterator`, sequentially.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The mutable borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Hands back the sequential mutable iterator.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Runs both closures (sequentially) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_behave_like_std() {
+        let count = (0u64..100)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .filter(|x| x % 2 == 0)
+            .count();
+        assert_eq!(count, 50);
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

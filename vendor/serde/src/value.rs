@@ -1,0 +1,286 @@
+//! The JSON value tree shared by the vendored `serde` and `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A JSON number, preserving integer exactness (u64/i64 round-trip
+/// losslessly; only genuine floats go through f64).
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl From<u64> for Number {
+    fn from(u: u64) -> Number {
+        Number::UInt(u)
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Number {
+        if i >= 0 {
+            Number::UInt(i as u64)
+        } else {
+            Number::Int(i)
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Number {
+        Number::Float(f)
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::UInt(a), Number::UInt(b)) => a == b,
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a.total_cmp(b) == std::cmp::Ordering::Equal,
+            (Number::UInt(a), Number::Int(b)) | (Number::Int(b), Number::UInt(a)) => {
+                i64::try_from(*a).map(|a| a == *b).unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A parsed or constructed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Reads the value as u64 if losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(u)) => Some(*u),
+            Value::Number(Number::Int(i)) => u64::try_from(*i).ok(),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads the value as i64 if losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            Value::Number(Number::UInt(u)) => i64::try_from(*u).ok(),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads the value as f64 (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(f)) => Some(*f),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON.
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write(&mut out, pretty, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, depth + 1);
+                    }
+                    item.write(out, pretty, depth + 1);
+                }
+                if pretty {
+                    newline_indent(out, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, depth + 1);
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, pretty, depth + 1);
+                }
+                if pretty {
+                    newline_indent(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` prints the shortest representation that
+                // round-trips through f64 parsing.
+                let _ = write!(out, "{f:?}");
+            } else if f.is_nan() {
+                out.push_str("null");
+            } else if f > 0.0 {
+                // Overflows every finite f64 on parse, reading back as inf.
+                out.push_str("1e999");
+            } else {
+                out.push_str("-1e999");
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::UInt(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.render(false), r#"{"a":1,"b":[null,true]}"#);
+        let pretty = v.render(true);
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn floats_roundtrip_via_debug() {
+        for f in [0.1, 1.0 / 3.0, 1e-300, -2.5] {
+            let mut s = String::new();
+            write_number(&mut s, Number::Float(f));
+            assert_eq!(s.parse::<f64>().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let mut s = String::new();
+        write_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Number(Number::UInt(5));
+        assert_eq!(v.as_u64(), Some(5));
+        assert_eq!(v.as_i64(), Some(5));
+        assert_eq!(v.as_f64(), Some(5.0));
+        let neg = Value::Number(Number::Int(-2));
+        assert_eq!(neg.as_u64(), None);
+        assert_eq!(neg.as_i64(), Some(-2));
+    }
+}

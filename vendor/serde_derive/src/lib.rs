@@ -1,0 +1,304 @@
+//! Vendored stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled token walking instead of syn/quote (neither is available
+//! offline). Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields          → JSON object
+//! * tuple structs with one field       → the inner value (newtype rule)
+//! * tuple structs with N > 1 fields    → JSON array
+//! * enums of unit variants             → `"VariantName"`
+//! * enums with tuple-variant payloads  → `{"VariantName": payload}`
+//!   (one payload field → the value itself, several → an array)
+//!
+//! Generics, named-field enum variants, and `#[serde(...)]` attributes are
+//! unsupported and panic at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this arity.
+    TupleStruct(usize),
+    /// Enum variants: (name, payload arity). Arity 0 = unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),",
+                        p.name
+                    ),
+                    1 => format!(
+                        "{}::{v}(x0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(x0))]),",
+                        p.name
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(::std::vec![{}]))]),",
+                            p.name,
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        p.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| ::serde::Error::msg(::std::format!(\"{name}: missing field {f}\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if !::std::matches!(v, ::serde::Value::Object(_)) {{ return ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"{name}: expected object, found {{}}\", v.kind()))); }} ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Array(items) if items.len() == {n} => ::std::result::Result::Ok({name}({})), _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}: expected array of {n}\")) }}",
+                gets.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match payload {{ ::serde::Value::Array(items) if items.len() == {arity} => ::std::result::Result::Ok({name}::{v}({})), _ => ::std::result::Result::Err(::serde::Error::msg(\"{name}::{v}: expected array of {arity}\")) }},",
+                            gets.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::String(s) => match s.as_str() {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"{name}: unknown variant {{s}}\"))) }}, \
+                   ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                     let (tag, payload) = &entries[0]; \
+                     match tag.as_str() {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"{name}: unknown variant {{tag}}\"))) }} \
+                   }}, \
+                   other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"{name}: expected variant string or single-key object, found {{}}\", other.kind()))) \
+                 }}",
+                unit_arms.join(" "),
+                keyed_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---- token-level parsing ----
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are unsupported; hand-write the impl for {name}");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}` for {name}"),
+    };
+    Parsed { name, shape }
+}
+
+/// Advances past any `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas at angle-bracket depth zero.
+/// Groups are opaque single tokens, so only `<`/`>` need depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|variant| {
+            let mut i = 0;
+            skip_attrs_and_vis(&variant, &mut i);
+            let name = match variant.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let arity = match variant.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    count_top_level_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                    "serde_derive (vendored): named-field enum variants are unsupported ({name})"
+                ),
+                _ => 0,
+            };
+            (name, arity)
+        })
+        .collect()
+}

@@ -1,0 +1,275 @@
+//! Vendored stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Rendering delegates to [`serde::Value::render`]; parsing is a small
+//! recursive-descent JSON reader producing the same [`Value`] tree, then
+//! `T::from_value` rebuilds the target type.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Number, Serialize};
+
+/// Result alias matching the real crate's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render(false))
+}
+
+/// Renders pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render(true))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse_value(s)?;
+    T::from_value(&v)
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T> {
+    T::from_value(&v)
+}
+
+// ---- parser ----
+
+fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => expect_lit(b, pos, "null", Value::Null),
+        Some(b't') => expect_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => expect_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected , or ] at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::msg(format!("expected : at byte {pos}")));
+                }
+                *pos += 1;
+                let val = parse_at(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected , or }} at byte {pos}"))),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(Error::msg(format!(
+            "unexpected byte {:?} at {pos}",
+            *c as char
+        ))),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        // Surrogate pairs are not needed by this workspace's
+                        // own output (only \u00xx control escapes), but accept
+                        // lone BMP code points.
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error::msg("invalid code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::msg("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid utf-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number slice");
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::UInt(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::Int(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::Float(f)))
+        .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let src = r#"{"a":1,"b":[true,null,-2,0.5],"c":"x\ny","d":{"e":18446744073709551615}}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(
+            v.get("d").unwrap().get("e").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        let re = to_string(&v).unwrap();
+        let v2: Value = from_str(&re).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v: Value = from_str(r#"{"k":[1,2,3]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\""));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<f64> = from_str("[1.5, 2, -3e1]").unwrap();
+        assert_eq!(xs, vec![1.5, 2.0, -30.0]);
+        let n: u8 = from_str("200").unwrap();
+        assert_eq!(n, 200);
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("[1] x").is_err());
+    }
+
+    #[test]
+    fn escapes_parse() {
+        let s: String = from_str(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(s, "a\"b\\c\ndA");
+    }
+}
