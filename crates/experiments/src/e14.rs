@@ -19,8 +19,8 @@
 //!    fork, the exclusive chain orphans those forks (free slots for the
 //!    adversary) while the inclusive DAG recovers whatever arrives.
 //!
-//! Alongside `results/e14.json`, per-link/per-kind network statistics
-//! snapshots are written to `results/e14.netstats.json`.
+//! Alongside `<out-dir>/e14.json`, per-link/per-kind network statistics
+//! snapshots are saved as the `e14.netstats.json` side-car document.
 
 use crate::report::{f, Report};
 use am_mp::{MpMsg, MpSystem, Payload};
@@ -188,11 +188,15 @@ pub fn run(seed: u64) -> Report {
     );
 
     // --- Part 1: exact baseline equivalence. ---
-    let (table, notes) = baseline_equivalence(seed);
+    let (table, notes) = {
+        let _part = am_obs::span("baseline");
+        baseline_equivalence(seed)
+    };
     rep.tables.push(table);
     for n in notes {
         rep.note(n);
     }
+    let part2 = am_obs::span("abd_drops");
 
     // --- Part 2: ABD under message drops. ---
     let n = 5usize;
@@ -249,6 +253,9 @@ pub fn run(seed: u64) -> Report {
          quorum intersection is drop-proof.",
     );
 
+    drop(part2);
+    let part3 = am_obs::span("abd_partition");
+
     // --- Part 3: ABD under a half/half partition. ---
     // Minority side = nodes {0, 1}; window lengths in units of the mean
     // link latency (1e6 ns). Appends alternate sides.
@@ -298,6 +305,9 @@ pub fn run(seed: u64) -> Report {
          quorum and completes every append; the 2-node side stalls until \
          simulated time crosses the heal boundary.",
     );
+
+    drop(part3);
+    let part4 = am_obs::span("chain_vs_dag");
 
     // --- Part 4: chain vs DAG validity as delivery degrades. ---
     let pn = 12usize;
@@ -401,7 +411,10 @@ pub fn run(seed: u64) -> Report {
          With no retransmission, heavy loss eventually hurts both.",
     );
 
-    // --- Network observability snapshots → results/e14.netstats.json. ---
+    drop(part4);
+    let _part5 = am_obs::span("netstats");
+
+    // --- Network observability snapshots → the e14.netstats.json side-car. ---
     let profile = NetProfile::ideal(block_latency).with_drop(0.2);
     let p = Params::new(pn, pt, lambda, k, seed ^ 0x16);
     let (_, chain_stats) = run_chain_net(
@@ -424,10 +437,9 @@ pub fn run(seed: u64) -> Report {
         sections.insert(0, ("abd_drop_0.2".to_string(), abd));
     }
     let stats_doc = Value::Object(sections);
-    let _ = std::fs::create_dir_all("results");
     if let Ok(body) = serde_json::to_string_pretty(&stats_doc) {
-        let _ = std::fs::write("results/e14.netstats.json", body);
-        rep.note("Per-link/per-kind network statistics written to results/e14.netstats.json.");
+        rep.extra_json("e14.netstats.json", body);
+        rep.note("Per-link/per-kind network statistics saved as e14.netstats.json.");
     }
     rep
 }

@@ -51,8 +51,32 @@ pub fn describe(id: &str) -> &'static str {
     }
 }
 
-/// Runs one experiment by id with the given base seed.
+/// Runs one experiment by id with the given base seed. The whole run is
+/// wrapped in an obs span named after the id, so sub-spans (ABD phases,
+/// trial sweeps, network flights) aggregate under `e<N>/...` paths.
 pub fn run_one(id: &str, seed: u64) -> Option<Report> {
+    let _span = am_obs::span(id);
+    dispatch(id, seed)
+}
+
+/// Runs one experiment, prints its report, and saves the JSON under
+/// `out_dir`. Returns the manifest record (`None` for unknown ids) —
+/// the one run/time/print/save path every harness entry point shares.
+pub fn execute(id: &str, seed: u64, out_dir: &str) -> Option<am_obs::ExperimentRecord> {
+    let started = std::time::Instant::now();
+    let rep = run_one(id, seed)?;
+    let duration_ms = started.elapsed().as_secs_f64() * 1e3;
+    println!("{}", rep.render());
+    let saved = rep.save_in(out_dir);
+    println!("[obs] {id} finished in {duration_ms:.0} ms");
+    Some(am_obs::ExperimentRecord {
+        id: id.to_string(),
+        duration_ms,
+        output: saved.map(|p| p.display().to_string()),
+    })
+}
+
+fn dispatch(id: &str, seed: u64) -> Option<Report> {
     match id {
         "e1" => Some(e1::run(seed)),
         "e2" => Some(e2::run(seed)),

@@ -6,14 +6,62 @@
 //! am-experiments                  # run everything (E1..E14)
 //! am-experiments e8 e9 e10        # run a subset
 //! am-experiments --seed 7 e8      # shift every Monte-Carlo trial
+//! am-experiments --out-dir out e8 # write out/e8.json + out/manifest.json
+//! am-experiments --trace t.json e14  # export a chrome://tracing trace
+//! am-experiments --no-obs e4      # skip spans/counters/manifest
 //! am-experiments --list           # list experiments
 //! ```
 //!
 //! Each experiment prints its tables/series and writes
-//! `results/<id>.json`. The default seed 0 reproduces the historic
+//! `<out-dir>/<id>.json` (default `results/`). Unless `--no-obs`, the run
+//! also writes `<out-dir>/manifest.json` — seed, per-experiment timings,
+//! output paths, and a snapshot of every span/counter/event recorded by
+//! the simulation layers. The default seed 0 reproduces the historic
 //! outputs exactly.
 
-use am_experiments::{describe, run_one, ALL};
+use am_experiments::{describe, execute, ALL};
+use am_obs::RunManifest;
+
+struct Cli {
+    seed: u64,
+    out_dir: String,
+    trace: Option<String>,
+    obs: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        seed: 0,
+        out_dir: "results".to_string(),
+        trace: None,
+        obs: true,
+        ids: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" | "-s" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs a u64, got '{v}'"))?;
+            }
+            "--out-dir" | "-o" => {
+                cli.out_dir = it.next().ok_or("--out-dir needs a path")?.clone();
+            }
+            "--trace" | "-t" => {
+                cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--no-obs" => cli.obs = false,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            id => cli.ids.push(id.to_lowercase()),
+        }
+    }
+    Ok(cli)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,42 +71,52 @@ fn main() {
         }
         return;
     }
-    let mut seed: u64 = 0;
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--seed" || a == "-s" {
-            let Some(v) = it.next() else {
-                eprintln!("--seed needs a value");
-                std::process::exit(2);
-            };
-            seed = match v.parse() {
-                Ok(s) => s,
-                Err(_) => {
-                    eprintln!("--seed needs a u64, got '{v}'");
-                    std::process::exit(2);
-                }
-            };
-        } else {
-            ids.push(a.to_lowercase());
+    let cli = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
+    };
+    am_obs::set_enabled(cli.obs);
+    if cli.obs && cli.trace.is_some() {
+        // A full export is requested: grow the trace ring so a whole run
+        // fits (the default cap favours bounded memory over completeness).
+        am_obs::set_ring_capacity(1 << 20);
     }
-    let selected: Vec<String> = if ids.is_empty() {
+
+    let selected: Vec<String> = if cli.ids.is_empty() {
         ALL.iter().map(|s| s.to_string()).collect()
     } else {
-        ids
+        cli.ids.clone()
     };
+    let mut manifest = RunManifest::new(cli.seed, cli.out_dir.clone());
     let mut failed = false;
     for id in &selected {
-        match run_one(id, seed) {
-            Some(rep) => {
-                println!("{}", rep.render());
-                rep.save_json();
-            }
+        match execute(id, cli.seed, &cli.out_dir) {
+            Some(rec) => manifest.record(rec),
             None => {
                 eprintln!("unknown experiment '{id}' (try --list)");
                 failed = true;
             }
+        }
+    }
+    if cli.obs {
+        if let Some(path) = &cli.trace {
+            match am_obs::export_chrome_trace(path) {
+                Ok(p) => {
+                    manifest.set_trace(p.display().to_string());
+                    println!(
+                        "[obs] trace written to {} (open in chrome://tracing)",
+                        p.display()
+                    );
+                }
+                Err(e) => eprintln!("[obs] trace export to '{path}' failed: {e}"),
+            }
+        }
+        match manifest.write() {
+            Ok(p) => println!("[obs] manifest written to {}", p.display()),
+            Err(e) => eprintln!("[obs] manifest write failed: {e}"),
         }
     }
     if failed {

@@ -1,11 +1,12 @@
 //! Experiment report plumbing: tables + series + notes, printed to stdout
-//! and optionally dumped as JSON under `results/`.
+//! and dumped as JSON under a caller-chosen output directory.
 
 use am_stats::{Series, Table};
-use serde::Serialize;
+use serde::{Serialize, Value};
+use std::path::PathBuf;
 
 /// One experiment's full output.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id, e.g. "E8".
     pub id: String,
@@ -19,6 +20,24 @@ pub struct Report {
     pub series: Vec<Series>,
     /// Free-form findings.
     pub notes: Vec<String>,
+    /// Side-car documents: `(file name, pre-rendered JSON body)` pairs
+    /// written next to the main JSON (e.g. E14's network statistics).
+    pub extras: Vec<(String, String)>,
+}
+
+// Manual impl: the JSON document keeps its historic six-field shape; the
+// extras land in their own files, not inside the report.
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), self.id.to_value()),
+            ("title".to_string(), self.title.to_value()),
+            ("paper_ref".to_string(), self.paper_ref.to_value()),
+            ("tables".to_string(), self.tables.to_value()),
+            ("series".to_string(), self.series.to_value()),
+            ("notes".to_string(), self.notes.to_value()),
+        ])
+    }
 }
 
 impl Report {
@@ -31,6 +50,7 @@ impl Report {
             tables: Vec::new(),
             series: Vec::new(),
             notes: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -65,12 +85,29 @@ impl Report {
         out
     }
 
+    /// Adds a side-car JSON document saved as `<out_dir>/<file>` by
+    /// [`Report::save_in`].
+    pub fn extra_json(&mut self, file: impl Into<String>, body: impl Into<String>) {
+        self.extras.push((file.into(), body.into()));
+    }
+
+    /// Writes the JSON form to `<dir>/<id>.json` plus every extra
+    /// document (best effort). Returns the main JSON path on success.
+    pub fn save_in(&self, dir: &str) -> Option<PathBuf> {
+        std::fs::create_dir_all(dir).ok()?;
+        let dir = std::path::Path::new(dir);
+        for (file, body) in &self.extras {
+            let _ = std::fs::write(dir.join(file), body);
+        }
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        let s = serde_json::to_string_pretty(self).ok()?;
+        std::fs::write(&path, s).ok()?;
+        Some(path)
+    }
+
     /// Writes the JSON form to `results/<id>.json` (best effort).
     pub fn save_json(&self) {
-        let _ = std::fs::create_dir_all("results");
-        if let Ok(s) = serde_json::to_string_pretty(self) {
-            let _ = std::fs::write(format!("results/{}.json", self.id.to_lowercase()), s);
-        }
+        let _ = self.save_in("results");
     }
 }
 
@@ -126,5 +163,20 @@ mod tests {
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("json demo"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_in_respects_dir_and_writes_extras() {
+        let mut r = Report::new("EDIR", "out-dir demo", "none");
+        r.extra_json("edir.sidecar.json", "{\"x\": 1}");
+        let dir = std::env::temp_dir().join("am_exp_report_test");
+        let main = r.save_in(dir.to_str().unwrap()).expect("save succeeds");
+        assert!(main.ends_with("edir.json"));
+        let body = std::fs::read_to_string(&main).unwrap();
+        assert!(body.contains("out-dir demo"));
+        assert!(!body.contains("sidecar"), "extras stay out of the report");
+        let side = std::fs::read_to_string(dir.join("edir.sidecar.json")).unwrap();
+        assert_eq!(side, "{\"x\": 1}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

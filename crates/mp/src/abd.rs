@@ -111,6 +111,9 @@ pub struct MpSystem<T: Transport<Payload> = Network> {
     /// Delivery order policy (asynchrony is delivery-order freedom).
     delivery: Delivery,
     delivery_rng: ChaCha8Rng,
+    obs_appends: am_obs::Counter,
+    obs_reads: am_obs::Counter,
+    obs_pumped: am_obs::Counter,
 }
 
 /// Delivery-order policies: the simulated network may hand a node its
@@ -158,6 +161,9 @@ impl<T: Transport<Payload>> MpSystem<T> {
             read_quorum: n / 2 + 1,
             delivery: Delivery::Fifo,
             delivery_rng: ChaCha8Rng::seed_from_u64(seed ^ 0xde11),
+            obs_appends: am_obs::counter("mp.appends"),
+            obs_reads: am_obs::counter("mp.reads"),
+            obs_pumped: am_obs::counter("mp.deliveries_pumped"),
         }
     }
 
@@ -248,6 +254,8 @@ impl<T: Transport<Payload>> MpSystem<T> {
         if self.byz[v] {
             return Err(MpError::WrongRole);
         }
+        let _op_span = am_obs::span("mp/append");
+        self.obs_appends.inc();
         let seq = self.next_seq[v];
         self.next_seq[v] += 1;
         let content = Self::msg_content(v, seq, value);
@@ -273,6 +281,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
         // Pump until the originator holds a quorum of acks.
         let key = (v, seq, content);
         let mut budget = self.max_pump;
+        let _quorum_span = am_obs::span("quorum");
         loop {
             if self.acks.get(&key).map_or(0, HashSet::len) >= self.quorum() {
                 break;
@@ -294,6 +303,8 @@ impl<T: Transport<Payload>> MpSystem<T> {
         if self.byz[v] {
             return Err(MpError::WrongRole);
         }
+        let _op_span = am_obs::span("mp/read");
+        self.obs_reads.inc();
         let op = self.next_op;
         self.next_op += 1;
         let before = self.net.sent_count();
@@ -301,6 +312,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
         // Collect responses by pumping; responses are tagged with `op`.
         let mut responders: HashSet<usize> = HashSet::new();
         let mut budget = self.max_pump;
+        let _quorum_span = am_obs::span("quorum");
         while responders.len() < self.read_quorum {
             if budget == 0 {
                 return Err(MpError::Stalled);
@@ -444,6 +456,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
             Delivery::Random => self.delivery_rng.gen_range(0..self.net.backlog(target)),
         };
         let env = self.net.deliver_at(target, idx).expect("backlog > 0");
+        self.obs_pumped.inc();
         let mut read_from: Option<usize> = None;
         if self.byz[target] {
             // Byzantine nodes are silent: they consume and ignore.

@@ -141,6 +141,10 @@ pub struct SimNet<M> {
     stats: NetStats,
     sent: u64,
     delivered: u64,
+    obs_sent: am_obs::Counter,
+    obs_delivered: am_obs::Counter,
+    obs_dropped: am_obs::Counter,
+    obs_duplicated: am_obs::Counter,
 }
 
 impl<M: Kinded> SimNet<M> {
@@ -160,6 +164,10 @@ impl<M: Kinded> SimNet<M> {
             stats: NetStats::new(n),
             sent: 0,
             delivered: 0,
+            obs_sent: am_obs::counter("net.sent"),
+            obs_delivered: am_obs::counter("net.delivered"),
+            obs_dropped: am_obs::counter("net.dropped"),
+            obs_duplicated: am_obs::counter("net.duplicated"),
         }
     }
 
@@ -217,6 +225,10 @@ impl<M: Kinded> SimNet<M> {
         let kind = ev.env.payload.kind();
         if self.crashed(to, self.now_ns) {
             self.stats.on_dropped(from, to, kind);
+            self.obs_dropped.inc();
+            am_obs::event("net/drop/crashed_receiver", to, self.now_ns, || {
+                format!("{kind} {from}->{to}")
+            });
             return false;
         }
         self.arrived[to].push_back((ev.env, ev.sent_ns, kind, ev.seq));
@@ -252,11 +264,16 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
         let kind = payload.kind();
         self.sent += 1;
         self.stats.on_sent(from, to, kind);
+        self.obs_sent.inc();
 
         // Sender or receiver crashed right now → the message never leaves
         // (receiver-side crash during flight is checked at arrival).
         if self.crashed(from, self.now_ns) {
             self.stats.on_dropped(from, to, kind);
+            self.obs_dropped.inc();
+            am_obs::event("net/drop/crashed_sender", from, self.now_ns, || {
+                format!("{kind} {from}->{to}")
+            });
             return;
         }
 
@@ -267,6 +284,10 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
                 Fault::Drop { prob } => {
                     if self.rng.gen_bool(*prob) {
                         self.stats.on_dropped(from, to, kind);
+                        self.obs_dropped.inc();
+                        am_obs::event("net/drop/random", from, self.now_ns, || {
+                            format!("{kind} {from}->{to}")
+                        });
                         return;
                     }
                 }
@@ -283,6 +304,10 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
                 Fault::Partition(p) => {
                     if p.cuts(from, to, self.now_ns) {
                         self.stats.on_dropped(from, to, kind);
+                        self.obs_dropped.inc();
+                        am_obs::event("net/drop/partitioned", from, self.now_ns, || {
+                            format!("{kind} {from}->{to}")
+                        });
                         return;
                     }
                 }
@@ -293,6 +318,10 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
         let base = self.latency_of(from, to).sample(&mut self.rng);
         if let Some(dup_extra) = duplicate {
             self.stats.on_duplicated(from, to, kind);
+            self.obs_duplicated.inc();
+            am_obs::event("net/duplicate", from, self.now_ns, || {
+                format!("{kind} {from}->{to}")
+            });
             self.schedule(
                 Envelope {
                     from,
@@ -312,6 +341,11 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
     fn deliver_at(&mut self, node: usize, idx: usize) -> Option<Envelope<M>> {
         let (env, sent_ns, kind, seq) = self.arrived[node].remove(idx)?;
         self.delivered += 1;
+        self.obs_delivered.inc();
+        if am_obs::enabled() {
+            // One flight span per delivery, on the receiver's sim row.
+            am_obs::record_sim_span(&format!("net/flight/{kind}"), node, sent_ns, self.now_ns);
+        }
         self.stats.on_delivered(
             DeliveryRecord {
                 at_ns: self.now_ns,

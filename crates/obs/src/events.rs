@@ -1,0 +1,170 @@
+//! The bounded structured-event ring buffer.
+//!
+//! Events are `(sim-time, node, kind, detail)` records. The ring holds
+//! the most recent `capacity` trace entries (spans share the same ring);
+//! per-kind totals keep counting even after eviction, so the manifest can
+//! report true event counts for arbitrarily long runs.
+
+use crate::registry::registry;
+use std::collections::VecDeque;
+
+/// One entry of the trace ring: either a completed span or an instant
+/// event, on the wall or sim timeline.
+#[derive(Clone, Debug)]
+pub(crate) enum TraceEvent {
+    Span {
+        path: String,
+        /// Sim-clock (true) or wall-clock (false) timeline.
+        sim: bool,
+        ts_us: f64,
+        dur_us: f64,
+        tid: u64,
+    },
+    Instant {
+        name: String,
+        ts_us: f64,
+        tid: u64,
+        detail: String,
+    },
+}
+
+pub(crate) struct Ring {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    pub(crate) fn new(cap: usize) -> Ring {
+        Ring {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+
+    pub(crate) fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.buf.len() > self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        (self.buf.iter().cloned().collect(), self.dropped)
+    }
+}
+
+/// Emits a structured instant event at `sim_ns` on the sim timeline,
+/// attributed to `node`. The `detail` closure only runs when obs is
+/// enabled, so format costs vanish with the subsystem.
+pub fn event<D: FnOnce() -> String>(kind: &str, node: usize, sim_ns: u64, detail: D) {
+    if !crate::enabled() {
+        return;
+    }
+    let reg = registry();
+    *reg.event_counts
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(kind.to_string())
+        .or_insert(0) += 1;
+    reg.ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(TraceEvent::Instant {
+            name: kind.to_string(),
+            ts_us: sim_ns as f64 / 1e3,
+            tid: node as u64,
+            detail: detail(),
+        });
+}
+
+/// Resizes the trace ring (evicting oldest entries if shrinking).
+pub fn set_ring_capacity(cap: usize) {
+    registry()
+        .ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .set_cap(cap);
+}
+
+/// Total instant events emitted since the last reset (evicted included).
+pub fn events_recorded() -> u64 {
+    registry()
+        .event_counts
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+        .sum()
+}
+
+/// Trace-ring entries evicted by the capacity bound since the last reset.
+pub fn events_dropped() -> u64 {
+    registry()
+        .ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .snapshot()
+        .1
+}
+
+/// Per-kind event totals, kind-sorted (evicted events still counted).
+pub fn event_counts() -> Vec<(String, u64)> {
+    registry()
+        .event_counts
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn ring_bounds_but_counts_everything() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        set_ring_capacity(4);
+        for i in 0..10u64 {
+            event("e/tick", 0, i * 100, || format!("tick {i}"));
+        }
+        assert_eq!(events_recorded(), 10);
+        assert_eq!(events_dropped(), 6);
+        assert_eq!(event_counts(), vec![("e/tick".to_string(), 10)]);
+        // Restore a sane capacity for sibling tests.
+        set_ring_capacity(131_072);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn detail_closure_is_lazy_when_disabled() {
+        let _l = test_lock::hold();
+        crate::set_enabled(false);
+        crate::reset();
+        let mut ran = false;
+        event("e/lazy", 0, 0, || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "detail must not be built while disabled");
+    }
+}

@@ -1,0 +1,248 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Arc`s into the registry:
+//! fetch once (e.g. in a constructor), then increment on the hot path.
+//! Every mutation is gated on [`crate::enabled`], so a disabled registry
+//! costs one relaxed atomic load per call.
+
+use crate::registry::registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A named monotonic counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fetches (creating on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    Counter(Arc::clone(
+        map.entry(name.to_string()).or_default(),
+    ))
+}
+
+/// A snapshot of every counter, name-sorted.
+pub fn counter_values() -> Vec<(String, u64)> {
+    registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// The shared histogram storage: 64 log₂ buckets (bucket `i` counts
+/// values `v` with `2^(i-1) ≤ v < 2^i`; bucket 0 counts zeroes) plus
+/// running count/total for exact means.
+pub struct HistInner {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    total: AtomicU64,
+}
+
+impl HistInner {
+    fn new() -> HistInner {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Index of the log₂ bucket covering `v`.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+}
+
+/// Upper bound of bucket `i` — the value reported for quantiles.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Approximate quantile over log₂ buckets: the upper bound of the first
+/// bucket whose cumulative count reaches `q * count`.
+pub(crate) fn bucket_quantile(buckets: &[u64; 64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= target {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(63)
+}
+
+/// A named log₂-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.0.count.fetch_add(1, Ordering::Relaxed);
+            self.0.total.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough snapshot of the aggregates.
+    pub fn stats(&self) -> HistogramStats {
+        let buckets: [u64; 64] = std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        let count = self.0.count.load(Ordering::Relaxed);
+        let total = self.0.total.load(Ordering::Relaxed);
+        HistogramStats {
+            count,
+            total,
+            mean: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64
+            },
+            p50: bucket_quantile(&buckets, count, 0.50),
+            p99: bucket_quantile(&buckets, count, 0.99),
+        }
+    }
+}
+
+/// Aggregate view of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramStats {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub total: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Approximate median (log₂ bucket upper bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (log₂ bucket upper bound).
+    pub p99: u64,
+}
+
+/// Fetches (creating on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = registry().hists.lock().unwrap_or_else(|e| e.into_inner());
+    Histogram(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistInner::new())),
+    ))
+}
+
+/// A snapshot of every histogram's aggregates, name-sorted.
+pub fn histogram_values() -> Vec<(String, HistogramStats)> {
+    let names: Vec<String> = registry()
+        .hists
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .keys()
+        .cloned()
+        .collect();
+    names
+        .into_iter()
+        .map(|n| {
+            let s = histogram(&n).stats();
+            (n, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        let a = counter("m.test");
+        let b = counter("m.test");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert!(counter_values().contains(&("m.test".to_string(), 5)));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        let h = histogram("m.hist");
+        for v in [0u64, 1, 2, 3, 1000, 1000, 1000, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.total, 6 + 6000);
+        // 6 of 10 samples are 1000 → p50 lands in the [512, 1024) bucket.
+        assert_eq!(s.p50, 1023);
+        assert_eq!(s.p99, 1023);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        let mut buckets = [0u64; 64];
+        buckets[2] = 10;
+        assert_eq!(bucket_quantile(&buckets, 10, 0.5), 3);
+        assert_eq!(bucket_quantile(&buckets, 0, 0.5), 0);
+    }
+}

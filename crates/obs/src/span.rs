@@ -1,0 +1,284 @@
+//! Hierarchical span timers: RAII wall-clock spans and explicit
+//! simulated-time spans, aggregated per path.
+
+use crate::events::TraceEvent;
+use crate::metrics::{bucket_of, bucket_quantile};
+use crate::registry::{registry, wall_us};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full span paths active on this thread.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Small dense thread id for trace `tid` fields (`ThreadId` has no
+    /// stable integer form).
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Per-path aggregate: count/total/min/max plus log₂ buckets for
+/// approximate quantiles, all in nanoseconds.
+#[derive(Clone)]
+pub(crate) struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; 64],
+}
+
+impl Default for SpanAgg {
+    fn default() -> Self {
+        SpanAgg {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl SpanAgg {
+    pub(crate) fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+        self.buckets[bucket_of(dur_ns)] += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> SpanStats {
+        SpanStats {
+            count: self.count,
+            total_ns: self.total_ns,
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            // Quantiles are log₂-bucket upper bounds, clamped into the
+            // observed range so tiny counts stay sensible.
+            p50_ns: bucket_quantile(&self.buckets, self.count, 0.50).min(self.max_ns),
+            p99_ns: bucket_quantile(&self.buckets, self.count, 0.99).min(self.max_ns),
+        }
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed instances.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Shortest instance.
+    pub min_ns: u64,
+    /// Longest instance.
+    pub max_ns: u64,
+    /// Approximate median duration.
+    pub p50_ns: u64,
+    /// Approximate 99th-percentile duration.
+    pub p99_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean duration in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A live wall-clock span; records its duration when dropped.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+    ts_us: f64,
+}
+
+/// Opens a wall-clock span. The aggregation path is the name prefixed by
+/// the innermost span already open on this thread, joined with `/` —
+/// `span("e4")` then `span("mp/append")` aggregates under
+/// `"e4/mp/append"`. A no-op (and no stack entry) when obs is disabled.
+pub fn span(name: impl AsRef<str>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    let name = name.as_ref();
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        s.push(path.clone());
+        path
+    });
+    SpanGuard(Some(ActiveSpan {
+        path,
+        start: Instant::now(),
+        ts_us: wall_us(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let dur_ns = active.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards normally drop in LIFO order; be tolerant if one was
+            // leaked across an unwind.
+            if s.last() == Some(&active.path) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|p| p == &active.path) {
+                s.remove(pos);
+            }
+        });
+        let reg = registry();
+        reg.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(active.path.clone())
+            .or_default()
+            .record(dur_ns);
+        reg.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(TraceEvent::Span {
+                path: active.path,
+                sim: false,
+                ts_us: active.ts_us,
+                dur_us: dur_ns as f64 / 1e3,
+                tid: current_tid(),
+            });
+    }
+}
+
+/// Records a completed simulated-time span: `[start_ns, end_ns]` on the
+/// sim clock, attributed to `node` (the trace row it renders on). Unlike
+/// wall spans, sim spans don't nest through the thread stack — the path
+/// is exactly `name`.
+pub fn record_sim_span(name: &str, node: usize, start_ns: u64, end_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let dur_ns = end_ns.saturating_sub(start_ns);
+    let reg = registry();
+    reg.spans
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(name.to_string())
+        .or_default()
+        .record(dur_ns);
+    reg.ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(TraceEvent::Span {
+            path: name.to_string(),
+            sim: true,
+            ts_us: start_ns as f64 / 1e3,
+            dur_us: dur_ns as f64 / 1e3,
+            tid: node as u64,
+        });
+}
+
+/// A snapshot of every span aggregate, path-sorted.
+pub fn span_stats() -> Vec<(String, SpanStats)> {
+    registry()
+        .spans
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("b"); // same name again, same path
+        }
+        let stats = span_stats();
+        let paths: Vec<&str> = stats.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["a", "a/b", "a/b/c"]);
+        let ab = &stats.iter().find(|(p, _)| p == "a/b").unwrap().1;
+        assert_eq!(ab.count, 2);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn sim_spans_aggregate_exactly() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        record_sim_span("s", 0, 100, 200); // 100 ns
+        record_sim_span("s", 1, 0, 50); // 50 ns
+        record_sim_span("s", 2, 1000, 5000); // 4000 ns
+        let stats = span_stats();
+        let s = &stats.iter().find(|(p, _)| p == "s").unwrap().1;
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 4150);
+        assert_eq!(s.min_ns, 50);
+        assert_eq!(s.max_ns, 4000);
+        // p50 is the upper bound of 100's bucket [64, 128).
+        assert_eq!(s.p50_ns, 127);
+        // p99 falls in 4000's bucket but clamps to the observed max.
+        assert_eq!(s.p99_ns, 4000);
+        assert!((s.mean_ns() - 4150.0 / 3.0).abs() < 1e-9);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn backwards_sim_span_clamps_to_zero() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        record_sim_span("back", 3, 500, 100);
+        let stats = span_stats();
+        let s = &stats.iter().find(|(p, _)| p == "back").unwrap().1;
+        assert_eq!((s.count, s.total_ns, s.max_ns), (1, 0, 0));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_spans_do_not_disturb_the_stack() {
+        let _l = test_lock::hold();
+        crate::set_enabled(false);
+        crate::reset();
+        let outer = span("ghost");
+        crate::set_enabled(true);
+        {
+            let _inner = span("real");
+        }
+        drop(outer); // was never pushed; must not pop "real"'s frame
+        let stats = span_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "real");
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,157 @@
+//! Chrome-trace (Trace Event Format) JSON export.
+//!
+//! The exported document loads directly in `chrome://tracing` and in
+//! [Perfetto](https://ui.perfetto.dev). Two process rows separate the
+//! clocks: pid 1 is wall-clock spans (tid = dense thread id), pid 2 is
+//! the simulated timeline (tid = node id). All timestamps are
+//! microseconds, per the format.
+
+use crate::events::TraceEvent;
+use crate::registry::registry;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub(crate) const WALL_PID: u64 = 1;
+pub(crate) const SIM_PID: u64 = 2;
+
+/// JSON string escaping (the subset a trace needs; mirrors RFC 8259).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a non-negative microsecond value with fixed sub-µs precision
+/// (Chrome's parser accepts decimals; `{:?}` floats are overkill here).
+pub(crate) fn us(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn render_event(ev: &TraceEvent, out: &mut String) {
+    match ev {
+        TraceEvent::Span {
+            path,
+            sim,
+            ts_us,
+            dur_us,
+            tid,
+        } => {
+            let pid = if *sim { SIM_PID } else { WALL_PID };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid}}}",
+                esc(path),
+                us(*ts_us),
+                us(*dur_us),
+            ));
+        }
+        TraceEvent::Instant {
+            name,
+            ts_us,
+            tid,
+            detail,
+        } => {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{SIM_PID},\"tid\":{tid},\"args\":{{\"detail\":\"{}\"}}}}",
+                esc(name),
+                us(*ts_us),
+                esc(detail),
+            ));
+        }
+    }
+}
+
+/// Renders the current trace ring as a Chrome-trace JSON document.
+pub fn chrome_trace_json() -> String {
+    let (events, _) = registry()
+        .ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .snapshot();
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{WALL_PID},\"args\":{{\"name\":\"wall clock\"}}}},\n"
+    ));
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{SIM_PID},\"args\":{{\"name\":\"simulated time\"}}}}"
+    ));
+    for ev in &events {
+        out.push_str(",\n");
+        render_event(ev, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`, creating parent directories.
+pub fn export_chrome_trace<P: AsRef<Path>>(path: P) -> io::Result<PathBuf> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json())?;
+    Ok(path.to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn trace_document_shape() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _g = crate::span("trace/wall");
+        }
+        crate::record_sim_span("trace/sim", 4, 2_000, 9_000);
+        crate::event("trace/ev", 2, 5_000, || "x=\"1\"".into());
+        let doc = chrome_trace_json();
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"trace/wall\""));
+        // Sim span: starts at 2 µs, lasts 7 µs, node row 4, sim pid.
+        assert!(doc.contains(
+            "{\"name\":\"trace/sim\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":2.000,\"dur\":7.000,\"pid\":2,\"tid\":4}"
+        ));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("x=\\\"1\\\""), "details must be escaped");
+        assert!(doc.trim_end().ends_with("]}"));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn export_writes_file() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::record_sim_span("trace/file", 0, 0, 10);
+        let dir = std::env::temp_dir().join("am_obs_trace_test");
+        let path = dir.join("nested").join("trace.json");
+        let written = export_chrome_trace(&path).expect("export");
+        let body = std::fs::read_to_string(&written).unwrap();
+        assert!(body.contains("trace/file"));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(us(1234.5678), "1234.568");
+    }
+}

@@ -43,6 +43,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: Time,
+    obs_scheduled: am_obs::Counter,
+    obs_popped: am_obs::Counter,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,6 +60,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
+            obs_scheduled: am_obs::counter("poisson.des.scheduled"),
+            obs_popped: am_obs::counter("poisson.des.popped"),
         }
     }
 
@@ -70,6 +74,7 @@ impl<E> EventQueue<E> {
     /// logic error and panics.
     pub fn schedule(&mut self, t: Time, event: E) {
         assert!(t >= self.now, "cannot schedule into the past");
+        self.obs_scheduled.inc();
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled {
@@ -88,6 +93,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         let s = self.heap.pop()?;
+        self.obs_popped.inc();
         self.now = s.time;
         Some(s)
     }

@@ -35,6 +35,10 @@ pub struct TokenAuthority {
     banked: Vec<Grant>,
     granted: u64,
     granted_byz: u64,
+    prev_grant: Time,
+    obs_grants: am_obs::Counter,
+    obs_banked: am_obs::Counter,
+    obs_interarrival: am_obs::Histogram,
 }
 
 impl TokenAuthority {
@@ -53,6 +57,10 @@ impl TokenAuthority {
             banked: Vec::new(),
             granted: 0,
             granted_byz: 0,
+            prev_grant: Time::ZERO,
+            obs_grants: am_obs::counter("poisson.grants"),
+            obs_banked: am_obs::counter("poisson.grants_banked"),
+            obs_interarrival: am_obs::histogram("poisson.interarrival_ns"),
         }
     }
 
@@ -69,6 +77,14 @@ impl TokenAuthority {
         if self.is_byz(node) {
             self.granted_byz += 1;
         }
+        self.obs_grants.inc();
+        let prev_ns = (self.prev_grant.seconds() * 1e9) as u64;
+        let now_ns = (time.seconds() * 1e9) as u64;
+        self.obs_interarrival.record(now_ns.saturating_sub(prev_ns));
+        // The wait between consecutive system-wide grants, on the node
+        // that received the token.
+        am_obs::record_sim_span("poisson/grant", node.index(), prev_ns, now_ns);
+        self.prev_grant = time;
         Grant { node, time }
     }
 
@@ -79,6 +95,7 @@ impl TokenAuthority {
         loop {
             let g = self.next_grant();
             if self.is_byz(g.node) {
+                self.obs_banked.inc();
                 self.banked.push(g);
             } else {
                 return g;

@@ -68,6 +68,7 @@ pub struct Propagation {
     /// Max visible depth and the blocks achieving it, per node.
     best_depth: Vec<u32>,
     deepest: Vec<Vec<MsgId>>,
+    obs_announced: am_obs::Counter,
 }
 
 impl Propagation {
@@ -83,13 +84,14 @@ impl Propagation {
             tips: vec![vec![GENESIS]; n],
             best_depth: vec![0; n],
             deepest: vec![vec![GENESIS]; n],
+            obs_announced: am_obs::counter("protocols.blocks_announced"),
         }
     }
 
     /// Registers a freshly appended block and broadcasts its announcement
     /// from `author` (who sees it instantly). Call [`Self::advance_to`]
     /// with the append time first so fault windows line up.
-    pub fn on_append(&mut self, author: usize, id: MsgId, parents: &[MsgId], _at: Time) {
+    pub fn on_append(&mut self, author: usize, id: MsgId, parents: &[MsgId], at: Time) {
         let idx = id.index();
         debug_assert_eq!(idx, self.depth.len(), "appends must arrive in id order");
         let d = parents
@@ -102,6 +104,10 @@ impl Propagation {
         for v in &mut self.visible {
             v.push(false);
         }
+        self.obs_announced.inc();
+        am_obs::event("protocols/block_appended", author, ns(at), || {
+            format!("block {idx} depth {d}")
+        });
         self.mark_visible(author, id);
         for to in 0..self.n {
             if to != author {
@@ -227,6 +233,7 @@ pub fn run_chain_net(
     adv: ChainAdversary,
     profile: &NetProfile,
 ) -> (ChainTrial, NetStats) {
+    let _span = am_obs::span("protocols/chain_net");
     let mut sim = ChainSim::new(p);
     let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
@@ -245,7 +252,15 @@ pub fn run_chain_net(
     while (sim.max_depth() as usize) < p.k {
         grants += 1;
         if grants > max_grants {
-            break; // undelivered blocks can stall growth; count as failure
+            // Undelivered blocks can stall growth; count as failure.
+            am_obs::event("protocols/chain_stalled", 0, ns(sim.mem.now()), || {
+                format!(
+                    "k {} max_depth {} after {grants} grants",
+                    p.k,
+                    sim.max_depth()
+                )
+            });
+            break;
         }
         let g = auth.next_grant();
         prop.advance_to(g.time);
@@ -313,6 +328,7 @@ pub fn run_dag_net(
     adv: DagAdversary,
     profile: &NetProfile,
 ) -> (DagTrial, NetStats) {
+    let _span = am_obs::span("protocols/dag_net");
     let mut sim = DagSim::new(p);
     let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
@@ -349,6 +365,9 @@ pub fn run_dag_net(
 
         grants += 1;
         if grants > max_grants {
+            am_obs::event("protocols/dag_stalled", 0, ns(sim.mem.now()), || {
+                format!("k {} after {grants} grants", p.k)
+            });
             break;
         }
         let g = auth.next_grant();

@@ -65,11 +65,14 @@ pub fn trial_seed(base: u64, index: u64) -> u64 {
 /// Measures the validity-failure rate of `kind` at `p` over `trials`
 /// Monte-Carlo runs, in parallel.
 pub fn measure_failure_rate(p: &Params, kind: TrialKind, trials: u64) -> Proportion {
+    let _span = am_obs::span(format!("protocols/measure/{}", kind.label()));
+    am_obs::counter("protocols.trials").add(trials);
     let failures = (0..trials)
         .into_par_iter()
         .map(|i| kind.run_one(&p.with_seed(trial_seed(p.seed, i))))
         .filter(|&failed| failed)
         .count() as u64;
+    am_obs::counter("protocols.failures").add(failures);
     Proportion::from_counts(failures, trials)
 }
 
