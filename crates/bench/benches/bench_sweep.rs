@@ -1,0 +1,78 @@
+//! The adaptive sweep engine vs fixed budgets on the E8 resilience grid.
+//!
+//! Two claims to make visible: (1) wall-clock — one grid pass under
+//! Wilson early stopping vs the same grid at a fixed budget; (2) trial
+//! accounting — the `trial_savings` report runs both modes with the
+//! adaptive target set to the *worst* half-width the fixed run achieved,
+//! so the comparison is at equal statistical quality, and prints the
+//! total-trials ratio (the acceptance bar is ≥ 2×).
+
+use am_protocols::{ChainAdversary, Params, SweepConfig, SweepRunner, TieBreak, TrialKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The E8 grid: λ sweep × Byzantine counts, chain vs the tie-breaker.
+const LAMBDAS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
+const N: usize = 12;
+const K: usize = 41;
+const BUDGET: u64 = 300;
+
+fn grid_points() -> Vec<(f64, usize)> {
+    let mut pts = Vec::new();
+    for &lambda in &LAMBDAS {
+        for t in 1..=6usize {
+            pts.push((lambda, t));
+        }
+    }
+    pts
+}
+
+/// Runs the whole grid through `runner`; returns (total trials, worst
+/// achieved 95% half-width).
+fn run_grid(runner: &SweepRunner<'_>, tag: &str) -> (u64, f64) {
+    let kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker);
+    let mut total = 0u64;
+    let mut worst_hw = 0.0f64;
+    for (lambda, t) in grid_points() {
+        let p = Params::new(N, t, lambda, K, 7);
+        let r = runner.measure(&format!("{tag}/l{lambda}/t{t}"), &p, kind, BUDGET);
+        total += r.trials_used();
+        let w = r.ci95();
+        worst_hw = worst_hw.max((w.hi - w.lo) / 2.0);
+    }
+    (total, worst_hw)
+}
+
+fn bench_sweep_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8_sweep_engine");
+    g.sample_size(10);
+    let fixed = SweepRunner::new(SweepConfig::fixed());
+    g.bench_function("grid_fixed_300", |b| {
+        b.iter(|| black_box(run_grid(&fixed, "bf")))
+    });
+    let adaptive = SweepRunner::new(SweepConfig::adaptive(0.05));
+    g.bench_function("grid_adaptive_hw0.05", |b| {
+        b.iter(|| black_box(run_grid(&adaptive, "ba")))
+    });
+    g.finish();
+}
+
+/// Equal-quality trial accounting: fixed first (to learn its worst
+/// half-width), then adaptive targeting exactly that width. One line of
+/// bench output carries the ≥2× claim.
+fn trial_savings(_c: &mut Criterion) {
+    let fixed = SweepRunner::new(SweepConfig::fixed());
+    let (fixed_total, fixed_hw) = run_grid(&fixed, "sf");
+    let adaptive = SweepRunner::new(SweepConfig::adaptive(fixed_hw));
+    let (adaptive_total, adaptive_hw) = run_grid(&adaptive, "sa");
+    println!(
+        "E8 grid ({} points, budget {BUDGET}): fixed {fixed_total} trials \
+         (worst half-width {fixed_hw:.4}), adaptive-to-same-width \
+         {adaptive_total} trials (worst {adaptive_hw:.4}) — {:.1}x fewer",
+        grid_points().len(),
+        fixed_total as f64 / adaptive_total as f64
+    );
+}
+
+criterion_group!(benches, bench_sweep_modes, trial_savings);
+criterion_main!(benches);

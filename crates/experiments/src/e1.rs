@@ -6,14 +6,15 @@
 //! And which safety/liveness property the protocol sacrifices instead.
 
 use crate::report::Report;
+use crate::RunCtx;
 use am_sched::{
     initial_bivalent, round_robin_witness, AsyncProtocol, Config, EchoVoteProtocol, Explorer,
     FirstSeenProtocol, QuorumVoteProtocol, WitnessOutcome,
 };
 use am_stats::Table;
 
-/// Runs E1 (deterministic; the seed is unused).
-pub fn run(_seed: u64) -> Report {
+/// Runs E1 (deterministic; the context's seed is unused).
+pub fn run(_ctx: &RunCtx) -> Report {
     let mut rep = Report::new(
         "E1",
         "No 1-resilient asynchronous consensus in the append memory",

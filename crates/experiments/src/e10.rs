@@ -3,20 +3,23 @@
 
 use crate::e8::{empirical_resilience, LAMBDA_SWEEP};
 use crate::report::{f, Report};
+use crate::RunCtx;
 use am_protocols::{ChainAdversary, DagAdversary, DagRule, TieBreak, TrialKind};
 use am_stats::theory::chain_resilience_bound;
 use am_stats::{Series, Table};
 
 /// Runs E10.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E10",
         "Chain vs DAG: the resilience crossover",
         "Section 5 headline (Theorems 5.4 + 5.6)",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let k = 41usize;
-    let trials = 300;
+    let trials = ctx.budget(300);
     let tol = 0.25;
 
     let mut table = Table::new(
@@ -33,6 +36,7 @@ pub fn run(seed: u64) -> Report {
     let mut s_dag = Series::new("dag (measured)");
     let mut s_cbound = Series::new("chain 1/(1+λ(n-t*))");
     let mut s_dbound = Series::new("dag 1/2");
+    let mut points = Vec::new();
     for &lambda in &LAMBDA_SWEEP {
         let chain_kinds = [
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
@@ -42,8 +46,30 @@ pub fn run(seed: u64) -> Report {
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::Dissenter),
         ];
-        let (chain_r, _) = empirical_resilience(n, lambda, k, &chain_kinds, trials, tol, seed);
-        let (dag_r, _) = empirical_resilience(n, lambda, k, &dag_kinds, trials, tol, seed);
+        let (chain_r, chain_pts) = empirical_resilience(
+            &runner,
+            &format!("chain/l{lambda}"),
+            n,
+            lambda,
+            k,
+            &chain_kinds,
+            trials,
+            tol,
+            seed,
+        );
+        let (dag_r, dag_pts) = empirical_resilience(
+            &runner,
+            &format!("dag/l{lambda}"),
+            n,
+            lambda,
+            k,
+            &dag_kinds,
+            trials,
+            tol,
+            seed,
+        );
+        points.extend(chain_pts);
+        points.extend(dag_pts);
         let mut t_star = n as f64 / 3.0;
         for _ in 0..50 {
             t_star = n as f64 / (1.0 + lambda * (n as f64 - t_star));
@@ -60,6 +86,7 @@ pub fn run(seed: u64) -> Report {
     rep.series.push(s_dag);
     rep.series.push(s_cbound);
     rep.series.push(s_dbound);
+    rep.record_sweep("crossover probes", points);
     rep.note(
         "The crossover the title promises: as λ grows, the chain's tolerable \
          Byzantine fraction collapses toward zero while the DAG holds near \

@@ -8,34 +8,58 @@
 //! shrugs asynchrony off \[22\]; Byzantine agreement does not.
 
 use crate::report::{f, Report};
-use am_protocols::{run_dag_staggered, DagRule, Params};
+use crate::RunCtx;
+use am_protocols::{run_dag_staggered, trial_seed, DagRule, Params, PointResult, SweepRunner};
 use am_stats::{Series, Summary, Table};
 
-/// Failure = agreement or validity broken across the staggered deciders.
-fn bad_rate(p: &Params, ttl_factor: f64, trials: u64, seed: u64) -> (f64, f64) {
-    let mut bad = 0u64;
+/// Failure = agreement or validity broken across the staggered deciders,
+/// measured through the sweep engine (per-trial seeds derived from the
+/// params seed, so the point is schedule-independent and resumable).
+fn bad_rate(
+    runner: &SweepRunner<'_>,
+    key: &str,
+    p: &Params,
+    ttl_factor: f64,
+    trials: u64,
+) -> PointResult {
+    runner.estimate(key, trials, |i| {
+        let out = run_dag_staggered(
+            &p.with_seed(trial_seed(p.seed, i)),
+            DagRule::LongestChain,
+            ttl_factor,
+        );
+        !(out.agreement && out.validity)
+    })
+}
+
+/// Mean reorg depth over a few staggered runs (a mean, not a Bernoulli
+/// tally — stays outside the engine).
+fn mean_reorg(p: &Params, ttl_factor: f64, reps: u64) -> f64 {
     let mut reorg = Summary::new();
-    for s in 0..trials {
-        let out = run_dag_staggered(&p.with_seed(seed ^ s), DagRule::LongestChain, ttl_factor);
-        if !(out.agreement && out.validity) {
-            bad += 1;
-        }
+    for i in 0..reps {
+        let out = run_dag_staggered(
+            &p.with_seed(trial_seed(p.seed ^ 0x0e11, i)),
+            DagRule::LongestChain,
+            ttl_factor,
+        );
         reorg.add(out.reorg_len as f64);
     }
-    (bad as f64 / trials as f64, reorg.mean())
+    reorg.mean()
 }
 
 /// Runs E11.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E11",
         "Temporal asynchrony reduces DAG Byzantine-agreement resilience",
         "Section 5.3 closing remark (extension experiment)",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let k = 41usize;
     let lambda = 0.4;
-    let trials = 250;
+    let trials = ctx.budget(250);
 
     let mut table = Table::new(
         "agreement∧validity failure vs asynchrony stretch (n = 12, λ = 0.4, k = 41)",
@@ -46,16 +70,20 @@ pub fn run(seed: u64) -> Report {
         Series::new("t=3 failure"),
         Series::new("t=4 failure"),
     ];
+    let mut points = Vec::new();
     for &w in &[1.0f64, 2.0, 4.0, 8.0, 16.0] {
         let mut cells = vec![f(w)];
         let mut reorg_t4 = 0.0;
         for (i, &t) in [2usize, 3, 4].iter().enumerate() {
             let p = Params::new(n, t, lambda, k, seed ^ 77);
-            let (rate, reorg) = bad_rate(&p, w, trials, seed);
+            let key = format!("ttl{w}/t{t}");
+            let point = bad_rate(&runner, &key, &p, w, trials);
+            let rate = point.estimate();
+            points.push((key, point));
             cells.push(f(rate));
             series[i].push(w, rate);
             if t == 4 {
-                reorg_t4 = reorg;
+                reorg_t4 = mean_reorg(&p, w, ctx.reps(40));
             }
         }
         cells.push(f(reorg_t4));
@@ -63,6 +91,7 @@ pub fn run(seed: u64) -> Report {
     }
     rep.tables.push(table);
     rep.series.extend(series);
+    rep.record_sweep("failure vs TTL stretch", points);
     rep.note(
         "Stretching the Byzantine token lifetime (the effect of a temporal \
          asynchrony window) deepens the withheld reorg chain linearly and \

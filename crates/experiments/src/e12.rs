@@ -10,28 +10,38 @@
 //! grows.
 
 use crate::report::{f, Report};
-use am_protocols::{run_chain_staggered, run_dag_staggered, DagRule, Params};
-use am_stats::{Proportion, Series, Table};
+use crate::RunCtx;
+use am_protocols::{
+    run_chain_staggered, run_dag_staggered, trial_seed, DagRule, Params, PointResult, SweepRunner,
+};
+use am_stats::{Series, Table};
 
-fn disagreement(p: &Params, rule: DagRule, trials: u64, seed: u64) -> Proportion {
-    let mut tally = Proportion::new();
-    for s in 0..trials {
-        let out = run_dag_staggered(&p.with_seed(seed ^ s), rule, 1.0);
-        tally.record(!out.agreement);
-    }
-    tally
+fn disagreement(
+    runner: &SweepRunner<'_>,
+    key: &str,
+    p: &Params,
+    rule: DagRule,
+    trials: u64,
+    seed: u64,
+) -> PointResult {
+    runner.estimate(key, trials, |i| {
+        let out = run_dag_staggered(&p.with_seed(trial_seed(seed, i)), rule, 1.0);
+        !out.agreement
+    })
 }
 
 /// Runs E12.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E12",
         "Weak agreement: staggered deciders disagree with probability → 0 in k",
         "Section 1.1 weak properties + Section 5.3 (extension experiment)",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let lambda = 0.4;
-    let trials = 300;
+    let trials = ctx.budget(300);
 
     let mut table = Table::new(
         "staggered-decision disagreement vs k (n = 12, λ = 0.4, t = 4)",
@@ -39,19 +49,22 @@ pub fn run(seed: u64) -> Report {
     );
     let mut s_lc = Series::new("longest-chain disagreement");
     let mut s_gh = Series::new("ghost disagreement");
+    let mut points = Vec::new();
     for &k in &[11usize, 21, 41, 81, 161] {
         let p = Params::new(n, 4, lambda, k, 31);
-        let lc = disagreement(&p, DagRule::LongestChain, trials, seed);
-        let gh = disagreement(&p, DagRule::Ghost, trials, seed);
-        let pv = disagreement(&p, DagRule::Pivot, trials, seed);
-        table.row(&[
-            k.to_string(),
-            f(lc.estimate()),
-            f(gh.estimate()),
-            f(pv.estimate()),
-        ]);
-        s_lc.push(k as f64, lc.estimate());
-        s_gh.push(k as f64, gh.estimate());
+        let mut probe = |label: &str, rule| {
+            let key = format!("k{k}/{label}");
+            let point = disagreement(&runner, &key, &p, rule, trials, seed);
+            let rate = point.estimate();
+            points.push((key, point));
+            rate
+        };
+        let lc = probe("longest", DagRule::LongestChain);
+        let gh = probe("ghost", DagRule::Ghost);
+        let pv = probe("pivot", DagRule::Pivot);
+        table.row(&[k.to_string(), f(lc), f(gh), f(pv)]);
+        s_lc.push(k as f64, lc);
+        s_gh.push(k as f64, gh);
     }
     rep.tables.push(table);
     rep.series.push(s_lc);
@@ -69,18 +82,27 @@ pub fn run(seed: u64) -> Report {
         ],
     );
     for &w in &[1.0f64, 4.0, 8.0, 12.0] {
-        let mut chain_bad = Proportion::new();
-        let mut dag_bad = Proportion::new();
-        for s in 0..trials {
-            let p = Params::new(n, 4, lambda, 21, seed ^ s);
-            let c = run_chain_staggered(&p.with_seed(seed ^ s), w);
-            chain_bad.record(!(c.agreement && c.validity));
-            let d = run_dag_staggered(&p.with_seed(seed ^ s), DagRule::LongestChain, w);
-            dag_bad.record(!(d.agreement && d.validity));
-        }
+        let p = Params::new(n, 4, lambda, 21, seed ^ 0x12);
+        let chain_key = format!("ttl{w}/chain");
+        let chain_bad = runner.estimate(&chain_key, trials, |i| {
+            let c = run_chain_staggered(&p.with_seed(trial_seed(p.seed, i)), w);
+            !(c.agreement && c.validity)
+        });
+        let dag_key = format!("ttl{w}/dag");
+        let dag_bad = runner.estimate(&dag_key, trials, |i| {
+            let d = run_dag_staggered(
+                &p.with_seed(trial_seed(p.seed, i)),
+                DagRule::LongestChain,
+                w,
+            );
+            !(d.agreement && d.validity)
+        });
         table2.row(&[f(w), f(chain_bad.estimate()), f(dag_bad.estimate())]);
+        points.push((chain_key, chain_bad));
+        points.push((dag_key, dag_bad));
     }
     rep.tables.push(table2);
+    rep.record_sweep("disagreement and asymmetry probes", points);
     rep.note(
         "Agreement is weak, not absolute: a boundary reorg can flip a \
          small-k prefix, but the disagreement probability decays as k \

@@ -12,11 +12,14 @@
 //! into throughput. This experiment measures the crossover.
 
 use crate::report::{f, Report};
+use crate::RunCtx;
 use am_protocols::{run_chain, run_dag, ChainAdversary, DagAdversary, DagRule, Params, TieBreak};
 use am_stats::{Series, Summary, Table};
 
-/// Runs E13.
-pub fn run(seed: u64) -> Report {
+/// Runs E13. Latencies are means, not Bernoulli tallies, so this
+/// experiment stays on plain Summary loops (only `--fast` shrinks them).
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E13",
         "Decision latency: chain saturates at 1 block/Δ, the DAG scales with λn",
@@ -25,7 +28,7 @@ pub fn run(seed: u64) -> Report {
     let n = 12usize;
     let t = 0usize; // latency is a correct-side property; adversaries only add to it
     let k = 41usize;
-    let reps = 40u64;
+    let reps = ctx.reps(40);
 
     let mut table = Table::new(
         "mean time to decision (n = 12, t = 0, k = 41)",

@@ -23,11 +23,11 @@
 //! snapshots are saved as the `e14.netstats.json` side-car document.
 
 use crate::report::{f, Report};
+use crate::RunCtx;
 use am_mp::{MpMsg, MpSystem, Payload};
 use am_net::{LatencyModel, NetProfile, SimNet, Transport};
 use am_protocols::{
-    measure_failure_rate, run_chain_net, run_dag_net, ChainAdversary, DagAdversary, DagRule,
-    Params, TieBreak, TrialKind,
+    run_chain_net, run_dag_net, ChainAdversary, DagAdversary, DagRule, Params, TieBreak, TrialKind,
 };
 use am_stats::{Series, Table};
 use serde::Value;
@@ -180,7 +180,8 @@ fn abd_script(
 }
 
 /// Runs E14.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E14",
         "Fault injection: ABD and chain-vs-DAG guarantees on a lossy network",
@@ -201,7 +202,7 @@ pub fn run(seed: u64) -> Report {
     // --- Part 2: ABD under message drops. ---
     let n = 5usize;
     let rounds = 4usize;
-    let trials = 25u64;
+    let trials = ctx.reps(25);
     let latency = LatencyModel::Exponential { mean: 1_000_000 };
     let mut table2 = Table::new(
         "ABD (n = 5) vs drop rate: stalls rise, safety never breaks",
@@ -310,11 +311,12 @@ pub fn run(seed: u64) -> Report {
     let part4 = am_obs::span("chain_vs_dag");
 
     // --- Part 4: chain vs DAG validity as delivery degrades. ---
+    let runner = ctx.runner();
     let pn = 12usize;
     let pt = 4usize;
     let lambda = 0.5;
     let k = 21usize;
-    let ptrials = 32u64;
+    let ptrials = ctx.budget(32);
     let block_latency = LatencyModel::Constant(DELTA_NS / 20); // 0.05 Δ
     let chain_kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker);
     let dag_kind = TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst);
@@ -325,11 +327,17 @@ pub fn run(seed: u64) -> Report {
     );
     let mut s_chain = Series::new("chain failure vs drop");
     let mut s_dag = Series::new("dag failure vs drop");
+    let mut points = Vec::new();
     for &drop in &[0.0f64, 0.1, 0.2, 0.3, 0.5] {
         let profile = NetProfile::ideal(block_latency).with_drop(drop);
         let p = Params::new(pn, pt, lambda, k, seed ^ 0x14).with_net(profile);
-        let c = measure_failure_rate(&p, chain_kind, ptrials).estimate();
-        let d = measure_failure_rate(&p, dag_kind, ptrials).estimate();
+        let chain_key = format!("drop{drop}/chain");
+        let chain_pt = runner.measure(&chain_key, &p, chain_kind, ptrials);
+        let dag_key = format!("drop{drop}/dag");
+        let dag_pt = runner.measure(&dag_key, &p, dag_kind, ptrials);
+        let (c, d) = (chain_pt.estimate(), dag_pt.estimate());
+        points.push((chain_key, chain_pt));
+        points.push((dag_key, dag_pt));
         table4.row(&[f(drop), f(c), f(d), f(c - d)]);
         s_chain.push(drop, c);
         s_dag.push(drop, d);
@@ -341,7 +349,7 @@ pub fn run(seed: u64) -> Report {
     // Validity alone understates the damage (heavy drops also strand the
     // adversary's withheld burst); inclusion shows it directly: what
     // fraction of the appended blocks does each structure keep?
-    let inc_trials = 12u64;
+    let inc_trials = ctx.reps(12);
     let mut table4b = Table::new(
         "block inclusion vs drop rate (kept fraction of all appends)",
         &["drop", "chain kept", "dag kept", "chain orphans/trial"],
@@ -398,11 +406,17 @@ pub fn run(seed: u64) -> Report {
     for &win in &[0u64, 2, 5, 10] {
         let profile = NetProfile::ideal(block_latency).with_partition(0, win * DELTA_NS);
         let p = Params::new(pn, pt, lambda, k, seed ^ 0x15).with_net(profile);
-        let c = measure_failure_rate(&p, chain_kind, ptrials).estimate();
-        let d = measure_failure_rate(&p, dag_kind, ptrials).estimate();
+        let chain_key = format!("part{win}/chain");
+        let chain_pt = runner.measure(&chain_key, &p, chain_kind, ptrials);
+        let dag_key = format!("part{win}/dag");
+        let dag_pt = runner.measure(&dag_key, &p, dag_kind, ptrials);
+        let (c, d) = (chain_pt.estimate(), dag_pt.estimate());
+        points.push((chain_key, chain_pt));
+        points.push((dag_key, dag_pt));
         table5.row(&[win.to_string(), f(c), f(d), f(c - d)]);
     }
     rep.tables.push(table5);
+    rep.record_sweep("chain vs dag under faults", points);
     rep.note(
         "The chain-vs-DAG gap survives moderate faults but narrows as \
          delivery decays: stale views make every correct node fork, which \

@@ -7,11 +7,12 @@
 //! strategy space.
 
 use crate::report::Report;
+use crate::RunCtx;
 use am_sched::search_disagreement_t;
 use am_stats::Table;
 
-/// Runs E2 (deterministic; the seed is unused).
-pub fn run(_seed: u64) -> Report {
+/// Runs E2 (deterministic; the context's seed is unused).
+pub fn run(_ctx: &RunCtx) -> Report {
     let mut rep = Report::new(
         "E2",
         "Round lower bound: t+1 rounds are necessary and sufficient",

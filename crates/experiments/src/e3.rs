@@ -3,10 +3,11 @@
 //! validity at t ≥ n/2).
 
 use crate::report::Report;
+use crate::RunCtx;
 use am_stats::Table;
 use am_sync::{
-    run, run_crash_one_round, ByzStrategy, ChainInjector, CrashPlan, Dissenter, Equivocator,
-    Silent, Straddler, SyncConfig,
+    run as run_sync, run_crash_one_round, ByzStrategy, ChainInjector, CrashPlan, Dissenter,
+    Equivocator, Silent, Straddler, SyncConfig,
 };
 
 /// A named constructor for a Byzantine strategy.
@@ -32,8 +33,8 @@ fn input_patterns(n_corr: usize) -> Vec<Vec<bool>> {
     pats
 }
 
-/// Runs E3.
-pub fn run_experiment(_seed: u64) -> Report {
+/// Runs E3 (deterministic; the context's seed is unused).
+pub fn run(_ctx: &RunCtx) -> Report {
     let mut rep = Report::new(
         "E3",
         "Algorithm 1: Byzantine agreement for t < n/2 within O(tΔ)",
@@ -54,7 +55,7 @@ pub fn run_experiment(_seed: u64) -> Report {
             for inputs in input_patterns(n_corr) {
                 let cfg = SyncConfig::new(n, t);
                 let mut strat = make();
-                let out = run(&cfg, &inputs, strat.as_mut());
+                let out = run_sync(&cfg, &inputs, strat.as_mut());
                 agreement_ok &= out.agreement;
                 validity_ok &= out.validity;
             }

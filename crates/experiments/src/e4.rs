@@ -2,12 +2,14 @@
 //! cost shapes are Θ(n²) per append, Θ(n) per read.
 
 use crate::report::{f, Report};
+use crate::RunCtx;
 use am_mp::{MpSystem, UnsignedMsg, UnsignedSystem};
 use am_stats::{Series, Table};
 
-/// Runs E4. `seed` shifts every trial; the default CLI seed 0
-/// reproduces the historic tables exactly.
-pub fn run(seed: u64) -> Report {
+/// Runs E4. The context's seed shifts every trial; the default CLI
+/// seed 0 reproduces the historic tables exactly.
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E4",
         "ABD-style simulation of the append memory over message passing",

@@ -10,13 +10,14 @@
 //! *correct* protocols, never for the adversary's chosen one.
 
 use crate::report::Report;
+use crate::RunCtx;
 use am_sched::{
     round_robin_witness, AsyncProtocol, FirstSeenProtocol, QuorumVoteProtocol, WitnessOutcome,
 };
 use am_stats::Table;
 
-/// Runs E5 (deterministic; the seed is unused).
-pub fn run(_seed: u64) -> Report {
+/// Runs E5 (deterministic; the context's seed is unused).
+pub fn run(_ctx: &RunCtx) -> Report {
     let mut rep = Report::new(
         "E5",
         "Randomized access + asynchronous nodes: still no consensus",

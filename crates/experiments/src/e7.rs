@@ -6,20 +6,23 @@
 //! the same strategy.
 
 use crate::report::{f, prop, Report};
-use am_protocols::{measure_failure_rate, run_chain, ChainAdversary, Params, TieBreak, TrialKind};
+use crate::RunCtx;
+use am_protocols::{run_chain, ChainAdversary, Params, TieBreak, TrialKind};
 use am_stats::{Series, Table};
 
 /// Runs E7.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E7",
         "Chain + deterministic tie-break: the n/3 wall (fork-maker)",
         "Theorem 5.3",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let k = 41usize;
     let lambda = 0.4;
-    let trials = 400;
+    let trials = ctx.budget(400);
 
     let mut table = Table::new(
         "fork-maker vs tie-breaking rule (n = 12, λ = 0.4, k = 41)",
@@ -34,21 +37,27 @@ pub fn run(seed: u64) -> Report {
     );
     let mut s_det = Series::new("deterministic tie: failure");
     let mut s_rand = Series::new("randomized tie: failure");
+    let mut points = Vec::new();
     for &t in &[1usize, 2, 3, 4, 5] {
         let p = Params::new(n, t, lambda, k, seed ^ 99);
-        let det = measure_failure_rate(
+        let det_pt = runner.measure(
+            &format!("det/t{t}"),
             &p,
             TrialKind::Chain(TieBreak::Deterministic, ChainAdversary::ForkMaker),
             trials,
         );
-        let rand = measure_failure_rate(
+        let rand_pt = runner.measure(
+            &format!("rand/t{t}"),
             &p,
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::ForkMaker),
             trials,
         );
+        let (det, rand) = (det_pt.tally, rand_pt.tally);
+        points.push((format!("det/t{t}"), det_pt));
+        points.push((format!("rand/t{t}"), rand_pt));
         // Byzantine chain share, averaged over a few runs.
         let mut share = 0.0;
-        let reps = 30;
+        let reps = ctx.reps(30);
         for s in 0..reps {
             let out = run_chain(
                 &p.with_seed(seed ^ s),
@@ -72,6 +81,7 @@ pub fn run(seed: u64) -> Report {
     rep.tables.push(table);
     rep.series.push(s_det);
     rep.series.push(s_rand);
+    rep.record_sweep("fork-maker failure vs t", points);
     rep.note(
         "Deterministic tie-breaking collapses as t/n approaches 1/3 — the \
          measured Byzantine chain share tracks t/(n−t), reaching 1/2 at \

@@ -7,7 +7,8 @@
 //! λ(n−t) = 1 → 1/2, λ(n−t) = 2 → 1/3.
 
 use crate::report::{f, Report};
-use am_protocols::{measure_failure_rate, ChainAdversary, Params, TieBreak, TrialKind};
+use crate::RunCtx;
+use am_protocols::{ChainAdversary, Params, PointResult, SweepRunner, TieBreak, TrialKind};
 use am_stats::theory::chain_resilience_bound;
 use am_stats::{Series, Table};
 
@@ -19,7 +20,13 @@ pub const LAMBDA_SWEEP: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
 /// n, λ: the largest t/n whose worst-case failure rate stays below `tol`.
 /// Probing several adversaries matters because each dominates a different
 /// regime (the tie-breaker needs λt ≥ 1; the dissenter needs numbers).
+/// Every probed point goes through `runner` (adaptive runners stop each
+/// point early; checkpointing runners make the scan resumable), keyed
+/// `"{key}/t{t}/{kind}"`; the probed points come back for the sweep record.
+#[allow(clippy::too_many_arguments)]
 pub fn empirical_resilience(
+    runner: &SweepRunner<'_>,
+    key: &str,
     n: usize,
     lambda: f64,
     k: usize,
@@ -27,19 +34,21 @@ pub fn empirical_resilience(
     trials: u64,
     tol: f64,
     seed: u64,
-) -> (f64, Vec<(usize, f64)>) {
-    let mut curve = Vec::new();
+) -> (f64, Vec<(String, PointResult)>) {
+    let mut points = Vec::new();
     let mut best = 0.0f64;
     for t in 1..n / 2 + 2 {
         if t >= n {
             break;
         }
         let p = Params::new(n, t, lambda, k, seed ^ 2024);
-        let rate = kinds
-            .iter()
-            .map(|kind| measure_failure_rate(&p, *kind, trials).estimate())
-            .fold(0.0, f64::max);
-        curve.push((t, rate));
+        let mut rate = 0.0f64;
+        for kind in kinds {
+            let pk = format!("{key}/t{t}/{}", kind.label());
+            let point = runner.measure(&pk, &p, *kind, trials);
+            rate = rate.max(point.estimate());
+            points.push((pk, point));
+        }
         if rate < tol {
             best = t as f64 / n as f64;
         }
@@ -47,19 +56,21 @@ pub fn empirical_resilience(
             break;
         }
     }
-    (best, curve)
+    (best, points)
 }
 
 /// Runs E8.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E8",
         "Chain resilience vs rate: t/n ≤ 1/(1+λ(n−t)) (tie-breaker adversary)",
         "Theorem 5.4",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let k = 41usize;
-    let trials = 300;
+    let trials = ctx.budget(300);
     let tol = 0.25;
 
     let mut table = Table::new(
@@ -73,12 +84,24 @@ pub fn run(seed: u64) -> Report {
     );
     let mut s_meas = Series::new("chain: measured resilience");
     let mut s_bound = Series::new("chain: Thm 5.4 bound");
+    let mut points = Vec::new();
     for &lambda in &LAMBDA_SWEEP {
         let kinds = [
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
             TrialKind::Chain(TieBreak::Randomized, ChainAdversary::Dissenter),
         ];
-        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol, seed);
+        let (resilience, curve) = empirical_resilience(
+            &runner,
+            &format!("l{lambda}"),
+            n,
+            lambda,
+            k,
+            &kinds,
+            trials,
+            tol,
+            seed,
+        );
+        points.extend(curve);
         // The bound is implicit in t; evaluate it at its own fixed point:
         // t* solving t = n/(1+λ(n−t)) — iterate a few times.
         let mut t_star = n as f64 / 3.0;
@@ -94,6 +117,7 @@ pub fn run(seed: u64) -> Report {
     rep.tables.push(table);
     rep.series.push(s_meas);
     rep.series.push(s_bound);
+    rep.record_sweep("resilience probes", points);
     rep.note(
         "The measured threshold tracks the closed form: as the correct \
          append rate λ(n−t) grows, every extra concurrent correct append is \

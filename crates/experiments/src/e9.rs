@@ -3,21 +3,24 @@
 
 use crate::e8::{empirical_resilience, LAMBDA_SWEEP};
 use crate::report::{f, Report};
+use crate::RunCtx;
 use am_poisson::measure_silence;
 use am_protocols::{run_dag, DagAdversary, DagRule, Params, TrialKind};
 use am_stats::theory::{silence_interval_tail, withhold_burst_bound};
 use am_stats::{Series, Summary, Table};
 
 /// Runs E9.
-pub fn run(seed: u64) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
     let mut rep = Report::new(
         "E9",
         "DAG resilience ≈ 1/2 independent of λ; withheld burst is O(λ log n)",
         "Lemma 5.5 + Theorem 5.6",
     );
+    let runner = ctx.runner();
     let n = 12usize;
     let k = 41usize;
-    let trials = 300;
+    let trials = ctx.budget(300);
     let tol = 0.25;
 
     let mut table = Table::new(
@@ -25,17 +28,30 @@ pub fn run(seed: u64) -> Report {
         &["λ", "measured resilience t/n", "optimal bound 1/2"],
     );
     let mut s_meas = Series::new("dag: measured resilience");
+    let mut points = Vec::new();
     for &lambda in &LAMBDA_SWEEP {
         let kinds = [
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
             TrialKind::Dag(DagRule::LongestChain, DagAdversary::Dissenter),
         ];
-        let (resilience, _curve) = empirical_resilience(n, lambda, k, &kinds, trials, tol, seed);
+        let (resilience, curve) = empirical_resilience(
+            &runner,
+            &format!("l{lambda}"),
+            n,
+            lambda,
+            k,
+            &kinds,
+            trials,
+            tol,
+            seed,
+        );
+        points.extend(curve);
         table.row(&[f(lambda), f(resilience), f(0.5)]);
         s_meas.push(lambda, resilience);
     }
     rep.tables.push(table);
     rep.series.push(s_meas);
+    rep.record_sweep("resilience probes", points);
 
     // Burst-length distribution vs the token-bank prediction λt (one Δ of
     // Byzantine tokens survives the TTL) and the paper's 2λ log n form.
@@ -54,7 +70,7 @@ pub fn run(seed: u64) -> Report {
     for &(n, lambda) in &[(12usize, 0.4f64), (24, 0.4), (48, 0.4), (24, 0.8)] {
         let t = n / 3;
         let mut bursts = Summary::new();
-        for s in 0..200u64 {
+        for s in 0..ctx.reps(200) {
             let p = Params::new(n, t, lambda, k, seed ^ s);
             let out = run_dag(&p, DagRule::LongestChain, DagAdversary::WithholdBurst);
             bursts.add(out.burst_len as f64);
@@ -90,7 +106,7 @@ pub fn run(seed: u64) -> Report {
         let mut exceed = 0usize;
         let mut total_gaps = 0usize;
         let threshold = (n as f64).ln(); // Δ = 1
-        for s in 0..60u64 {
+        for s in 0..ctx.reps(60) {
             let st = measure_silence(n, t, lambda, 1.0, 200, seed ^ s);
             max_gaps.add(st.max_gap);
             byz_bank.add(st.byz_in_max_gap as f64);

@@ -1,11 +1,14 @@
 //! # am-experiments — the E1..E14 harness, as a library
 //!
-//! Each experiment module exposes a `run(seed)` (E3: `run_experiment(seed)`)
-//! returning a [`report::Report`]; the binary in `main.rs` dispatches on
-//! experiment ids. Library form so the harness itself is testable.
+//! Every experiment module exposes `run(ctx: &RunCtx) -> Report`;
+//! [`REGISTRY`] is the single table of [`Experiment`] descriptors the
+//! binary, the tests, and downstream tooling all dispatch through.
 //!
-//! The seed shifts every Monte-Carlo trial; seed 0 (the CLI default)
-//! reproduces the historic tables exactly.
+//! A [`RunCtx`] carries the base seed plus the sweep-engine
+//! configuration: fixed budgets reproduce the historic tables at
+//! `--seed 0`, adaptive mode ([`SweepConfig::adaptive`]) stops each
+//! Monte-Carlo point early once its Wilson 95% half-width is tight, and
+//! an attached checkpoint store makes interrupted sweeps resumable.
 
 pub mod e1;
 pub mod e10;
@@ -23,77 +26,292 @@ pub mod e8;
 pub mod e9;
 pub mod report;
 
+use am_protocols::{CheckpointStore, SweepConfig, SweepRunner};
 use report::Report;
+use std::path::Path;
 
-/// All experiment ids, in presentation order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-];
+/// Budget cap applied to every Monte-Carlo loop under `--fast`: enough
+/// trials to exercise the full pipeline, few enough that all fourteen
+/// experiments smoke-test in seconds.
+pub const FAST_BUDGET: u64 = 24;
 
-/// One-line description per experiment id.
-pub fn describe(id: &str) -> &'static str {
-    match id {
-        "e1" => "Thm 2.1: no 1-resilient asynchronous consensus (model checker)",
-        "e2" => "Lemma 3.1: t+1 rounds necessary (exhaustive adversary search)",
-        "e3" => "Thm 3.2: Algorithm 1 solves BA for t < n/2",
-        "e4" => "Lemmas 4.1/4.2: message-passing simulation + complexity",
-        "e5" => "Thm 5.1: randomized access doesn't rescue asynchrony",
-        "e6" => "Thm 5.2: timestamp baseline validity vs k",
-        "e7" => "Thm 5.3: deterministic tie-break dies at n/3",
-        "e8" => "Thm 5.4: chain resilience 1/(1+λ(n−t))",
-        "e9" => "Lemma 5.5 + Thm 5.6: DAG resilience ≈ 1/2, burst O(λ log n)",
-        "e10" => "Headline crossover figure: chain vs DAG",
-        "e11" => "Extension: temporal asynchrony reduces DAG resilience",
-        "e12" => "Extension: weak agreement under staggered decisions",
-        "e13" => "Extension: decision latency — chain saturates, DAG scales",
-        "e14" => "Extension: ABD + chain/DAG under drops and partitions (am-net)",
-        _ => "unknown",
+/// Context one experiment run receives: the base seed, the sweep-engine
+/// configuration, and (optionally) a checkpoint store for resumable
+/// sweeps.
+pub struct RunCtx {
+    /// Base seed; 0 reproduces the historic tables in fixed mode.
+    pub seed: u64,
+    /// Sweep-engine configuration (fixed or adaptive, batch size,
+    /// interruption cap).
+    pub sweep: SweepConfig,
+    /// `--fast`: shrink every trial budget to [`FAST_BUDGET`].
+    pub fast: bool,
+    checkpoint: Option<CheckpointStore>,
+}
+
+impl RunCtx {
+    /// The library default: fixed budgets, no checkpointing — the
+    /// context under which seed-0 runs reproduce the historic tables.
+    pub fn fixed(seed: u64) -> RunCtx {
+        RunCtx {
+            seed,
+            sweep: SweepConfig::fixed(),
+            fast: false,
+            checkpoint: None,
+        }
+    }
+
+    /// A context with an explicit sweep configuration.
+    pub fn with_sweep(seed: u64, sweep: SweepConfig) -> RunCtx {
+        RunCtx {
+            seed,
+            sweep,
+            fast: false,
+            checkpoint: None,
+        }
+    }
+
+    /// Attaches a checkpoint store (created fresh or resumed by the
+    /// caller); every engine point will persist its tally after each
+    /// batch.
+    #[must_use]
+    pub fn with_checkpoint(mut self, store: CheckpointStore) -> RunCtx {
+        self.checkpoint = Some(store);
+        self
+    }
+
+    /// The sweep engine for this run; experiment code funnels every
+    /// Monte-Carlo point through it.
+    pub fn runner(&self) -> SweepRunner<'_> {
+        match &self.checkpoint {
+            Some(store) => SweepRunner::with_checkpoints(self.sweep, store),
+            None => SweepRunner::new(self.sweep),
+        }
+    }
+
+    /// A per-point trial budget: the experiment's historic default,
+    /// capped at [`FAST_BUDGET`] under `--fast`.
+    pub fn budget(&self, default: u64) -> u64 {
+        if self.fast {
+            default.min(FAST_BUDGET)
+        } else {
+            default
+        }
+    }
+
+    /// Repetition count for non-Bernoulli loops (latency/burst
+    /// summaries), capped like [`RunCtx::budget`] under `--fast`.
+    pub fn reps(&self, default: u64) -> u64 {
+        self.budget(default)
+    }
+
+    /// False when an engine point was halted mid-budget (the
+    /// `--max-batches` interruption lane): the report's tallies are
+    /// partial and must not be saved as final results.
+    pub fn complete(&self) -> bool {
+        self.checkpoint
+            .as_ref()
+            .is_none_or(CheckpointStore::all_done)
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint(&self) -> Option<&CheckpointStore> {
+        self.checkpoint.as_ref()
     }
 }
 
-/// Runs one experiment by id with the given base seed. The whole run is
-/// wrapped in an obs span named after the id, so sub-spans (ABD phases,
-/// trial sweeps, network flights) aggregate under `e<N>/...` paths.
-pub fn run_one(id: &str, seed: u64) -> Option<Report> {
+/// One experiment: its id, one-line description, and entry point.
+pub struct Experiment {
+    /// Lower-case id, e.g. `"e8"`.
+    pub id: &'static str,
+    /// One-line description for `--list` and the docs.
+    pub describe: &'static str,
+    /// The experiment body.
+    pub run: fn(&RunCtx) -> Report,
+}
+
+/// Every experiment in presentation order — the single source of truth
+/// for ids, descriptions, and dispatch.
+pub static REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "e1",
+        describe: "Thm 2.1: no 1-resilient asynchronous consensus (model checker)",
+        run: e1::run,
+    },
+    Experiment {
+        id: "e2",
+        describe: "Lemma 3.1: t+1 rounds necessary (exhaustive adversary search)",
+        run: e2::run,
+    },
+    Experiment {
+        id: "e3",
+        describe: "Thm 3.2: Algorithm 1 solves BA for t < n/2",
+        run: e3::run,
+    },
+    Experiment {
+        id: "e4",
+        describe: "Lemmas 4.1/4.2: message-passing simulation + complexity",
+        run: e4::run,
+    },
+    Experiment {
+        id: "e5",
+        describe: "Thm 5.1: randomized access doesn't rescue asynchrony",
+        run: e5::run,
+    },
+    Experiment {
+        id: "e6",
+        describe: "Thm 5.2: timestamp baseline validity vs k",
+        run: e6::run,
+    },
+    Experiment {
+        id: "e7",
+        describe: "Thm 5.3: deterministic tie-break dies at n/3",
+        run: e7::run,
+    },
+    Experiment {
+        id: "e8",
+        describe: "Thm 5.4: chain resilience 1/(1+λ(n−t))",
+        run: e8::run,
+    },
+    Experiment {
+        id: "e9",
+        describe: "Lemma 5.5 + Thm 5.6: DAG resilience ≈ 1/2, burst O(λ log n)",
+        run: e9::run,
+    },
+    Experiment {
+        id: "e10",
+        describe: "Headline crossover figure: chain vs DAG",
+        run: e10::run,
+    },
+    Experiment {
+        id: "e11",
+        describe: "Extension: temporal asynchrony reduces DAG resilience",
+        run: e11::run,
+    },
+    Experiment {
+        id: "e12",
+        describe: "Extension: weak agreement under staggered decisions",
+        run: e12::run,
+    },
+    Experiment {
+        id: "e13",
+        describe: "Extension: decision latency — chain saturates, DAG scales",
+        run: e13::run,
+    },
+    Experiment {
+        id: "e14",
+        describe: "Extension: ABD + chain/DAG under drops and partitions (am-net)",
+        run: e14::run,
+    },
+];
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// Runs one experiment by id under `ctx`. The whole run is wrapped in an
+/// obs span named after the id, so sub-spans (ABD phases, sweep points,
+/// network flights) aggregate under `e<N>/...` paths.
+pub fn run_with(id: &str, ctx: &RunCtx) -> Option<Report> {
+    let exp = find(id)?;
     let _span = am_obs::span(id);
-    dispatch(id, seed)
+    Some((exp.run)(ctx))
+}
+
+/// Runs one experiment by id with the given base seed under the library
+/// default context (fixed budgets — the historic behaviour).
+pub fn run_one(id: &str, seed: u64) -> Option<Report> {
+    run_with(id, &RunCtx::fixed(seed))
+}
+
+/// Harness-level options shared by a whole binary invocation.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Base seed for every experiment.
+    pub seed: u64,
+    /// Output directory for report JSON, checkpoints, and the manifest.
+    pub out_dir: String,
+    /// Sweep-engine configuration.
+    pub sweep: SweepConfig,
+    /// Shrink trial budgets to [`FAST_BUDGET`].
+    pub fast: bool,
+    /// Resume interrupted sweeps from their checkpoints.
+    pub resume: bool,
+    /// Write per-experiment checkpoint files (`<out-dir>/<id>.checkpoint.json`).
+    pub checkpoints: bool,
+}
+
+impl HarnessOpts {
+    /// Fixed-budget defaults writing under `out_dir`, with
+    /// checkpointing on (the binary's baseline).
+    pub fn new(seed: u64, out_dir: &str) -> HarnessOpts {
+        HarnessOpts {
+            seed,
+            out_dir: out_dir.to_string(),
+            sweep: SweepConfig::fixed(),
+            fast: false,
+            resume: false,
+            checkpoints: true,
+        }
+    }
 }
 
 /// Runs one experiment, prints its report, and saves the JSON under
-/// `out_dir`. Returns the manifest record (`None` for unknown ids) —
-/// the one run/time/print/save path every harness entry point shares.
-pub fn execute(id: &str, seed: u64, out_dir: &str) -> Option<am_obs::ExperimentRecord> {
+/// `opts.out_dir`. Returns the manifest record (`None` for unknown ids)
+/// — the one run/time/print/save path every harness entry point shares.
+///
+/// When the sweep was interrupted (`max_batches_per_run`), the final
+/// JSON is *not* written: the checkpoint file is kept instead and the
+/// record's `output` is `None`, so a later `--resume` run completes the
+/// sweep and writes byte-identical final results.
+pub fn execute(id: &str, opts: &HarnessOpts) -> Option<am_obs::ExperimentRecord> {
+    find(id)?;
+    let mut ctx = RunCtx {
+        seed: opts.seed,
+        sweep: opts.sweep,
+        fast: opts.fast,
+        checkpoint: None,
+    };
+    if opts.checkpoints {
+        // Checkpoints are written during the run, so the directory must
+        // exist before the first batch.
+        let _ = std::fs::create_dir_all(&opts.out_dir);
+        let path = Path::new(&opts.out_dir).join(format!("{id}.checkpoint.json"));
+        let store = if opts.resume {
+            CheckpointStore::resume(path, opts.seed)
+        } else {
+            CheckpointStore::create(path, opts.seed)
+        };
+        ctx = ctx.with_checkpoint(store);
+    }
     let started = std::time::Instant::now();
-    let rep = run_one(id, seed)?;
+    let rep = run_with(id, &ctx)?;
     let duration_ms = started.elapsed().as_secs_f64() * 1e3;
     println!("{}", rep.render());
-    let saved = rep.save_in(out_dir);
-    println!("[obs] {id} finished in {duration_ms:.0} ms");
+    let saved = if ctx.complete() {
+        let saved = rep.save_in(&opts.out_dir);
+        if let Some(store) = ctx.checkpoint() {
+            store.discard();
+        }
+        println!("[obs] {id} finished in {duration_ms:.0} ms");
+        saved
+    } else {
+        let where_ = ctx
+            .checkpoint()
+            .map(|s| s.path().display().to_string())
+            .unwrap_or_default();
+        println!(
+            "[sweep] {id} interrupted by the batch cap after {duration_ms:.0} ms; \
+             checkpoint kept at {where_} — rerun with --resume to finish"
+        );
+        None
+    };
     Some(am_obs::ExperimentRecord {
         id: id.to_string(),
         duration_ms,
         output: saved.map(|p| p.display().to_string()),
     })
-}
-
-fn dispatch(id: &str, seed: u64) -> Option<Report> {
-    match id {
-        "e1" => Some(e1::run(seed)),
-        "e2" => Some(e2::run(seed)),
-        "e3" => Some(e3::run_experiment(seed)),
-        "e4" => Some(e4::run(seed)),
-        "e5" => Some(e5::run(seed)),
-        "e6" => Some(e6::run(seed)),
-        "e7" => Some(e7::run(seed)),
-        "e8" => Some(e8::run(seed)),
-        "e9" => Some(e9::run(seed)),
-        "e10" => Some(e10::run(seed)),
-        "e11" => Some(e11::run(seed)),
-        "e12" => Some(e12::run(seed)),
-        "e13" => Some(e13::run(seed)),
-        "e14" => Some(e14::run(seed)),
-        _ => None,
-    }
 }
 
 #[cfg(test)]
@@ -102,12 +320,28 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(ALL.len(), 14);
-        for id in ALL {
-            assert_ne!(describe(id), "unknown", "{id} lacks a description");
+        assert_eq!(REGISTRY.len(), 14);
+        for (i, exp) in REGISTRY.iter().enumerate() {
+            assert_eq!(exp.id, format!("e{}", i + 1), "presentation order");
+            assert!(!exp.describe.is_empty(), "{} lacks a description", exp.id);
+            assert_eq!(find(exp.id).map(|e| e.id), Some(exp.id));
         }
-        assert_eq!(describe("e99"), "unknown");
+        assert!(find("e99").is_none());
         assert!(run_one("nope", 0).is_none());
+    }
+
+    #[test]
+    fn registry_run_pointers_match_modules() {
+        // The descriptor's fn pointer is the module's `run` — dispatch
+        // has no indirection left to drift.
+        assert!(std::ptr::fn_addr_eq(
+            find("e3").unwrap().run,
+            e3::run as fn(&RunCtx) -> Report
+        ));
+        assert!(std::ptr::fn_addr_eq(
+            find("e10").unwrap().run,
+            e10::run as fn(&RunCtx) -> Report
+        ));
     }
 
     #[test]
@@ -149,5 +383,14 @@ mod tests {
         // CONFIRMED verdicts.
         let rep = run_one("e4", 12345).expect("e4 exists");
         assert!(!rep.render().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn fast_context_caps_budgets() {
+        let mut ctx = RunCtx::fixed(0);
+        assert_eq!(ctx.budget(4000), 4000);
+        ctx.fast = true;
+        assert_eq!(ctx.budget(4000), FAST_BUDGET);
+        assert_eq!(ctx.budget(8), 8);
     }
 }

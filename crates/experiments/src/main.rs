@@ -7,7 +7,12 @@
 //! am-experiments e8 e9 e10        # run a subset
 //! am-experiments --seed 7 e8      # shift every Monte-Carlo trial
 //! am-experiments --out-dir out e8 # write out/e8.json + out/manifest.json
-//! am-experiments --trace t.json e14  # export a chrome://tracing trace
+//! am-experiments --adaptive e8    # Wilson early stopping per sweep point
+//! am-experiments --ci-width 0.02 e8  # adaptive, tighter half-width target
+//! am-experiments --fast           # tiny budgets: all 14 in seconds
+//! am-experiments --max-batches 1 e8  # stop mid-sweep (checkpoint kept)
+//! am-experiments --resume e8      # finish from the checkpoint
+//! am-experiments --trace t.json e14 # export a chrome://tracing trace
 //! am-experiments --no-obs e4      # skip spans/counters/manifest
 //! am-experiments --list           # list experiments
 //! ```
@@ -16,17 +21,25 @@
 //! `<out-dir>/<id>.json` (default `results/`). Unless `--no-obs`, the run
 //! also writes `<out-dir>/manifest.json` — seed, per-experiment timings,
 //! output paths, and a snapshot of every span/counter/event recorded by
-//! the simulation layers. The default seed 0 reproduces the historic
-//! outputs exactly.
+//! the simulation layers. The default seed 0 under the default fixed
+//! budgets reproduces the historic outputs exactly; `--adaptive` trades
+//! surplus trials at easy sweep points for speed, recording the trials
+//! actually used and the achieved 95% CI per point in the JSON.
 
-use am_experiments::{describe, execute, ALL};
+use am_experiments::{execute, HarnessOpts, REGISTRY};
 use am_obs::RunManifest;
+use am_protocols::SweepConfig;
 
 struct Cli {
     seed: u64,
     out_dir: String,
     trace: Option<String>,
     obs: bool,
+    adaptive: bool,
+    ci_width: Option<f64>,
+    fast: bool,
+    resume: bool,
+    max_batches: Option<u64>,
     ids: Vec<String>,
 }
 
@@ -36,6 +49,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         out_dir: "results".to_string(),
         trace: None,
         obs: true,
+        adaptive: false,
+        ci_width: None,
+        fast: false,
+        resume: false,
+        max_batches: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -53,6 +71,29 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace" | "-t" => {
                 cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
+            "--adaptive" | "-a" => cli.adaptive = true,
+            "--ci-width" | "-w" => {
+                let v = it.next().ok_or("--ci-width needs a value")?;
+                let w: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--ci-width needs a number, got '{v}'"))?;
+                if !(w > 0.0 && w < 0.5) {
+                    return Err(format!("--ci-width must be in (0, 0.5), got {w}"));
+                }
+                cli.ci_width = Some(w);
+            }
+            "--fast" | "-f" => cli.fast = true,
+            "--resume" | "-r" => cli.resume = true,
+            "--max-batches" => {
+                let v = it.next().ok_or("--max-batches needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--max-batches needs a u64, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--max-batches must be ≥ 1".into());
+                }
+                cli.max_batches = Some(n);
+            }
             "--no-obs" => cli.obs = false,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'"));
@@ -63,11 +104,29 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// The sweep-engine configuration a CLI invocation asks for: `--ci-width`
+/// implies `--adaptive` (default target 0.05); `--fast` shrinks the batch
+/// so even tiny budgets span several batches (checkpoint/interruption
+/// behaviour stays exercisable); `--max-batches` caps each point's
+/// batches for this process, leaving the checkpoint to a `--resume`.
+fn sweep_config(cli: &Cli) -> SweepConfig {
+    let mut sweep = if cli.adaptive || cli.ci_width.is_some() {
+        SweepConfig::adaptive(cli.ci_width.unwrap_or(0.05))
+    } else {
+        SweepConfig::fixed()
+    };
+    if cli.fast {
+        sweep.batch = 8;
+    }
+    sweep.max_batches_per_run = cli.max_batches;
+    sweep
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list" || a == "-l") {
-        for id in ALL {
-            println!("{id:4} {}", describe(id));
+        for exp in REGISTRY {
+            println!("{:4} {}", exp.id, exp.describe);
         }
         return;
     }
@@ -86,14 +145,22 @@ fn main() {
     }
 
     let selected: Vec<String> = if cli.ids.is_empty() {
-        ALL.iter().map(|s| s.to_string()).collect()
+        REGISTRY.iter().map(|e| e.id.to_string()).collect()
     } else {
         cli.ids.clone()
+    };
+    let opts = HarnessOpts {
+        seed: cli.seed,
+        out_dir: cli.out_dir.clone(),
+        sweep: sweep_config(&cli),
+        fast: cli.fast,
+        resume: cli.resume,
+        checkpoints: true,
     };
     let mut manifest = RunManifest::new(cli.seed, cli.out_dir.clone());
     let mut failed = false;
     for id in &selected {
-        match execute(id, cli.seed, &cli.out_dir) {
+        match execute(id, &opts) {
             Some(rec) => manifest.record(rec),
             None => {
                 eprintln!("unknown experiment '{id}' (try --list)");

@@ -40,9 +40,7 @@ pub fn counter(name: &str) -> Counter {
         .counters
         .lock()
         .unwrap_or_else(|e| e.into_inner());
-    Counter(Arc::clone(
-        map.entry(name.to_string()).or_default(),
-    ))
+    Counter(Arc::clone(map.entry(name.to_string()).or_default()))
 }
 
 /// A snapshot of every counter, name-sorted.

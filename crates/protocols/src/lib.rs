@@ -18,6 +18,9 @@
 //!   chain just before the decision — Lemma 5.5).
 //! * [`runner`] — parallel Monte-Carlo estimation of validity-failure
 //!   rates and resilience thresholds (rayon fan-out, per-trial seeding).
+//! * [`sweep`] — the adaptive sweep engine: batched trials with Wilson
+//!   early stopping ([`am_stats::StopRule`]), per-point budgets, and
+//!   crash-safe checkpoint/resume.
 //!
 //! ## Modelling notes (see DESIGN.md)
 //!
@@ -40,14 +43,18 @@ pub mod dag;
 pub mod params;
 pub mod propagation;
 pub mod runner;
+pub mod sweep;
 pub mod timestamp;
 pub mod weak;
 
 pub use chain::{run_chain, ChainAdversary, ChainTrial, TieBreak};
 pub use dag::{run_dag, DagAdversary, DagRule, DagTrial};
-pub use params::{Params, ViewPolicy};
+pub use params::{ParamError, Params, ParamsBuilder, ViewPolicy};
 pub use propagation::{run_chain_net, run_dag_net, BlockMsg, Propagation};
-pub use runner::{measure_failure_rate, resilience_threshold, TrialKind};
+pub use runner::{measure_failure_rate, resilience_threshold, trial_seed, TrialKind};
+pub use sweep::{
+    CheckpointStore, PointCheckpoint, PointResult, SweepConfig, SweepMode, SweepRunner,
+};
 pub use timestamp::{run_timestamp, TimestampTrial};
 pub use weak::{
     run_chain_staggered, run_dag_multinode, run_dag_staggered, MultiTrial, StaggeredTrial,

@@ -9,9 +9,9 @@ use crate::chain::{run_chain, ChainAdversary, TieBreak};
 use crate::dag::{run_dag, DagAdversary, DagRule};
 use crate::params::Params;
 use crate::propagation::{run_chain_net, run_dag_net};
+use crate::sweep::{SweepConfig, SweepRunner};
 use crate::timestamp::run_timestamp;
 use am_stats::{search_threshold, Proportion, ThresholdResult};
-use rayon::prelude::*;
 
 /// Which protocol/strategy combination a measurement runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,17 +63,14 @@ pub fn trial_seed(base: u64, index: u64) -> u64 {
 }
 
 /// Measures the validity-failure rate of `kind` at `p` over `trials`
-/// Monte-Carlo runs, in parallel.
+/// Monte-Carlo runs, in parallel — the fixed-budget entry point, now a
+/// thin wrapper over the [`crate::sweep`] engine (same trial indices,
+/// same seeds, identical tallies).
 pub fn measure_failure_rate(p: &Params, kind: TrialKind, trials: u64) -> Proportion {
     let _span = am_obs::span(format!("protocols/measure/{}", kind.label()));
-    am_obs::counter("protocols.trials").add(trials);
-    let failures = (0..trials)
-        .into_par_iter()
-        .map(|i| kind.run_one(&p.with_seed(trial_seed(p.seed, i))))
-        .filter(|&failed| failed)
-        .count() as u64;
-    am_obs::counter("protocols.failures").add(failures);
-    Proportion::from_counts(failures, trials)
+    SweepRunner::new(SweepConfig::fixed())
+        .measure(&kind.label(), p, kind, trials)
+        .tally
 }
 
 /// Empirical resilience threshold: the largest `t` (over a probe grid up
@@ -84,9 +81,38 @@ pub fn resilience_threshold(
     trials: u64,
     tol: f64,
 ) -> ThresholdResult {
+    resilience_threshold_with(
+        &SweepRunner::new(SweepConfig::fixed()),
+        &kind.label(),
+        base,
+        kind,
+        trials,
+        tol,
+    )
+}
+
+/// [`resilience_threshold`] through an explicit sweep engine: adaptive
+/// runners stop each probed `t` early once its Wilson half-width is
+/// tight, and checkpointing runners make the scan resumable. `key`
+/// namespaces the probes in the checkpoint file.
+pub fn resilience_threshold_with(
+    runner: &SweepRunner<'_>,
+    key: &str,
+    base: &Params,
+    kind: TrialKind,
+    trials: u64,
+    tol: f64,
+) -> ThresholdResult {
     let grid = am_stats::threshold::byzantine_grid(base.n as u64, 8);
     search_threshold(base.n as u64, &grid, tol, 0.9, |t| {
-        measure_failure_rate(&base.with_t(t as usize), kind, trials)
+        runner
+            .measure(
+                &format!("{key}/t{t}"),
+                &base.with_t(t as usize),
+                kind,
+                trials,
+            )
+            .tally
     })
 }
 

@@ -1,0 +1,562 @@
+//! The adaptive Monte-Carlo sweep engine.
+//!
+//! Every theorem experiment is a sweep: a grid of parameter points, each
+//! estimating a Bernoulli failure probability by repeated simulation.
+//! This module is the one engine those sweeps share:
+//!
+//! * **Batched, schedule-independent trials.** Each point runs trials in
+//!   rayon-parallel batches; trial `i` is seeded by
+//!   [`trial_seed`](crate::runner::trial_seed)`(seed, i)`, so the tally is
+//!   a pure function of `(seed, trial count)` — independent of batch
+//!   boundaries, thread schedule, and interruption.
+//! * **Sequential stopping.** In [`SweepMode::Adaptive`] the engine
+//!   consults an [`am_stats::StopRule`] between batches and stops a point
+//!   as soon as its Wilson half-width reaches the target — easy points
+//!   (failure rate ≈ 0 or ≈ 1) finish in a batch or two, hard points near
+//!   the resilience threshold run to the budget cap. [`SweepMode::Fixed`]
+//!   reproduces the historic fixed-budget tables exactly.
+//! * **Checkpoint/resume.** With a [`CheckpointStore`] attached, the
+//!   engine persists per-point tallies and the batch cursor after every
+//!   batch; a resumed run restores them and continues at the cursor,
+//!   producing bit-identical final results (integer tallies + the same
+//!   per-index seeds leave nothing schedule-dependent).
+//!
+//! Observability: `sweep.batches`, `sweep.trials`, and
+//! `sweep.trials_saved` counters, plus a `sweep/<key>` span per point.
+
+use crate::params::Params;
+use crate::runner::{trial_seed, TrialKind};
+use am_stats::{Proportion, StopReason, StopRule, WilsonInterval};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// How a sweep spends its per-point trial budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SweepMode {
+    /// Historic behaviour: every point runs its full budget.
+    Fixed,
+    /// Sequential stopping: batches until the 95% Wilson half-width is
+    /// ≤ `target_half_width` or the budget cap is hit.
+    Adaptive {
+        /// The Wilson 95% half-width at which a point stops sampling.
+        target_half_width: f64,
+    },
+}
+
+/// Engine configuration shared by every point of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepConfig {
+    /// Fixed or adaptive budget spending.
+    pub mode: SweepMode,
+    /// Trials per batch (the granularity of stopping checks and
+    /// checkpoints).
+    pub batch: u64,
+    /// When set, each point runs at most this many batches *in this
+    /// process* and then reports itself incomplete — a deterministic
+    /// stand-in for a mid-sweep kill, used by the `--resume` round-trip
+    /// test lane.
+    pub max_batches_per_run: Option<u64>,
+}
+
+impl SweepConfig {
+    /// The historic default: fixed budgets, 32-trial batches.
+    pub fn fixed() -> SweepConfig {
+        SweepConfig {
+            mode: SweepMode::Fixed,
+            batch: 32,
+            max_batches_per_run: None,
+        }
+    }
+
+    /// Adaptive stopping at the given Wilson 95% half-width target.
+    pub fn adaptive(target_half_width: f64) -> SweepConfig {
+        SweepConfig {
+            mode: SweepMode::Adaptive { target_half_width },
+            batch: 32,
+            max_batches_per_run: None,
+        }
+    }
+
+    /// The stop rule this configuration induces for a point with the
+    /// given trial budget.
+    pub fn rule(&self, budget: u64) -> StopRule {
+        match self.mode {
+            // A fixed rule "stops" only at the budget; the unreachable
+            // half-width target keeps the check inert.
+            SweepMode::Fixed => StopRule {
+                target_half_width: 0.0,
+                z: 1.959964,
+                max_trials: budget,
+                min_trials: budget,
+            },
+            SweepMode::Adaptive { target_half_width } => {
+                let mut rule = StopRule::wilson95(target_half_width, budget);
+                // Never stop before one batch of evidence, but also never
+                // demand more than the budget itself.
+                rule.min_trials = self.batch.min(budget);
+                rule
+            }
+        }
+    }
+}
+
+/// Outcome of one sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointResult {
+    /// The failure tally over the trials actually run.
+    pub tally: Proportion,
+    /// The budget the point was allowed.
+    pub budget: u64,
+    /// Batches executed (across resumes).
+    pub batches: u64,
+    /// Why sampling stopped.
+    pub stop: StopReason,
+    /// False when `max_batches_per_run` halted the point mid-budget; the
+    /// checkpoint holds the cursor for a later `--resume`.
+    pub complete: bool,
+}
+
+impl PointResult {
+    /// Trials actually run.
+    pub fn trials_used(&self) -> u64 {
+        self.tally.trials
+    }
+
+    /// Point estimate of the failure probability.
+    pub fn estimate(&self) -> f64 {
+        self.tally.estimate()
+    }
+
+    /// The achieved 95% Wilson interval.
+    pub fn ci95(&self) -> WilsonInterval {
+        self.tally.wilson95()
+    }
+
+    /// Trials the stopping rule saved relative to the full budget.
+    pub fn trials_saved(&self) -> u64 {
+        self.budget.saturating_sub(self.tally.trials)
+    }
+}
+
+/// Per-point persistent state: the tally and the batch cursor. The
+/// cursor always equals `trials` because every trial index below it has
+/// run exactly once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCheckpoint {
+    /// Failure count so far.
+    pub hits: u64,
+    /// Trials run so far (also the next trial index).
+    pub trials: u64,
+    /// Batches executed so far.
+    pub batches: u64,
+    /// Whether the point's stopping rule has fired.
+    pub done: bool,
+}
+
+/// The on-disk checkpoint: schema, base seed, and per-point tallies,
+/// written atomically (tmp + rename) after every batch.
+///
+/// The store is keyed by caller-chosen stable strings (e.g.
+/// `"e8/l0.2/t3/chain"`); a resumed run with the same seed restores each
+/// key's cursor and continues, which — with index-derived trial seeds —
+/// reproduces the uninterrupted run bit for bit. A checkpoint recorded
+/// under a different base seed is ignored on load.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    seed: u64,
+    points: Mutex<BTreeMap<String, PointCheckpoint>>,
+}
+
+/// Version stamp of the checkpoint JSON document.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+impl CheckpointStore {
+    /// A fresh store writing to `path`; any existing file is ignored and
+    /// will be overwritten at the first batch.
+    pub fn create(path: impl Into<PathBuf>, seed: u64) -> CheckpointStore {
+        CheckpointStore {
+            path: path.into(),
+            seed,
+            points: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Resumes from `path` if it holds a checkpoint for the same seed;
+    /// otherwise starts fresh (a seed mismatch means the tallies belong
+    /// to a different run and must not be continued).
+    pub fn resume(path: impl Into<PathBuf>, seed: u64) -> CheckpointStore {
+        let path = path.into();
+        let points = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|body| Self::parse(&body, seed))
+            .unwrap_or_default();
+        CheckpointStore {
+            path,
+            seed,
+            points: Mutex::new(points),
+        }
+    }
+
+    fn parse(body: &str, seed: u64) -> Option<BTreeMap<String, PointCheckpoint>> {
+        let v: Value = serde_json::from_str(body).ok()?;
+        if v.get("schema_version")?.as_u64()? != CHECKPOINT_SCHEMA_VERSION as u64
+            || v.get("seed")?.as_u64()? != seed
+        {
+            return None;
+        }
+        let Value::Object(entries) = v.get("points")? else {
+            return None;
+        };
+        let mut points = BTreeMap::new();
+        for (key, val) in entries {
+            points.insert(key.clone(), PointCheckpoint::from_value(val).ok()?);
+        }
+        Some(points)
+    }
+
+    /// The file this store writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorded state of a point, if any.
+    pub fn lookup(&self, key: &str) -> Option<PointCheckpoint> {
+        self.points.lock().unwrap().get(key).copied()
+    }
+
+    /// Records a point's state and rewrites the checkpoint file.
+    pub fn update(&self, key: &str, cp: PointCheckpoint) -> io::Result<()> {
+        let body = {
+            let mut points = self.points.lock().unwrap();
+            points.insert(key.to_string(), cp);
+            self.render(&points)
+        };
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    fn render(&self, points: &BTreeMap<String, PointCheckpoint>) -> String {
+        let doc = Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                CHECKPOINT_SCHEMA_VERSION.to_value(),
+            ),
+            ("seed".to_string(), self.seed.to_value()),
+            (
+                "points".to_string(),
+                Value::Object(
+                    points
+                        .iter()
+                        .map(|(k, cp)| (k.clone(), cp.to_value()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Whether every recorded point has finished its stopping rule —
+    /// false after a `max_batches_per_run` halt (or a crash mid-sweep).
+    pub fn all_done(&self) -> bool {
+        self.points.lock().unwrap().values().all(|cp| cp.done)
+    }
+
+    /// Deletes the checkpoint file (call after the final results are
+    /// safely written; a stale checkpoint would shadow the next run).
+    pub fn discard(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The engine: a configuration plus an optional checkpoint store.
+///
+/// ```
+/// use am_protocols::sweep::{SweepConfig, SweepRunner};
+/// let runner = SweepRunner::new(SweepConfig::adaptive(0.05));
+/// // A deterministic coin: trial i fails iff its low bit is set.
+/// let r = runner.estimate("demo", 10_000, |i| i % 2 == 0);
+/// assert!(r.complete);
+/// assert!(r.trials_used() < 10_000, "a fair coin stops well short");
+/// assert!(r.ci95().contains(0.5));
+/// ```
+pub struct SweepRunner<'a> {
+    cfg: SweepConfig,
+    checkpoint: Option<&'a CheckpointStore>,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// An engine without checkpointing (library/test use).
+    pub fn new(cfg: SweepConfig) -> SweepRunner<'static> {
+        SweepRunner {
+            cfg,
+            checkpoint: None,
+        }
+    }
+
+    /// An engine persisting per-point state to `store` after every batch.
+    pub fn with_checkpoints(cfg: SweepConfig, store: &'a CheckpointStore) -> SweepRunner<'a> {
+        SweepRunner {
+            cfg,
+            checkpoint: Some(store),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// Estimates a Bernoulli proportion: `trial(i)` runs trial `i` and
+    /// returns whether the event occurred. `key` names the point in the
+    /// checkpoint file and its obs span; it must be stable across runs
+    /// and unique within the sweep.
+    ///
+    /// The trial function must be deterministic in `i` (derive all
+    /// randomness from `i`, e.g. via
+    /// [`trial_seed`](crate::runner::trial_seed)); the engine guarantees
+    /// each index in `0..trials_used` runs exactly once, across batches
+    /// and resumes.
+    pub fn estimate<F>(&self, key: &str, budget: u64, trial: F) -> PointResult
+    where
+        F: Fn(u64) -> bool + Sync,
+    {
+        let _span = am_obs::span(format!("sweep/{key}"));
+        let rule = self.cfg.rule(budget);
+        let mut cp = self
+            .checkpoint
+            .and_then(|s| s.lookup(key))
+            .unwrap_or_default();
+        let mut batches_this_run = 0u64;
+        loop {
+            let tally = Proportion::from_counts(cp.hits, cp.trials);
+            if cp.done {
+                // Replayed from a checkpoint that already stopped; the
+                // reason is re-derived from the same rule and tally.
+                let stop = rule.check(&tally).unwrap_or(StopReason::Budget);
+                return self.finish(budget, cp, stop);
+            }
+            if let Some(stop) = rule.check(&tally) {
+                cp.done = true;
+                self.save(key, cp);
+                am_obs::counter("sweep.trials_saved").add(budget.saturating_sub(cp.trials));
+                return self.finish(budget, cp, stop);
+            }
+            if self
+                .cfg
+                .max_batches_per_run
+                .is_some_and(|cap| batches_this_run >= cap)
+            {
+                return PointResult {
+                    tally,
+                    budget,
+                    batches: cp.batches,
+                    stop: StopReason::Budget,
+                    complete: false,
+                };
+            }
+            let n = rule.next_batch(cp.trials, self.cfg.batch);
+            debug_assert!(n > 0, "rule must stop before an empty batch");
+            let hits = (cp.trials..cp.trials + n)
+                .into_par_iter()
+                .filter(|&i| trial(i))
+                .count() as u64;
+            cp.hits += hits;
+            cp.trials += n;
+            cp.batches += 1;
+            batches_this_run += 1;
+            am_obs::counter("sweep.batches").inc();
+            am_obs::counter("sweep.trials").add(n);
+            self.save(key, cp);
+        }
+    }
+
+    /// Estimates the validity-failure rate of `kind` at `p` — the
+    /// protocol-trial form of [`SweepRunner::estimate`], seeding trial
+    /// `i` with `trial_seed(p.seed, i)` exactly as
+    /// [`measure_failure_rate`](crate::runner::measure_failure_rate)
+    /// always has.
+    pub fn measure(&self, key: &str, p: &Params, kind: TrialKind, budget: u64) -> PointResult {
+        let result = self.estimate(key, budget, |i| {
+            kind.run_one(&p.with_seed(trial_seed(p.seed, i)))
+        });
+        am_obs::counter("protocols.trials").add(result.trials_used());
+        am_obs::counter("protocols.failures").add(result.tally.hits);
+        result
+    }
+
+    fn save(&self, key: &str, cp: PointCheckpoint) {
+        if let Some(store) = self.checkpoint {
+            if let Err(e) = store.update(key, cp) {
+                // Checkpointing is crash insurance, not correctness; a
+                // full disk must not kill the sweep itself.
+                eprintln!(
+                    "[sweep] checkpoint write to {} failed: {e}",
+                    store.path().display()
+                );
+            }
+        }
+    }
+
+    fn finish(&self, budget: u64, cp: PointCheckpoint, stop: StopReason) -> PointResult {
+        let stop = match self.cfg.mode {
+            SweepMode::Fixed => StopReason::Fixed,
+            SweepMode::Adaptive { .. } => stop,
+        };
+        PointResult {
+            tally: Proportion::from_counts(cp.hits, cp.trials),
+            budget,
+            batches: cp.batches,
+            stop,
+            complete: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainAdversary, TieBreak};
+    use crate::runner::measure_failure_rate;
+
+    fn coin(i: u64) -> bool {
+        // A deterministic ~30% coin on the trial index.
+        trial_seed(9, i) % 10 < 3
+    }
+
+    #[test]
+    fn fixed_mode_runs_exactly_the_budget() {
+        let runner = SweepRunner::new(SweepConfig::fixed());
+        let r = runner.estimate("fixed", 100, coin);
+        assert_eq!(r.trials_used(), 100);
+        assert_eq!(r.stop, StopReason::Fixed);
+        assert_eq!(r.batches, 4); // 32+32+32+4
+        assert!(r.complete);
+        assert_eq!(r.trials_saved(), 0);
+    }
+
+    #[test]
+    fn fixed_mode_matches_measure_failure_rate() {
+        let p = Params::new(8, 3, 0.5, 15, 77);
+        let kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker);
+        let old = measure_failure_rate(&p, kind, 64);
+        let new = SweepRunner::new(SweepConfig::fixed()).measure("m", &p, kind, 64);
+        assert_eq!(
+            new.tally, old,
+            "the engine must reproduce the historic tallies"
+        );
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_easy_points() {
+        let runner = SweepRunner::new(SweepConfig::adaptive(0.05));
+        let r = runner.estimate("easy", 10_000, |_| false);
+        assert_eq!(r.stop, StopReason::HalfWidth);
+        assert!(
+            r.trials_used() <= 96,
+            "an all-clear point should stop within a few batches, used {}",
+            r.trials_used()
+        );
+        assert!(r.trials_saved() > 9_000);
+    }
+
+    #[test]
+    fn adaptive_hits_budget_on_hard_points() {
+        let runner = SweepRunner::new(SweepConfig::adaptive(0.01));
+        let r = runner.estimate("hard", 200, |i| i % 2 == 0);
+        assert_eq!(r.stop, StopReason::Budget);
+        assert_eq!(r.trials_used(), 200);
+    }
+
+    #[test]
+    fn adaptive_prefix_of_fixed() {
+        // The adaptive tally is the fixed tally's prefix: same indices,
+        // same seeds.
+        let runner = SweepRunner::new(SweepConfig::adaptive(0.04));
+        let adaptive = runner.estimate("prefix", 4000, coin);
+        let mut prefix = Proportion::new();
+        for i in 0..adaptive.trials_used() {
+            prefix.record(coin(i));
+        }
+        assert_eq!(adaptive.tally, prefix);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join("am_sweep_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("checkpoint.json");
+
+        // Uninterrupted reference.
+        let full = SweepRunner::new(SweepConfig::adaptive(0.03)).estimate("pt", 4000, coin);
+
+        // Interrupted after one batch per process, resumed until done.
+        let mut halted_cfg = SweepConfig::adaptive(0.03);
+        halted_cfg.max_batches_per_run = Some(1);
+        let store = CheckpointStore::create(&path, 9);
+        let first = SweepRunner::with_checkpoints(halted_cfg, &store).estimate("pt", 4000, coin);
+        assert!(!first.complete);
+        assert!(!store.all_done());
+        let mut resumed = first;
+        for _ in 0..200 {
+            let store = CheckpointStore::resume(&path, 9);
+            resumed = SweepRunner::with_checkpoints(halted_cfg, &store).estimate("pt", 4000, coin);
+            if resumed.complete {
+                assert!(store.all_done());
+                break;
+            }
+        }
+        assert!(resumed.complete, "resume loop never finished");
+        assert_eq!(resumed.tally, full.tally);
+        assert_eq!(resumed.batches, full.batches);
+        assert_eq!(resumed.stop, full.stop);
+
+        // A third run over the finished checkpoint replays without trials.
+        let store = CheckpointStore::resume(&path, 9);
+        let replay = SweepRunner::with_checkpoints(halted_cfg, &store)
+            .estimate("pt", 4000, |_| panic!("done points must not re-run trials"));
+        assert_eq!(replay.tally, full.tally);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_ignores_other_seeds() {
+        let dir = std::env::temp_dir().join("am_sweep_seed_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("checkpoint.json");
+        let store = CheckpointStore::create(&path, 1);
+        store
+            .update(
+                "k",
+                PointCheckpoint {
+                    hits: 5,
+                    trials: 10,
+                    batches: 1,
+                    done: true,
+                },
+            )
+            .unwrap();
+        assert!(CheckpointStore::resume(&path, 1).lookup("k").is_some());
+        assert!(
+            CheckpointStore::resume(&path, 2).lookup("k").is_none(),
+            "a different seed's tallies must not be continued"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_rule_never_stops_early() {
+        let cfg = SweepConfig::fixed();
+        let rule = cfg.rule(500);
+        assert_eq!(rule.check(&Proportion::from_counts(0, 499)), None);
+        assert_eq!(
+            rule.check(&Proportion::from_counts(0, 500)),
+            Some(StopReason::Budget)
+        );
+    }
+}

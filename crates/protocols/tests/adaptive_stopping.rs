@@ -1,0 +1,70 @@
+//! Sequential-stopping correctness: on a seeded E8-style grid the
+//! adaptive engine must agree with the fixed-budget engine within the
+//! target half-width, honour the target whenever it claims a half-width
+//! stop, and spend meaningfully fewer trials overall.
+
+use am_protocols::{ChainAdversary, Params, SweepConfig, SweepRunner, TieBreak, TrialKind};
+use am_stats::StopReason;
+
+#[test]
+fn adaptive_agrees_with_fixed_within_the_target_and_saves_trials() {
+    let target = 0.08;
+    let budget = 600u64;
+    let fixed = SweepRunner::new(SweepConfig::fixed());
+    let adaptive = SweepRunner::new(SweepConfig::adaptive(target));
+    let kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker);
+
+    let mut fixed_total = 0u64;
+    let mut adaptive_total = 0u64;
+    for t in 1..=5usize {
+        let p = Params::new(12, t, 0.4, 41, 7);
+        let f = fixed.measure(&format!("fixed/t{t}"), &p, kind, budget);
+        let a = adaptive.measure(&format!("adaptive/t{t}"), &p, kind, budget);
+        fixed_total += f.trials_used();
+        adaptive_total += a.trials_used();
+
+        assert_eq!(f.trials_used(), budget, "fixed mode must spend the budget");
+        assert!(a.trials_used() <= budget);
+
+        // Same seeds ⇒ the adaptive tally is a prefix of the fixed trial
+        // stream, so the two estimates can only differ by sampling noise
+        // both intervals account for.
+        let (fw, aw) = (f.ci95(), a.ci95());
+        let half = |w: am_stats::WilsonInterval| (w.hi - w.lo) / 2.0;
+        assert!(
+            (f.estimate() - a.estimate()).abs() <= half(fw) + half(aw),
+            "t={t}: fixed {:.3} vs adaptive {:.3} beyond combined CI",
+            f.estimate(),
+            a.estimate()
+        );
+
+        // A half-width stop must actually have achieved the target.
+        if a.stop == StopReason::HalfWidth {
+            assert!(
+                half(aw) <= target,
+                "t={t}: claimed half-width stop at {:.4} > {target}",
+                half(aw)
+            );
+        }
+    }
+
+    assert!(
+        adaptive_total * 2 <= fixed_total,
+        "adaptive used {adaptive_total} trials vs fixed {fixed_total}: \
+         expected ≥2× savings on this grid"
+    );
+}
+
+#[test]
+fn adaptive_results_are_schedule_independent() {
+    // Rerunning the same adaptive point must reproduce the tally exactly
+    // — trials are index-seeded, not order-seeded.
+    let adaptive = SweepRunner::new(SweepConfig::adaptive(0.05));
+    let p = Params::new(10, 3, 0.5, 31, 99);
+    let kind = TrialKind::Chain(TieBreak::Randomized, ChainAdversary::Dissenter);
+    let a = adaptive.measure("pt", &p, kind, 400);
+    let b = adaptive.measure("pt", &p, kind, 400);
+    assert_eq!(a.tally, b.tally);
+    assert_eq!(a.trials_used(), b.trials_used());
+    assert_eq!(a.stop, b.stop);
+}

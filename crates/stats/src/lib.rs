@@ -7,6 +7,8 @@
 //!   tail bounds) with an `erf` implementation accurate to ~1e-7.
 //! * [`estimator`] — Monte-Carlo proportion estimators with Wilson-score
 //!   confidence intervals.
+//! * [`sequential`] — adaptive stopping rules: stop a point's sampling
+//!   loop once its Wilson half-width reaches a target or a budget cap.
 //! * [`threshold`] — empirical resilience-threshold search: the largest
 //!   Byzantine fraction at which a protocol still satisfies a property.
 //! * [`theory`] — the paper's closed-form bounds (chain resilience
@@ -22,6 +24,7 @@
 pub mod dist;
 pub mod estimator;
 pub mod ks;
+pub mod sequential;
 pub mod summary;
 pub mod table;
 pub mod theory;
@@ -30,6 +33,7 @@ pub mod threshold;
 pub use dist::{binomial_pmf, erf, normal_cdf, normal_pdf, poisson_cdf, poisson_pmf};
 pub use estimator::{Proportion, WilsonInterval};
 pub use ks::{exponential_cdf, ks_fits, ks_statistic, uniform_cdf};
+pub use sequential::{required_trials, StopReason, StopRule};
 pub use summary::Summary;
 pub use table::{Series, Table};
 pub use theory::{

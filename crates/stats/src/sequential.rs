@@ -1,0 +1,208 @@
+//! Sequential (adaptive) stopping rules for Monte-Carlo proportion
+//! estimation.
+//!
+//! Fixed-budget Monte-Carlo spends the same number of trials at every
+//! sweep point, but the *information* a trial buys varies wildly: near a
+//! failure rate of 0 or 1 the Wilson interval collapses after a few dozen
+//! trials, while points near the resilience threshold stay noisy for
+//! thousands. A [`StopRule`] encodes the alternative: run trials in
+//! batches and stop as soon as the Wilson half-width falls below a
+//! target, or a hard budget cap is hit. The rule itself is pure
+//! statistics — the batching, parallel fan-out, and checkpointing live in
+//! `am-protocols::sweep`, which consults the rule between batches.
+//!
+//! ```
+//! use am_stats::{Proportion, StopReason, StopRule};
+//! let rule = StopRule::wilson95(0.05, 10_000);
+//! // An all-failures tally pins the interval quickly...
+//! let extreme = Proportion::from_counts(0, 200);
+//! assert_eq!(rule.check(&extreme), Some(StopReason::HalfWidth));
+//! // ...while a 50/50 tally at the same size must keep sampling.
+//! let mid = Proportion::from_counts(100, 200);
+//! assert_eq!(rule.check(&mid), None);
+//! ```
+
+use crate::estimator::Proportion;
+use serde::{Deserialize, Serialize};
+
+/// Why a sequential estimation loop stopped at a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The Wilson half-width dropped below the target.
+    HalfWidth,
+    /// The trial budget was exhausted before the target was reached.
+    Budget,
+    /// No early stopping was requested — the full fixed budget ran.
+    Fixed,
+}
+
+impl StopReason {
+    /// Snake-case label for JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::HalfWidth => "half_width",
+            StopReason::Budget => "budget",
+            StopReason::Fixed => "fixed",
+        }
+    }
+}
+
+/// A sequential stopping rule: stop once the Wilson interval at `z`
+/// standard deviations has half-width ≤ `target_half_width`, but never
+/// before `min_trials` and never beyond `max_trials`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopRule {
+    /// Target half-width of the Wilson interval.
+    pub target_half_width: f64,
+    /// Confidence in standard deviations (1.96 for 95%).
+    pub z: f64,
+    /// Hard cap on trials per point.
+    pub max_trials: u64,
+    /// Trials below which the half-width check never fires (guards
+    /// against a lucky first batch stopping on no evidence).
+    pub min_trials: u64,
+}
+
+impl StopRule {
+    /// The conventional rule: 95% Wilson interval, stop at the given
+    /// half-width, cap at `max_trials`, require at least one batch worth
+    /// of evidence (32 trials).
+    pub fn wilson95(target_half_width: f64, max_trials: u64) -> StopRule {
+        assert!(
+            target_half_width > 0.0,
+            "target half-width must be positive"
+        );
+        StopRule {
+            target_half_width,
+            z: 1.959964,
+            max_trials,
+            min_trials: 32,
+        }
+    }
+
+    /// The achieved half-width of `tally`'s Wilson interval at this
+    /// rule's confidence.
+    pub fn half_width(&self, tally: &Proportion) -> f64 {
+        tally.wilson(self.z).width() / 2.0
+    }
+
+    /// Whether the tally satisfies the rule: `Some(reason)` to stop,
+    /// `None` to keep sampling.
+    pub fn check(&self, tally: &Proportion) -> Option<StopReason> {
+        if tally.trials >= self.min_trials && self.half_width(tally) <= self.target_half_width {
+            return Some(StopReason::HalfWidth);
+        }
+        if tally.trials >= self.max_trials {
+            return Some(StopReason::Budget);
+        }
+        None
+    }
+
+    /// Size of the next batch when `done` trials have run and the caller
+    /// batches in chunks of `batch`: the chunk, clipped to the budget.
+    pub fn next_batch(&self, done: u64, batch: u64) -> u64 {
+        batch.min(self.max_trials.saturating_sub(done))
+    }
+}
+
+/// Planning helper: the approximate trial count at which a proportion
+/// near `p` reaches Wilson half-width `h` at confidence `z` — the
+/// normal-approximation inversion `n ≈ z²·p(1−p)/h²`, floored at the
+/// `p = 0` limit `n ≈ z²(1−2h)/(4h)` that keeps the estimate sane at the
+/// extremes the experiments live in.
+pub fn required_trials(p: f64, h: f64, z: f64) -> u64 {
+    assert!(h > 0.0 && h < 0.5, "half-width must be in (0, 0.5)");
+    let variance_term = (z * z * p * (1.0 - p) / (h * h)).ceil();
+    let extreme_term = (z * z * (1.0 - 2.0 * h) / (4.0 * h)).ceil();
+    (variance_term as u64).max(extreme_term as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_stop_early_midpoints_do_not() {
+        let rule = StopRule::wilson95(0.05, 5000);
+        assert_eq!(
+            rule.check(&Proportion::from_counts(0, 128)),
+            Some(StopReason::HalfWidth)
+        );
+        assert_eq!(
+            rule.check(&Proportion::from_counts(128, 128)),
+            Some(StopReason::HalfWidth)
+        );
+        assert_eq!(rule.check(&Proportion::from_counts(64, 128)), None);
+    }
+
+    #[test]
+    fn budget_cap_fires_when_target_unreachable() {
+        let rule = StopRule::wilson95(0.001, 200);
+        assert_eq!(
+            rule.check(&Proportion::from_counts(100, 200)),
+            Some(StopReason::Budget)
+        );
+        assert_eq!(rule.check(&Proportion::from_counts(99, 199)), None);
+    }
+
+    #[test]
+    fn min_trials_guards_the_first_batches() {
+        let rule = StopRule {
+            target_half_width: 0.2,
+            z: 1.959964,
+            max_trials: 1000,
+            min_trials: 50,
+        };
+        // 0/40 would satisfy the width target but lacks the evidence floor.
+        assert_eq!(rule.check(&Proportion::from_counts(0, 40)), None);
+        assert_eq!(
+            rule.check(&Proportion::from_counts(0, 50)),
+            Some(StopReason::HalfWidth)
+        );
+    }
+
+    #[test]
+    fn half_width_matches_wilson() {
+        let rule = StopRule::wilson95(0.05, 1000);
+        let tally = Proportion::from_counts(30, 100);
+        let w = tally.wilson95();
+        assert!((rule.half_width(&tally) - w.width() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_batch_clips_to_budget() {
+        let rule = StopRule::wilson95(0.05, 100);
+        assert_eq!(rule.next_batch(0, 32), 32);
+        assert_eq!(rule.next_batch(96, 32), 4);
+        assert_eq!(rule.next_batch(100, 32), 0);
+        assert_eq!(rule.next_batch(200, 32), 0);
+    }
+
+    #[test]
+    fn required_trials_shapes() {
+        // Midpoint needs the most trials; extremes need far fewer but
+        // never zero.
+        let mid = required_trials(0.5, 0.05, 1.96);
+        let edge = required_trials(0.0, 0.05, 1.96);
+        assert!(mid > 300 && mid < 500, "mid = {mid}");
+        assert!(edge >= 15 && edge < mid, "edge = {edge}");
+        // Tighter targets cost more.
+        assert!(required_trials(0.5, 0.01, 1.96) > mid);
+    }
+
+    #[test]
+    fn stop_reason_labels() {
+        assert_eq!(StopReason::HalfWidth.label(), "half_width");
+        assert_eq!(StopReason::Budget.label(), "budget");
+        assert_eq!(StopReason::Fixed.label(), "fixed");
+    }
+
+    #[test]
+    fn stop_reason_serde_round_trip() {
+        for r in [StopReason::HalfWidth, StopReason::Budget, StopReason::Fixed] {
+            let s = serde_json::to_string(&r).unwrap();
+            let back: StopReason = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}
