@@ -1,10 +1,14 @@
 //! Core data-structure benches + ablations A1 (snapshot strategy) and A2
 //! (ordering-rule cost on adversarial DAGs).
 
-use am_bench::{chain_history, dag_history};
-use am_core::{ghost, linearize, longest_chain, DagIndex};
+use am_bench::{chain_history, dag_history, pr4};
+use am_core::{
+    ghost, linearize, linearize_with, longest_chain, longest_chain_with, ConeCoverTracker,
+    DagIndex, MsgId,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 /// A1: shared-Arc snapshot reads vs naive deep-clone reads.
 fn bench_snapshot_strategies(c: &mut Criterion) {
@@ -71,11 +75,96 @@ fn bench_linearize(c: &mut Criterion) {
     g.finish();
 }
 
+/// PR4 micro-kernels: each optimised core path vs the from-scratch
+/// recomputation it replaced. Results merge into `BENCH_PR4.json` (see
+/// CONTRIBUTING.md); the vendored criterion shim cannot report them.
+fn bench_pr4_core_kernels(_c: &mut Criterion) {
+    let mut rec = pr4::Recorder::new();
+    let budget = Duration::from_millis(400);
+    let len = 1500usize;
+    let view = dag_history(8, len, 11).read();
+    // Per-message parent table + running deepest tip, as the gate sees it.
+    let parents: Vec<Vec<MsgId>> = view.iter().map(|m| m.parents.clone()).collect();
+    let mut depth = vec![0u32; parents.len()];
+    let mut deepest: Vec<MsgId> = Vec::with_capacity(parents.len());
+    for (i, ps) in parents.iter().enumerate() {
+        depth[i] = ps.iter().map(|p| depth[p.index()] + 1).max().unwrap_or(0);
+        let best = deepest.last().copied().unwrap_or(MsgId(0));
+        deepest.push(if i == 0 || depth[i] > depth[best.index()] {
+            MsgId(i as u64)
+        } else {
+            best
+        });
+    }
+    // Gate kernel: covered count of the deepest tip after every append.
+    rec.measure(
+        "cone_cover/incremental_gate",
+        Some("cone_cover/per_append_dfs_naive"),
+        budget,
+        || {
+            let mut t = ConeCoverTracker::new();
+            let mut acc = 0usize;
+            for (i, ps) in parents.iter().enumerate().skip(1) {
+                t.on_append(MsgId(i as u64), ps, true);
+                acc += t.cover_of(deepest[i]);
+            }
+            black_box(acc)
+        },
+    );
+    rec.measure("cone_cover/per_append_dfs_naive", None, budget, || {
+        let mut acc = 0usize;
+        let mut seen = vec![false; parents.len()];
+        let mut stack = Vec::new();
+        for i in 1..parents.len() {
+            seen[..=i].fill(false);
+            stack.push(deepest[i]);
+            while let Some(id) = stack.pop() {
+                if !seen[id.index()] {
+                    seen[id.index()] = true;
+                    acc += 1;
+                    stack.extend_from_slice(&parents[id.index()]);
+                }
+            }
+        }
+        black_box(acc)
+    });
+    // Decision kernel: one shared DagIndex for select + linearize, vs the
+    // old select(view) + linearize(view) pair that each built its own.
+    rec.measure(
+        "decide/shared_index",
+        Some("decide/duplicate_index_naive"),
+        budget,
+        || {
+            let dag = DagIndex::new(&view);
+            let chain = longest_chain_with(&dag);
+            black_box(linearize_with(&dag, &chain).order.len())
+        },
+    );
+    rec.measure("decide/duplicate_index_naive", None, budget, || {
+        let chain = longest_chain(&view);
+        black_box(linearize(&view, &chain).order.len())
+    });
+    // GHOST kernel: pooled scratch + prebuilt index vs from-scratch.
+    let dag = DagIndex::new(&view);
+    let mut gs = ghost::GhostScratch::new();
+    rec.measure(
+        "ghost/pivot_pooled_scratch",
+        Some("ghost/pivot_from_view_naive"),
+        budget,
+        || black_box(ghost::ghost_pivot_in(&dag, &mut gs).len()),
+    );
+    rec.measure("ghost/pivot_from_view_naive", None, budget, || {
+        black_box(ghost::ghost_pivot(&view).len())
+    });
+    rec.write();
+}
+
 criterion_group!(
     benches,
     bench_snapshot_strategies,
     bench_dag_index,
     bench_ordering_rules,
-    bench_linearize
+    bench_linearize,
+    bench_pr4_core_kernels
 );
 criterion_main!(benches);

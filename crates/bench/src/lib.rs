@@ -11,6 +11,8 @@ use am_core::{AppendMemory, MessageBuilder, MsgId, NodeId, Value, GENESIS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+pub mod pr4;
+
 /// Builds a linear chain of `len` blocks authored round-robin by `n` nodes.
 pub fn chain_history(n: usize, len: usize) -> AppendMemory {
     let mem = AppendMemory::new(n);

@@ -51,11 +51,17 @@ pub fn chain_to_genesis(dag: &DagIndex, tip: usize) -> Vec<usize> {
 /// using the deterministic first-tip rule for ties.
 pub fn longest_chain(view: &MemoryView) -> Vec<MsgId> {
     let dag = DagIndex::new(view);
-    let tips = longest_chain_tips(&dag);
+    longest_chain_with(&dag)
+}
+
+/// [`longest_chain`] on an existing index — decision paths that also
+/// linearize build the index once and share it.
+pub fn longest_chain_with(dag: &DagIndex) -> Vec<MsgId> {
+    let tips = longest_chain_tips(dag);
     let Some(&tip) = tips.first() else {
         return Vec::new();
     };
-    chain_to_genesis(&dag, tip)
+    chain_to_genesis(dag, tip)
         .into_iter()
         .map(|p| dag.id_at(p))
         .collect()

@@ -8,11 +8,42 @@
 //! Indices are positions in the view's id-sorted slice. Because the memory
 //! assigns ids in arrival order and parents always precede children, slice
 //! order is already a topological order — no explicit sort is ever needed.
+//!
+//! Layout: adjacency is stored CSR-style (one flat `u32` edge array plus an
+//! offsets array per direction) instead of a `Vec<Vec<u32>>` per node — one
+//! allocation per direction regardless of node count, cache-linear sweeps.
+//! Cone traversals mark nodes in an epoch-stamped scratch buffer owned by
+//! the index, so repeated `past_cone`/`future_cone`/`is_ancestor` calls on
+//! the same index allocate nothing (resetting the marks is a single epoch
+//! increment, not an O(n) clear).
 
 use crate::ids::MsgId;
 use crate::message::Message;
 use crate::view::MemoryView;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+/// Epoch-stamped visit marks shared by the cone traversals. A node is
+/// "marked" when its stamp equals the current epoch; bumping the epoch
+/// invalidates every mark at once.
+struct Scratch {
+    mark: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+impl Scratch {
+    /// Starts a fresh traversal: all marks invalid, stack empty.
+    fn begin(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+        self.epoch
+    }
+}
 
 /// Adjacency and depth index of a view's reference DAG.
 ///
@@ -27,35 +58,67 @@ use std::sync::Arc;
 /// ```
 pub struct DagIndex {
     view: MemoryView,
-    /// Parent positions per message (references outside the view dropped).
-    parents: Vec<Vec<u32>>,
-    /// Child positions per message.
-    children: Vec<Vec<u32>>,
+    /// Parent positions of `pos` live at `par[par_off[pos]..par_off[pos+1]]`
+    /// (references outside the view dropped).
+    par_off: Vec<u32>,
+    par: Vec<u32>,
+    /// Child positions, same layout.
+    child_off: Vec<u32>,
+    child: Vec<u32>,
     /// Longest-path depth from a root (genesis has depth 0).
     depth: Vec<u32>,
+    scratch: RefCell<Scratch>,
 }
 
 impl DagIndex {
-    /// Builds the index for `view`. O(V + E).
+    /// Builds the index for `view`. O(V + E), three flat allocations.
     pub fn new(view: &MemoryView) -> DagIndex {
         let n = view.len();
-        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut par_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut par: Vec<u32> = Vec::new();
+        let mut child_count: Vec<u32> = vec![0; n];
         let mut depth: Vec<u32> = vec![0; n];
+        par_off.push(0);
+        // Pass 1: resolve parent edges in position order (so `par` is
+        // naturally grouped by child) and accumulate depths + child counts.
         for (pos, msg) in view.iter().enumerate() {
             for &p in &msg.parents {
                 if let Some(pp) = Self::position_of(view, p) {
-                    parents[pos].push(pp as u32);
-                    children[pp].push(pos as u32);
+                    par.push(pp as u32);
+                    child_count[pp] += 1;
                     depth[pos] = depth[pos].max(depth[pp] + 1);
                 }
+            }
+            par_off.push(par.len() as u32);
+        }
+        // Pass 2: scatter child edges through running cursors. Iterating
+        // edges in ascending child position keeps each child list sorted.
+        let mut child_off: Vec<u32> = Vec::with_capacity(n + 1);
+        child_off.push(0);
+        for c in &child_count {
+            child_off.push(child_off.last().unwrap() + c);
+        }
+        let mut cursor: Vec<u32> = child_off[..n].to_vec();
+        let mut child: Vec<u32> = vec![0; par.len()];
+        for pos in 0..n {
+            let (s, e) = (par_off[pos] as usize, par_off[pos + 1] as usize);
+            for &pp in &par[s..e] {
+                child[cursor[pp as usize] as usize] = pos as u32;
+                cursor[pp as usize] += 1;
             }
         }
         DagIndex {
             view: view.clone(),
-            parents,
-            children,
+            par_off,
+            par,
+            child_off,
+            child,
             depth,
+            scratch: RefCell::new(Scratch {
+                mark: vec![0; n],
+                epoch: 0,
+                stack: Vec::new(),
+            }),
         }
     }
 
@@ -108,13 +171,13 @@ impl DagIndex {
     /// Parent positions of `pos`.
     #[inline]
     pub fn parents_of(&self, pos: usize) -> &[u32] {
-        &self.parents[pos]
+        &self.par[self.par_off[pos] as usize..self.par_off[pos + 1] as usize]
     }
 
     /// Child positions of `pos`.
     #[inline]
     pub fn children_of(&self, pos: usize) -> &[u32] {
-        &self.children[pos]
+        &self.child[self.child_off[pos] as usize..self.child_off[pos + 1] as usize]
     }
 
     /// Longest-path depth of `pos` (roots have depth 0).
@@ -127,7 +190,7 @@ impl DagIndex {
     /// in sparse views).
     pub fn roots(&self) -> Vec<usize> {
         (0..self.len())
-            .filter(|&i| self.parents[i].is_empty())
+            .filter(|&i| self.parents_of(i).is_empty())
             .collect()
     }
 
@@ -135,7 +198,7 @@ impl DagIndex {
     /// do not have child nodes" (Algorithm 6, line 5).
     pub fn tips(&self) -> Vec<usize> {
         (0..self.len())
-            .filter(|&i| self.children[i].is_empty())
+            .filter(|&i| self.children_of(i).is_empty())
             .collect()
     }
 
@@ -151,33 +214,46 @@ impl DagIndex {
     }
 
     /// The past cone of `pos`: every ancestor position, `pos` excluded.
-    /// Returned in ascending (topological) order.
+    /// Returned in ascending (topological) order. O(cone) plus the sort;
+    /// allocates only the output vector.
     pub fn past_cone(&self, pos: usize) -> Vec<usize> {
-        let mut seen = vec![false; self.len()];
-        let mut stack: Vec<u32> = self.parents[pos].clone();
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin();
+        let mut out: Vec<usize> = Vec::new();
+        let mut stack = std::mem::take(&mut s.stack);
+        stack.extend_from_slice(self.parents_of(pos));
         while let Some(p) = stack.pop() {
             let p = p as usize;
-            if !seen[p] {
-                seen[p] = true;
-                stack.extend_from_slice(&self.parents[p]);
+            if s.mark[p] != epoch {
+                s.mark[p] = epoch;
+                out.push(p);
+                stack.extend_from_slice(self.parents_of(p));
             }
         }
-        (0..self.len()).filter(|&i| seen[i]).collect()
+        s.stack = stack;
+        out.sort_unstable();
+        out
     }
 
     /// The future cone of `pos`: every descendant position, `pos` excluded.
     /// Returned in ascending (topological) order.
     pub fn future_cone(&self, pos: usize) -> Vec<usize> {
-        let mut seen = vec![false; self.len()];
-        let mut stack: Vec<u32> = self.children[pos].clone();
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin();
+        let mut out: Vec<usize> = Vec::new();
+        let mut stack = std::mem::take(&mut s.stack);
+        stack.extend_from_slice(self.children_of(pos));
         while let Some(c) = stack.pop() {
             let c = c as usize;
-            if !seen[c] {
-                seen[c] = true;
-                stack.extend_from_slice(&self.children[c]);
+            if s.mark[c] != epoch {
+                s.mark[c] = epoch;
+                out.push(c);
+                stack.extend_from_slice(self.children_of(c));
             }
         }
-        (0..self.len()).filter(|&i| seen[i]).collect()
+        s.stack = stack;
+        out.sort_unstable();
+        out
     }
 
     /// Whether `anc` is an ancestor of `desc` (strict; a message is not its
@@ -186,20 +262,26 @@ impl DagIndex {
         if anc >= desc {
             return false; // parents always precede children in the slice
         }
-        let mut seen = vec![false; self.len()];
-        let mut stack: Vec<u32> = self.parents[desc].clone();
+        let mut s = self.scratch.borrow_mut();
+        let epoch = s.begin();
+        let mut stack = std::mem::take(&mut s.stack);
+        stack.extend_from_slice(self.parents_of(desc));
+        let mut found = false;
         while let Some(p) = stack.pop() {
             let p = p as usize;
             if p == anc {
-                return true;
+                found = true;
+                break;
             }
             // Ancestors of p all have positions < p; prune below target.
-            if p > anc && !seen[p] {
-                seen[p] = true;
-                stack.extend_from_slice(&self.parents[p]);
+            if p > anc && s.mark[p] != epoch {
+                s.mark[p] = epoch;
+                stack.extend_from_slice(self.parents_of(p));
             }
         }
-        false
+        stack.clear();
+        s.stack = stack;
+        found
     }
 
     /// Number of distinct longest chains ending at maximal depth — the
@@ -299,6 +381,19 @@ mod tests {
         assert_eq!(g.future_cone(0), vec![1, 2, 3, 4]);
         assert_eq!(g.future_cone(3), vec![4]);
         assert_eq!(g.future_cone(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn repeated_cone_queries_reuse_scratch() {
+        // The epoch-stamp reset must behave exactly like fresh marks.
+        let v = diamond().read();
+        let g = DagIndex::new(&v);
+        for _ in 0..100 {
+            assert_eq!(g.past_cone(4), vec![0, 1, 2, 3]);
+            assert_eq!(g.future_cone(0), vec![1, 2, 3, 4]);
+            assert!(g.is_ancestor(0, 4));
+            assert!(!g.is_ancestor(1, 3));
+        }
     }
 
     #[test]

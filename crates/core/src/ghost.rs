@@ -11,12 +11,48 @@ use crate::dag::DagIndex;
 use crate::ids::MsgId;
 use crate::view::MemoryView;
 
+/// Reusable buffers for the GHOST weight sweep: a flat descendant-bitset
+/// pool (`n × ⌈n/64⌉` words for the exact path) and the weight vector.
+/// Trial loops keep one per thread and hand it to
+/// [`subtree_weights_in`] / [`ghost_pivot_in`], so repeated chain
+/// selections allocate nothing once the pool has grown to the working
+/// history size.
+#[derive(Debug, Default)]
+pub struct GhostScratch {
+    /// Flat bitset pool: the cone of `pos` occupies
+    /// `cones[pos * words..(pos + 1) * words]`.
+    cones: Vec<u64>,
+    /// Weight output of the last sweep.
+    weight: Vec<u64>,
+}
+
+impl GhostScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> GhostScratch {
+        GhostScratch::default()
+    }
+
+    /// The weights computed by the last [`subtree_weights_in`] call.
+    pub fn weights(&self) -> &[u64] {
+        &self.weight
+    }
+}
+
 /// Weight of every message: 1 + the size of its future cone. In a tree this
 /// is exactly the GHOST subtree size; in a DAG a message may be counted in
 /// several branches, which matches the inclusive interpretation.
 pub fn subtree_weights(dag: &DagIndex) -> Vec<u64> {
+    let mut s = GhostScratch::new();
+    subtree_weights_in(dag, &mut s);
+    s.weight
+}
+
+/// [`subtree_weights`] into caller-owned scratch buffers (read the result
+/// from [`GhostScratch::weights`]); no allocation once the pool is warm.
+pub fn subtree_weights_in(dag: &DagIndex, s: &mut GhostScratch) {
     let n = dag.len();
-    let mut weight: Vec<u64> = vec![0; n];
+    s.weight.clear();
+    s.weight.resize(n, 0);
     // Reverse topological order: children have larger positions, so a
     // right-to-left sweep sees all children before their parents. The DAG
     // weight counts *distinct* descendants, so we compute cone sizes via a
@@ -24,20 +60,26 @@ pub fn subtree_weights(dag: &DagIndex) -> Vec<u64> {
     if n <= 4096 {
         // Exact distinct-descendant count with bitsets.
         let words = n.div_ceil(64);
-        let mut cones: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        s.cones.clear();
+        s.cones.resize(n * words, 0);
+        let cones = &mut s.cones;
         for pos in (0..n).rev() {
             // Mark self.
-            cones[pos][pos / 64] |= 1u64 << (pos % 64);
-            let kids: Vec<u32> = dag.children_of(pos).to_vec();
-            for c in kids {
-                let (left, right) = cones.split_at_mut(c as usize);
-                let dst = &mut left[pos];
-                let src = &right[0];
-                for (d, s) in dst.iter_mut().zip(src.iter()) {
-                    *d |= *s;
+            cones[pos * words + pos / 64] |= 1u64 << (pos % 64);
+            for &c in dag.children_of(pos) {
+                // pos < c, so the destination range sits strictly left of
+                // the source range in the flat pool.
+                let (left, right) = cones.split_at_mut(c as usize * words);
+                let dst = &mut left[pos * words..(pos + 1) * words];
+                let src = &right[..words];
+                for (d, w) in dst.iter_mut().zip(src.iter()) {
+                    *d |= *w;
                 }
             }
-            weight[pos] = cones[pos].iter().map(|w| w.count_ones() as u64).sum();
+            s.weight[pos] = cones[pos * words..(pos + 1) * words]
+                .iter()
+                .map(|w| w.count_ones() as u64)
+                .sum();
         }
     } else {
         // Large DAGs: fall back to the tree approximation (sum of child
@@ -46,21 +88,27 @@ pub fn subtree_weights(dag: &DagIndex) -> Vec<u64> {
         for pos in (0..n).rev() {
             let mut w = 1u64;
             for &c in dag.children_of(pos) {
-                w += weight[c as usize];
+                w += s.weight[c as usize];
             }
-            weight[pos] = w;
+            s.weight[pos] = w;
         }
     }
-    weight
 }
 
 /// The GHOST pivot chain: the heaviest-subtree walk from genesis, returned
 /// root-first as positions into the index.
 pub fn ghost_pivot_positions(dag: &DagIndex) -> Vec<usize> {
+    let mut s = GhostScratch::new();
+    ghost_pivot_positions_in(dag, &mut s)
+}
+
+/// [`ghost_pivot_positions`] through caller-owned scratch buffers.
+pub fn ghost_pivot_positions_in(dag: &DagIndex, s: &mut GhostScratch) -> Vec<usize> {
     if dag.is_empty() {
         return Vec::new();
     }
-    let weight = subtree_weights(dag);
+    subtree_weights_in(dag, s);
+    let weight = &s.weight;
     // Start at the root with the heaviest cone (genesis in full views).
     let mut cur = dag
         .roots()
@@ -89,7 +137,21 @@ pub fn ghost_pivot_positions(dag: &DagIndex) -> Vec<usize> {
 /// The GHOST pivot chain of a view as message ids, root-first.
 pub fn ghost_pivot(view: &MemoryView) -> Vec<MsgId> {
     let dag = DagIndex::new(view);
-    ghost_pivot_positions(&dag)
+    ghost_pivot_with(&dag)
+}
+
+/// [`ghost_pivot`] on an existing index — decision paths that also
+/// linearize build the index once and share it.
+pub fn ghost_pivot_with(dag: &DagIndex) -> Vec<MsgId> {
+    ghost_pivot_positions(dag)
+        .into_iter()
+        .map(|p| dag.id_at(p))
+        .collect()
+}
+
+/// [`ghost_pivot_with`] through caller-owned scratch buffers.
+pub fn ghost_pivot_in(dag: &DagIndex, s: &mut GhostScratch) -> Vec<MsgId> {
+    ghost_pivot_positions_in(dag, s)
         .into_iter()
         .map(|p| dag.id_at(p))
         .collect()

@@ -32,6 +32,9 @@ pub struct IncrementalDag {
     first_child: Vec<Option<u64>>,
     /// Arrival time per message, non-decreasing.
     arrivals: Vec<Time>,
+    /// Deepest message so far, ties to the smallest id (maintained on
+    /// append so the per-grant decision gate never rescans the history).
+    deepest: u64,
 }
 
 impl Default for IncrementalDag {
@@ -47,6 +50,7 @@ impl IncrementalDag {
             depth: vec![0],
             first_child: vec![None],
             arrivals: vec![Time::ZERO],
+            deepest: 0,
         }
     }
 
@@ -73,6 +77,9 @@ impl IncrementalDag {
             .map(|p| self.depth[p.index()] + 1)
             .max()
             .unwrap_or(0);
+        if d > self.depth[self.deepest as usize] {
+            self.deepest = id.0;
+        }
         self.depth.push(d);
         self.first_child.push(None);
         self.arrivals.push(at);
@@ -94,15 +101,9 @@ impl IncrementalDag {
         *self.depth.iter().max().expect("genesis present")
     }
 
-    /// The deepest message (ties to the smallest id).
+    /// The deepest message (ties to the smallest id), maintained on append.
     pub fn deepest(&self) -> MsgId {
-        let mut best = 0usize;
-        for i in 1..self.len() {
-            if self.depth[i] > self.depth[best] {
-                best = i;
-            }
-        }
-        MsgId(best as u64)
+        MsgId(self.deepest)
     }
 
     /// Deepest message ids *within the first `prefix` messages* — the
@@ -119,14 +120,25 @@ impl IncrementalDag {
     /// Tips of the prefix view of length `prefix`: messages whose first
     /// child (if any) lies beyond the prefix.
     pub fn tips_of_prefix(&self, prefix: usize) -> Vec<MsgId> {
+        let mut out = Vec::new();
+        self.tips_of_prefix_into(prefix, &mut out);
+        out
+    }
+
+    /// [`tips_of_prefix`](IncrementalDag::tips_of_prefix) into a caller
+    /// buffer (cleared first) — the per-grant hot loops reuse one buffer
+    /// instead of allocating a tip list per token.
+    pub fn tips_of_prefix_into(&self, prefix: usize, out: &mut Vec<MsgId>) {
+        out.clear();
         let prefix = prefix.clamp(1, self.len());
-        (0..prefix)
-            .filter(|&i| match self.first_child[i] {
-                None => true,
-                Some(c) => c >= prefix as u64,
-            })
-            .map(|i| MsgId(i as u64))
-            .collect()
+        out.extend(
+            (0..prefix)
+                .filter(|&i| match self.first_child[i] {
+                    None => true,
+                    Some(c) => c >= prefix as u64,
+                })
+                .map(|i| MsgId(i as u64)),
+        );
     }
 
     /// Number of messages that had arrived strictly before `t` — the
@@ -134,6 +146,237 @@ impl IncrementalDag {
     /// (genesis is always visible).
     pub fn prefix_at_time(&self, t: Time) -> usize {
         self.arrivals.partition_point(|&a| a < t).max(1)
+    }
+}
+
+/// Incrementally-maintained covered-value count of a tip's closed past
+/// cone — the "selected chain contains at least k values" gate of
+/// Algorithm 6, answered without re-walking the history.
+///
+/// The tracker keeps a persistent visited bitmap (epoch-stamped, so a
+/// full invalidation is one counter bump) that always equals the closed
+/// past cone of one *tracked tip*, together with the number of
+/// value-carrying messages in it. A query for a new tip first probes
+/// whether the old cone is contained in the new one (true exactly when
+/// the tracked tip is an ancestor of — or equal to — the queried tip);
+/// if so, only the *fresh* region is walked and the marks extend in
+/// place, which costs amortized O(parents) per append along a growing
+/// history. Otherwise (the deepest tip jumped to a different branch, or
+/// the query moved backwards) it falls back to a full DFS under a new
+/// epoch.
+///
+/// Containment is detected during the probe itself: the DFS from the
+/// queried tip expands only unmarked nodes, and on every marked boundary
+/// node checks whether it is the tracked tip. On any downward path from
+/// the queried tip to the tracked tip, an intermediate marked node `m ≠
+/// tracked` would have to be both an ancestor of the tracked tip (it is
+/// marked) and its descendant (it precedes the tracked tip on the path) —
+/// impossible in a DAG — so the first marked node on every such path *is*
+/// the tracked tip, and the probe reaches it whenever it is contained.
+///
+/// Ids are dense arrival-order ids (genesis = 0), as everywhere in the
+/// incremental layer; the owner must call
+/// [`on_append`](ConeCoverTracker::on_append) for every append, in order.
+///
+/// ```
+/// use am_core::{ConeCoverTracker, MsgId};
+/// let mut t = ConeCoverTracker::new();
+/// t.on_append(MsgId(1), &[MsgId(0)], true);
+/// t.on_append(MsgId(2), &[MsgId(1)], true);
+/// t.on_append(MsgId(3), &[MsgId(0)], true); // fork off genesis
+/// assert_eq!(t.cover_of(MsgId(2)), 2); // {m1, m2}; genesis carries none
+/// assert_eq!(t.cover_of(MsgId(3)), 1); // branch switch → fallback
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConeCoverTracker {
+    /// CSR parent adjacency: parents of `i` are
+    /// `par[par_off[i]..par_off[i+1]]`.
+    par_off: Vec<u32>,
+    par: Vec<u32>,
+    /// Whether message `i` carries a decision value.
+    carries_value: Vec<bool>,
+    /// Persistent cone marks: `mark[i] == epoch` ⇔ `i` is in the closed
+    /// past cone of `tracked`.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Probe stamps for the containment test (separate from `mark` so a
+    /// failed probe leaves the cone intact).
+    probe: Vec<u32>,
+    probe_epoch: u32,
+    /// The tip whose closed cone the marks currently describe.
+    tracked: u64,
+    /// Value-carrying messages in the tracked cone.
+    covered: usize,
+    /// Reusable DFS stack.
+    stack: Vec<u32>,
+    /// Fresh nodes collected by the probe pass.
+    fresh: Vec<u32>,
+}
+
+impl Default for ConeCoverTracker {
+    fn default() -> Self {
+        ConeCoverTracker::new()
+    }
+}
+
+impl ConeCoverTracker {
+    /// A fresh tracker containing only genesis; the tracked cone is
+    /// genesis's own (empty of values — genesis carries none).
+    pub fn new() -> ConeCoverTracker {
+        ConeCoverTracker {
+            par_off: vec![0, 0],
+            par: Vec::new(),
+            carries_value: vec![false],
+            mark: vec![1],
+            epoch: 1,
+            probe: vec![0],
+            probe_epoch: 0,
+            tracked: 0,
+            covered: 0,
+            stack: Vec::new(),
+            fresh: Vec::new(),
+        }
+    }
+
+    /// Number of messages tracked (genesis included).
+    pub fn len(&self) -> usize {
+        self.carries_value.len()
+    }
+
+    /// Whether only genesis is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Records an append. `id` must be the next dense id; `parents` must
+    /// be prior ids; `counts_value` says whether the message carries a
+    /// decision value (`Value::as_sign().is_some()` in the protocols).
+    pub fn on_append(&mut self, id: MsgId, parents: &[MsgId], counts_value: bool) {
+        assert_eq!(id.index(), self.len(), "ids must be dense and in order");
+        for p in parents {
+            self.par.push(p.0 as u32);
+        }
+        self.par_off.push(self.par.len() as u32);
+        self.carries_value.push(counts_value);
+        self.mark.push(0);
+        self.probe.push(0);
+    }
+
+    /// The covered-value count of the tracked tip, without re-querying.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// The tip whose cone the tracker currently holds.
+    pub fn tracked_tip(&self) -> MsgId {
+        MsgId(self.tracked)
+    }
+
+    /// Number of value-carrying messages in the closed past cone of
+    /// `tip`, maintained incrementally. Amortized O(parents) per append
+    /// when queried tips descend from one another (the growing-deepest
+    /// pattern of the simulation loops); O(cone) on branch switches.
+    pub fn cover_of(&mut self, tip: MsgId) -> usize {
+        let t = tip.index();
+        assert!(t < self.len(), "queried tip must have been appended");
+        if t as u64 == self.tracked {
+            return self.covered;
+        }
+        if self.mark[t] == self.epoch {
+            // The queried tip lies inside the tracked cone: the cone
+            // shrinks, which in-place marks cannot express. Recount.
+            return self.recount(t);
+        }
+        // Fast path for the growing-chain query: every parent already in
+        // the tracked cone and the tracked tip among them means the new
+        // cone is exactly the old one plus `t` — extend without probing.
+        let (ps, pe) = (self.par_off[t] as usize, self.par_off[t + 1] as usize);
+        let parents = &self.par[ps..pe];
+        if parents.iter().any(|&p| p as u64 == self.tracked)
+            && parents.iter().all(|&p| self.mark[p as usize] == self.epoch)
+        {
+            self.mark[t] = self.epoch;
+            if self.carries_value[t] {
+                self.covered += 1;
+            }
+            self.tracked = t as u64;
+            return self.covered;
+        }
+        // Probe DFS from the new tip over unmarked nodes; collect the
+        // fresh region and watch for the tracked tip on the boundary.
+        self.probe_epoch += 1;
+        if self.probe_epoch == u32::MAX {
+            self.probe.fill(0);
+            self.probe_epoch = 1;
+        }
+        let pe = self.probe_epoch;
+        self.fresh.clear();
+        self.stack.clear();
+        self.stack.push(t as u32);
+        self.probe[t] = pe;
+        let mut saw_tracked = false;
+        while let Some(i) = self.stack.pop() {
+            let i = i as usize;
+            self.fresh.push(i as u32);
+            let (s, e) = (self.par_off[i] as usize, self.par_off[i + 1] as usize);
+            for k in s..e {
+                let p = self.par[k] as usize;
+                if self.mark[p] == self.epoch {
+                    // Boundary: already inside the tracked cone.
+                    if p as u64 == self.tracked {
+                        saw_tracked = true;
+                    }
+                } else if self.probe[p] != pe {
+                    self.probe[p] = pe;
+                    self.stack.push(p as u32);
+                }
+            }
+        }
+        if saw_tracked {
+            // Old cone ⊆ new cone: extend the marks in place.
+            for idx in 0..self.fresh.len() {
+                let f = self.fresh[idx] as usize;
+                self.mark[f] = self.epoch;
+                if self.carries_value[f] {
+                    self.covered += 1;
+                }
+            }
+            self.tracked = t as u64;
+            self.covered
+        } else {
+            self.recount(t)
+        }
+    }
+
+    /// Full DFS fallback: invalidate every mark (one epoch bump) and
+    /// rebuild the cone of `tip` from scratch.
+    fn recount(&mut self, tip: usize) -> usize {
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        let e = self.epoch;
+        self.covered = 0;
+        self.stack.clear();
+        self.stack.push(tip as u32);
+        self.mark[tip] = e;
+        while let Some(i) = self.stack.pop() {
+            let i = i as usize;
+            if self.carries_value[i] {
+                self.covered += 1;
+            }
+            let (s, en) = (self.par_off[i] as usize, self.par_off[i + 1] as usize);
+            for k in s..en {
+                let p = self.par[k] as usize;
+                if self.mark[p] != e {
+                    self.mark[p] = e;
+                    self.stack.push(p as u32);
+                }
+            }
+        }
+        self.tracked = tip as u64;
+        self.covered
     }
 }
 
@@ -213,6 +456,87 @@ mod tests {
         assert_eq!(full_tips, dag.tip_ids());
         for pos in 0..dag.len() {
             assert_eq!(inc.depth_of(dag.id_at(pos)), dag.depth_of(pos));
+        }
+    }
+
+    /// Naive reference: value count of the closed past cone by plain DFS.
+    fn naive_cover(parents: &[Vec<u64>], values: &[bool], tip: u64) -> usize {
+        let mut seen = vec![false; parents.len()];
+        let mut stack = vec![tip as usize];
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            if values[i] {
+                count += 1;
+            }
+            stack.extend(parents[i].iter().map(|&p| p as usize));
+        }
+        count
+    }
+
+    #[test]
+    fn cover_tracker_chain_growth_is_incremental_and_exact() {
+        let mut t = ConeCoverTracker::new();
+        assert_eq!(t.cover_of(MsgId(0)), 0);
+        for i in 1..=50u64 {
+            t.on_append(MsgId(i), &[MsgId(i - 1)], i % 3 != 0);
+            let expect = (1..=i).filter(|x| x % 3 != 0).count();
+            assert_eq!(t.cover_of(MsgId(i)), expect, "at append {i}");
+            assert_eq!(t.covered(), expect);
+            assert_eq!(t.tracked_tip(), MsgId(i));
+        }
+    }
+
+    #[test]
+    fn cover_tracker_handles_branch_switches() {
+        // Two competing branches off genesis; the deepest tip alternates.
+        let mut t = ConeCoverTracker::new();
+        t.on_append(MsgId(1), &[MsgId(0)], true); // branch A
+        t.on_append(MsgId(2), &[MsgId(1)], true);
+        t.on_append(MsgId(3), &[MsgId(0)], true); // branch B
+        t.on_append(MsgId(4), &[MsgId(3)], true);
+        t.on_append(MsgId(5), &[MsgId(4)], true);
+        assert_eq!(t.cover_of(MsgId(2)), 2); // A: {1,2}
+        assert_eq!(t.cover_of(MsgId(5)), 3); // fallback to B: {3,4,5}
+        assert_eq!(t.cover_of(MsgId(2)), 2); // and back again
+                                             // A merge referencing both tips extends whichever cone is held.
+        t.on_append(MsgId(6), &[MsgId(2), MsgId(5)], true);
+        assert_eq!(t.cover_of(MsgId(6)), 6);
+    }
+
+    #[test]
+    fn cover_tracker_query_inside_cone_falls_back() {
+        let mut t = ConeCoverTracker::new();
+        for i in 1..=10u64 {
+            t.on_append(MsgId(i), &[MsgId(i - 1)], true);
+        }
+        assert_eq!(t.cover_of(MsgId(10)), 10);
+        // Query an ancestor of the tracked tip: cone shrinks.
+        assert_eq!(t.cover_of(MsgId(4)), 4);
+        assert_eq!(t.cover_of(MsgId(10)), 10);
+    }
+
+    #[test]
+    fn cover_tracker_matches_naive_on_random_history() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut t = ConeCoverTracker::new();
+        let mut parents: Vec<Vec<u64>> = vec![Vec::new()];
+        let mut values: Vec<bool> = vec![false];
+        for i in 1..300u64 {
+            let np = rng.gen_range(1..=3.min(i as usize));
+            let ps: Vec<MsgId> = (0..np).map(|_| MsgId(rng.gen_range(0..i))).collect();
+            let v = rng.gen_bool(0.8);
+            t.on_append(MsgId(i), &ps, v);
+            parents.push(ps.iter().map(|p| p.0).collect());
+            values.push(v);
+            // Query a random prior tip every few appends plus the newest.
+            let q = rng.gen_range(0..=i);
+            assert_eq!(t.cover_of(MsgId(q)), naive_cover(&parents, &values, q));
+            assert_eq!(t.cover_of(MsgId(i)), naive_cover(&parents, &values, i));
         }
     }
 

@@ -75,18 +75,18 @@ pub mod validate;
 pub mod value;
 pub mod view;
 
-pub use chain::{chain_to_genesis, longest_chain, longest_chain_tips};
+pub use chain::{chain_to_genesis, longest_chain, longest_chain_tips, longest_chain_with};
 pub use dag::DagIndex;
 pub use error::{AppendError, CoreError};
-pub use ghost::{ghost_pivot, subtree_weights};
+pub use ghost::{ghost_pivot, ghost_pivot_with, subtree_weights, GhostScratch};
 pub use history::History;
 pub use ids::{MsgId, NodeId, Round, Time, GENESIS};
-pub use incremental::IncrementalDag;
-pub use linearize::{linearize, Linearization};
+pub use incremental::{ConeCoverTracker, IncrementalDag};
+pub use linearize::{linearize, linearize_naive, linearize_with, Linearization};
 pub use memory::AppendMemory;
 pub use message::{Message, MessageBuilder};
 pub use ordering::{GhostRule, LongestChainRule, OrderingRule, PivotRule};
-pub use pivot::pivot_chain;
+pub use pivot::{pivot_chain, pivot_chain_with};
 pub use validate::{check_view, Violation};
 pub use value::{Sign, Value};
 pub use view::MemoryView;

@@ -53,6 +53,100 @@ fn content_key(m: &Message) -> (u32, u64) {
 /// [`ghost_pivot`](crate::ghost::ghost_pivot)).
 pub fn linearize(view: &MemoryView, chain: &[MsgId]) -> Linearization {
     let dag = DagIndex::new(view);
+    linearize_with(&dag, chain)
+}
+
+/// [`linearize`] on an existing index — decision paths build the index once
+/// and share it between chain selection and linearization. Epoch membership
+/// and pending parent counts live in dense stamp arrays instead of per-epoch
+/// hash maps.
+pub fn linearize_with(dag: &DagIndex, chain: &[MsgId]) -> Linearization {
+    use std::cmp::Reverse;
+    let n = dag.len();
+    let mut emitted = vec![false; n];
+    let mut order: Vec<MsgId> = Vec::with_capacity(n);
+    // `stamp[p] == cur` marks p as a member of the epoch currently being
+    // emitted; `pending[p]` is only meaningful under a matching stamp.
+    let mut stamp: Vec<u32> = vec![0; n];
+    let mut pending: Vec<u32> = vec![0; n];
+    let mut cur: u32 = 0;
+    let mut epoch: Vec<usize> = Vec::new();
+    let mut ready: BinaryHeap<Reverse<((u32, u64), usize)>> = BinaryHeap::new();
+
+    for &block in chain {
+        let Some(bpos) = dag.position(block) else {
+            continue;
+        };
+        if emitted[bpos] {
+            continue;
+        }
+        // The epoch: past cone of the block, minus what earlier epochs took,
+        // plus the block itself. Earlier epochs each emitted a full closed
+        // cone, so the emitted set is downward-closed and a traversal from
+        // the block that stops at emitted nodes reaches exactly the
+        // non-emitted ancestors — every message is walked once across all
+        // epochs, not once per covering chain block.
+        cur += 1;
+        epoch.clear();
+        stamp[bpos] = cur;
+        epoch.push(bpos);
+        let mut i = 0; // `epoch` doubles as the traversal worklist
+        while i < epoch.len() {
+            let p = epoch[i];
+            i += 1;
+            for &q in dag.parents_of(p) {
+                let q = q as usize;
+                if !emitted[q] && stamp[q] != cur {
+                    stamp[q] = cur;
+                    epoch.push(q);
+                }
+            }
+        }
+        // Remaining in-epoch parent counts; members with none are ready.
+        ready.clear();
+        for &p in &epoch {
+            let cnt = dag
+                .parents_of(p)
+                .iter()
+                .filter(|&&q| stamp[q as usize] == cur)
+                .count() as u32;
+            pending[p] = cnt;
+            if cnt == 0 {
+                ready.push(Reverse((content_key(dag.message(p)), p)));
+            }
+        }
+        // Emit in topological order, min-heap on the content key.
+        while let Some(Reverse((_, p))) = ready.pop() {
+            if emitted[p] {
+                continue;
+            }
+            emitted[p] = true;
+            order.push(dag.id_at(p));
+            for &c in dag.children_of(p) {
+                let c = c as usize;
+                if stamp[c] == cur && pending[c] > 0 {
+                    pending[c] -= 1;
+                    if pending[c] == 0 {
+                        ready.push(Reverse((content_key(dag.message(c)), c)));
+                    }
+                }
+            }
+        }
+    }
+
+    let uncovered: Vec<MsgId> = (0..n)
+        .filter(|&p| !emitted[p])
+        .map(|p| dag.id_at(p))
+        .collect();
+    Linearization { order, uncovered }
+}
+
+/// Pre-PR4 [`linearize`] kept verbatim as the benchmark baseline: builds
+/// its own index, re-walks each chain block's full past cone, and keeps
+/// per-epoch membership in hash maps. Semantically identical to
+/// [`linearize`] (asserted by the engine-equivalence suite).
+pub fn linearize_naive(view: &MemoryView, chain: &[MsgId]) -> Linearization {
+    let dag = DagIndex::new(view);
     let n = dag.len();
     let mut emitted = vec![false; n];
     let mut order: Vec<MsgId> = Vec::with_capacity(n);
@@ -64,15 +158,13 @@ pub fn linearize(view: &MemoryView, chain: &[MsgId]) -> Linearization {
         if emitted[bpos] {
             continue;
         }
-        // The epoch: past cone of the block, minus what earlier epochs took,
-        // plus the block itself.
         let mut epoch: Vec<usize> = dag
             .past_cone(bpos)
             .into_iter()
             .filter(|&p| !emitted[p])
             .collect();
         epoch.push(bpos);
-        emit_topo(&dag, &mut emitted, &epoch, &mut order);
+        emit_topo_naive(&dag, &mut emitted, &epoch, &mut order);
     }
 
     let uncovered: Vec<MsgId> = (0..n)
@@ -82,12 +174,10 @@ pub fn linearize(view: &MemoryView, chain: &[MsgId]) -> Linearization {
     Linearization { order, uncovered }
 }
 
-/// Emits `epoch` members in topological order with `(author, seq)`
-/// tie-breaking, appending to `order` and marking `emitted`.
-fn emit_topo(dag: &DagIndex, emitted: &mut [bool], epoch: &[usize], order: &mut Vec<MsgId>) {
+/// Pre-PR4 epoch emission: hash-map membership and pending counts.
+fn emit_topo_naive(dag: &DagIndex, emitted: &mut [bool], epoch: &[usize], order: &mut Vec<MsgId>) {
     use std::cmp::Reverse;
     let in_epoch: std::collections::HashSet<usize> = epoch.iter().copied().collect();
-    // Remaining in-epoch parent counts.
     let mut pending: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for &p in epoch {
         let cnt = dag
@@ -97,7 +187,6 @@ fn emit_topo(dag: &DagIndex, emitted: &mut [bool], epoch: &[usize], order: &mut 
             .count();
         pending.insert(p, cnt);
     }
-    // Min-heap on the content key.
     let mut ready: BinaryHeap<Reverse<((u32, u64), usize)>> = pending
         .iter()
         .filter(|&(_, &c)| c == 0)

@@ -82,7 +82,13 @@ pub fn pivot_chain_positions(dag: &DagIndex) -> Vec<usize> {
 /// The pivot chain of a view as message ids, root-first.
 pub fn pivot_chain(view: &MemoryView) -> Vec<MsgId> {
     let dag = DagIndex::new(view);
-    pivot_chain_positions(&dag)
+    pivot_chain_with(&dag)
+}
+
+/// [`pivot_chain`] on an existing index — decision paths that also
+/// linearize build the index once and share it.
+pub fn pivot_chain_with(dag: &DagIndex) -> Vec<MsgId> {
+    pivot_chain_positions(dag)
         .into_iter()
         .map(|p| dag.id_at(p))
         .collect()

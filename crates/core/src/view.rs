@@ -93,12 +93,14 @@ impl MemoryView {
 
     /// All messages by a given author, in that author's sequence order.
     pub fn by_author(&self, author: NodeId) -> Vec<&Arc<Message>> {
-        let mut out: Vec<&Arc<Message>> = self
+        let out: Vec<&Arc<Message>> = self
             .msgs
             .iter()
             .filter(|m| m.author == Some(author))
             .collect();
-        out.sort_by_key(|m| m.seq);
+        // An author's seq increments with its id at append time, so any
+        // id-ordered subsequence (views are sorted by id) is seq-ordered.
+        debug_assert!(out.windows(2).all(|w| w[0].seq < w[1].seq));
         out
     }
 
@@ -195,6 +197,36 @@ mod tests {
         assert_eq!(n0.len(), 2);
         assert!(n0[0].seq < n0[1].seq);
         assert_eq!(v.by_author(NodeId(2)).len(), 0);
+    }
+
+    #[test]
+    fn by_author_order_without_sorting() {
+        // Regression for dropping the sort in by_author: interleaved
+        // appends and sparse (subsequence) views must still come out in
+        // seq order straight from id order.
+        let m = AppendMemory::new(2);
+        for i in 0..12u32 {
+            m.append(MessageBuilder::new(NodeId(i % 2), Value::plus()).parent(GENESIS))
+                .unwrap();
+        }
+        let v = m.read();
+        for a in 0..2u32 {
+            let seqs: Vec<u64> = v.by_author(NodeId(a)).iter().map(|m| m.seq).collect();
+            assert_eq!(seqs, (0..6u64).collect::<Vec<_>>());
+        }
+        // Sparse view: drop every third message; what remains must stay
+        // seq-ordered per author.
+        let sparse = MemoryView::from_messages(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 != 0)
+                .map(|(_, m)| Arc::clone(m))
+                .collect::<Vec<_>>(),
+        );
+        for a in 0..2u32 {
+            let seqs: Vec<u64> = sparse.by_author(NodeId(a)).iter().map(|m| m.seq).collect();
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

@@ -17,8 +17,9 @@
 
 use crate::params::{Params, ViewPolicy};
 use am_core::{
-    ghost, linearize, longest_chain, pivot_chain, AppendMemory, IncrementalDag, MemoryView,
-    MessageBuilder, MsgId, Sign, Value,
+    chain::longest_chain_with, ghost, linearize_naive, linearize_with, longest_chain,
+    pivot::pivot_chain_with, pivot_chain, AppendMemory, ConeCoverTracker, DagIndex, IncrementalDag,
+    Linearization, MemoryView, MessageBuilder, MsgId, Sign, Value,
 };
 use am_poisson::{Grant, TokenAuthority};
 
@@ -70,7 +71,13 @@ pub(crate) struct DagSim {
     pub(crate) mem: AppendMemory,
     /// Incremental depth / tips / arrival bookkeeping.
     pub(crate) inc: IncrementalDag,
+    /// Incremental covered-value count of the deepest tip's past cone —
+    /// replaces the per-grant snapshot + DFS of the decision gate.
+    pub(crate) cover: ConeCoverTracker,
     pub(crate) byz_author: Vec<bool>,
+    /// Reusable tips buffer for [`DagSim::append_referencing_prefix`] — the
+    /// hot loop allocates no per-grant tip vectors.
+    tips_buf: Vec<MsgId>,
 }
 
 impl DagSim {
@@ -82,7 +89,9 @@ impl DagSim {
         DagSim {
             mem: AppendMemory::new(p.n),
             inc: IncrementalDag::new(),
+            cover: ConeCoverTracker::new(),
             byz_author,
+            tips_buf: Vec::new(),
         }
     }
 
@@ -101,7 +110,16 @@ impl DagSim {
             )
             .expect("dag append is valid");
         self.inc.on_append(id, parents, time);
+        self.cover.on_append(id, parents, value.as_sign().is_some());
         id
+    }
+
+    /// Covered-value count of the deepest tip's past cone, maintained
+    /// incrementally — the Algorithm 6 "chain covers ≥ k values" gate
+    /// without re-reading the memory.
+    pub(crate) fn gate_covered(&mut self) -> usize {
+        let tip = self.inc.deepest();
+        self.cover.cover_of(tip)
     }
 
     /// Tips of the prefix view of length `prefix`.
@@ -109,9 +127,39 @@ impl DagSim {
         self.inc.tips_of_prefix(prefix)
     }
 
+    /// Appends a message referencing every tip of the length-`prefix` view,
+    /// reusing the sim-owned tips buffer — the allocation-free form of
+    /// `tips_of_prefix` + `append` used by the hot loops.
+    pub(crate) fn append_referencing_prefix(
+        &mut self,
+        node: am_core::NodeId,
+        value: Value,
+        prefix: usize,
+        time: am_core::Time,
+    ) -> MsgId {
+        let mut tips = std::mem::take(&mut self.tips_buf);
+        self.inc.tips_of_prefix_into(prefix, &mut tips);
+        let id = self.append(node, value, &tips, time);
+        self.tips_buf = tips;
+        id
+    }
+
     /// Id of the deepest message (ties to smallest id).
     pub(crate) fn deepest(&self) -> MsgId {
         self.inc.deepest()
+    }
+
+    /// Pre-PR4 deepest-tip lookup kept for the `*_naive` baselines: a full
+    /// rescan of the depth table, as the per-grant gate used to do.
+    pub(crate) fn deepest_rescan(&self) -> MsgId {
+        let mut best = MsgId(0);
+        for i in 1..self.inc.len() {
+            let id = MsgId(i as u64);
+            if self.inc.depth_of(id) > self.inc.depth_of(best) {
+                best = id;
+            }
+        }
+        best
     }
 
     /// Prefix visible under the view policy at grant time `now`.
@@ -166,17 +214,17 @@ pub fn run_dag(p: &Params, rule: DagRule, adv: DagAdversary) -> DagTrial {
 
     let mut boundary_len = 1usize;
     let mut cur_interval = 0u64;
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let mut burst_len = 0usize;
     let ttl = p.token_ttl * p.delta;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
     let mut grants = 0usize;
 
     loop {
-        // Decision gate: the selected chain covers ≥ k values.
+        // Decision gate: the selected chain covers ≥ k values. The count is
+        // maintained incrementally — no snapshot, no per-grant DFS.
         if sim.mem.len() > p.k {
-            let view = sim.mem.read();
-            let covered = sim.covered_values(&view, sim.deepest());
+            let covered = sim.gate_covered();
             if covered >= p.k {
                 break;
             }
@@ -211,8 +259,8 @@ pub fn run_dag(p: &Params, rule: DagRule, adv: DagAdversary) -> DagTrial {
             match adv {
                 DagAdversary::Absent => {}
                 DagAdversary::Dissenter => {
-                    let tips = sim.tips_of_prefix(sim.mem.len());
-                    sim.append(g.node, Value::minus(), &tips, g.time);
+                    let len = sim.mem.len();
+                    sim.append_referencing_prefix(g.node, Value::minus(), len, g.time);
                 }
                 DagAdversary::WithholdBurst => banked.push(g),
             }
@@ -221,10 +269,10 @@ pub fn run_dag(p: &Params, rule: DagRule, adv: DagAdversary) -> DagTrial {
 
         // Correct append: reference every tip of the policy-lagged view.
         let prefix = sim.view_prefix(p.view_policy, boundary_len, g.time, p.delta);
-        let tips = sim.tips_of_prefix(prefix);
-        sim.append(g.node, Value::plus(), &tips, g.time);
+        sim.append_referencing_prefix(g.node, Value::plus(), prefix, g.time);
     }
 
+    crate::scratch::put_banked(banked);
     decide(p, &sim, rule, burst_len)
 }
 
@@ -237,10 +285,73 @@ pub(crate) fn select_chain(rule: DagRule, view: &MemoryView) -> Vec<MsgId> {
     }
 }
 
+/// Chain selection on an existing index — decision paths build the index
+/// once and share it with [`linearize_with`]. GHOST selection routes
+/// through the per-thread scratch pool to reuse its weight bitsets across
+/// trials.
+pub(crate) fn select_chain_with(rule: DagRule, dag: &DagIndex) -> Vec<MsgId> {
+    match rule {
+        DagRule::LongestChain => longest_chain_with(dag),
+        DagRule::Ghost => crate::scratch::ghost_pivot_pooled(dag),
+        DagRule::Pivot => pivot_chain_with(dag),
+    }
+}
+
 pub(crate) fn decide(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) -> DagTrial {
     let view = sim.mem.read();
+    // One index build serves chain selection and linearization.
+    let dag = DagIndex::new(&view);
+    let chain = select_chain_with(rule, &dag);
+    let lin = linearize_with(&dag, &chain);
+    let prefix = lin.first_k_values(&view, p.k);
+    let mut sum = 0i64;
+    let mut byz_in_prefix = 0usize;
+    for id in &prefix {
+        let m = view.get(*id).unwrap();
+        sum += m.value.spin_contribution();
+        if m.author.map(|a| sim.byz_author[a.index()]).unwrap_or(false) {
+            byz_in_prefix += 1;
+        }
+    }
+    let decision = Sign::of_sum(sum);
+    let covered = covered_of_lin(&view, &chain, &lin);
+    DagTrial {
+        decision,
+        validity: decision == Some(Sign::Plus),
+        byz_in_prefix,
+        burst_len,
+        covered_values: covered,
+        total_appends: view.append_count(),
+        finish_time: sim.mem.now().seconds(),
+    }
+}
+
+/// Covered-value count of the chain tip's closed past cone, read off an
+/// existing linearization: consecutive chain blocks are parent/child, so
+/// every block is an ancestor of the tip and the linearized order *is* the
+/// tip's closed past cone — counting its value-carriers equals the per-tip
+/// cone DFS without running one.
+pub(crate) fn covered_of_lin(view: &MemoryView, chain: &[MsgId], lin: &Linearization) -> usize {
+    if chain.is_empty() {
+        return 0;
+    }
+    lin.order
+        .iter()
+        .filter(|&&id| {
+            view.get(id)
+                .map(|m| m.value.as_sign().is_some())
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Pre-PR4 decision path kept verbatim as the benchmark baseline: separate
+/// index builds inside chain selection and linearization, plus a per-tip
+/// cone DFS for the covered count. Semantically identical to [`decide`].
+pub(crate) fn decide_naive(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) -> DagTrial {
+    let view = sim.mem.read_rebuild();
     let chain = select_chain(rule, &view);
-    let lin = linearize(&view, &chain);
+    let lin = linearize_naive(&view, &chain);
     let prefix = lin.first_k_values(&view, p.k);
     let mut sum = 0i64;
     let mut byz_in_prefix = 0usize;
@@ -265,6 +376,75 @@ pub(crate) fn decide(p: &Params, sim: &DagSim, rule: DagRule, burst_len: usize) 
         total_appends: view.append_count(),
         finish_time: sim.mem.now().seconds(),
     }
+}
+
+/// Pre-PR4 [`run_dag`] kept verbatim as the benchmark baseline: per-grant
+/// memory snapshot + full-history DFS at the decision gate, and the
+/// duplicate-index [`decide_naive`]. Semantically identical to [`run_dag`];
+/// the equivalence is asserted by tests and by the engine property suite.
+pub fn run_dag_naive(p: &Params, rule: DagRule, adv: DagAdversary) -> DagTrial {
+    let mut sim = DagSim::new(p);
+    let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
+
+    let mut boundary_len = 1usize;
+    let mut cur_interval = 0u64;
+    let mut banked: Vec<Grant> = Vec::new();
+    let mut burst_len = 0usize;
+    let ttl = p.token_ttl * p.delta;
+    let max_grants = 10_000 + 400 * p.k * (p.n + 1);
+    let mut grants = 0usize;
+
+    loop {
+        if sim.mem.len() > p.k {
+            let view = sim.mem.read_rebuild();
+            let covered = sim.covered_values(&view, sim.deepest_rescan());
+            if covered >= p.k {
+                break;
+            }
+            if adv == DagAdversary::WithholdBurst
+                && !banked.is_empty()
+                && covered + banked.len() >= p.k
+            {
+                let mut tip = sim.deepest_rescan();
+                let fire_at = sim.mem.now();
+                for tok in banked.drain(..) {
+                    tip = sim.append(tok.node, Value::minus(), &[tip], fire_at);
+                    burst_len += 1;
+                }
+                continue;
+            }
+        }
+
+        grants += 1;
+        if grants > max_grants {
+            break;
+        }
+        let g = auth.next_grant();
+        let interval = (g.time.seconds() / p.delta) as u64;
+        if interval != cur_interval {
+            cur_interval = interval;
+            boundary_len = sim.mem.len();
+        }
+        banked.retain(|b| b.time.seconds() + ttl >= g.time.seconds());
+
+        if auth.is_byz(g.node) {
+            match adv {
+                DagAdversary::Absent => {}
+                DagAdversary::Dissenter => {
+                    let tips = sim.tips_of_prefix(sim.mem.len());
+                    sim.append(g.node, Value::minus(), &tips, g.time);
+                }
+                DagAdversary::WithholdBurst => banked.push(g),
+            }
+            continue;
+        }
+
+        let prefix = sim.view_prefix(p.view_policy, boundary_len, g.time, p.delta);
+        let tips = sim.tips_of_prefix(prefix);
+        sim.append(g.node, Value::plus(), &tips, g.time);
+    }
+
+    decide_naive(p, &sim, rule, burst_len)
 }
 
 #[cfg(test)]
@@ -387,5 +567,26 @@ mod tests {
         let a = run_dag(&p, DagRule::Ghost, DagAdversary::WithholdBurst);
         let b = run_dag(&p, DagRule::Ghost, DagAdversary::WithholdBurst);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_engine_matches_naive_baseline() {
+        // The tracker + shared-index decision path must reproduce the
+        // pre-PR4 snapshot-and-DFS path bit for bit, across every rule and
+        // adversary combination.
+        for seed in 0..12 {
+            let p = Params::new(10, 3, 0.8, 21, seed);
+            for rule in [DagRule::LongestChain, DagRule::Ghost, DagRule::Pivot] {
+                for adv in [
+                    DagAdversary::Absent,
+                    DagAdversary::Dissenter,
+                    DagAdversary::WithholdBurst,
+                ] {
+                    let fast = run_dag(&p, rule, adv);
+                    let naive = run_dag_naive(&p, rule, adv);
+                    assert_eq!(fast, naive, "seed {seed} {rule:?} {adv:?}");
+                }
+            }
+        }
     }
 }

@@ -43,6 +43,7 @@ pub mod dag;
 pub mod params;
 pub mod propagation;
 pub mod runner;
+pub(crate) mod scratch;
 pub mod sweep;
 pub mod timestamp;
 pub mod weak;

@@ -240,7 +240,7 @@ pub fn run_chain_net(
     let mut rng = ChaCha8Rng::seed_from_u64(p.seed ^ 0x5eed5eed5eed5eed);
 
     let mut cur_interval = 0u64;
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let mut forked: HashSet<MsgId> = HashSet::new();
     let mut hit_this_interval = false;
     let mut correct_appends = 0usize;
@@ -314,6 +314,7 @@ pub fn run_chain_net(
         }
     }
 
+    crate::scratch::put_banked(banked);
     (
         crate::chain::decide(p, &sim, correct_appends),
         prop.stats().clone(),
@@ -333,7 +334,7 @@ pub fn run_dag_net(
     let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
 
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let mut burst_len = 0usize;
     let ttl = p.token_ttl * p.delta;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
@@ -341,8 +342,8 @@ pub fn run_dag_net(
 
     loop {
         if sim.mem.len() > p.k {
-            let view = sim.mem.read();
-            let covered = sim.covered_values(&view, sim.deepest());
+            // Incremental coverage gate — no snapshot, no per-grant DFS.
+            let covered = sim.gate_covered();
             if covered >= p.k {
                 break;
             }
@@ -393,6 +394,7 @@ pub fn run_dag_net(
         prop.on_append(g.node.index(), id, &tips, g.time);
     }
 
+    crate::scratch::put_banked(banked);
     (
         crate::dag::decide(p, &sim, rule, burst_len),
         prop.stats().clone(),

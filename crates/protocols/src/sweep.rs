@@ -20,6 +20,13 @@
 //!   batch; a resumed run restores them and continues at the cursor,
 //!   producing bit-identical final results (integer tallies + the same
 //!   per-index seeds leave nothing schedule-dependent).
+//! * **Warm workers.** Rayon pool threads persist for the process
+//!   lifetime, so the `thread_local!` arenas in [`crate::scratch`]
+//!   (banked-grant buffer, GHOST weight bitsets) warm up on a worker's
+//!   first trial and are reused by every later trial that worker runs —
+//!   the batched fan-out amortises allocation across the whole sweep,
+//!   not just one trial. Buffers are cleared before reuse, so tallies
+//!   stay bit-identical regardless of which worker runs which trial.
 //!
 //! Observability: `sweep.batches`, `sweep.trials`, and
 //! `sweep.trials_saved` counters, plus a `sweep/<key>` span per point.

@@ -23,9 +23,9 @@
 //!   grows by that factor.
 
 use crate::chain::ChainSim;
-use crate::dag::{select_chain, DagRule, DagSim};
+use crate::dag::{covered_of_lin, select_chain, select_chain_with, DagRule, DagSim};
 use crate::params::Params;
-use am_core::{linearize, MsgId, Sign, Value};
+use am_core::{linearize_with, DagIndex, MsgId, Sign, Value};
 use am_poisson::{Grant, TokenAuthority};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -57,7 +57,7 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
 
     let mut boundary_len = 1usize;
     let mut cur_interval = 0u64;
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let ttl = p.token_ttl * p.delta * ttl_factor;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
     let mut grants = 0usize;
@@ -65,11 +65,8 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
     // Phase 1: run until the k-value condition first holds; the adversary
     // only banks (it wants a maximal reorg at the decision boundary).
     loop {
-        if sim.mem.len() > p.k {
-            let view = sim.mem.read();
-            if sim.covered_values(&view, sim.deepest()) >= p.k {
-                break;
-            }
+        if sim.mem.len() > p.k && sim.gate_covered() >= p.k {
+            break;
         }
         grants += 1;
         if grants > max_grants {
@@ -86,14 +83,16 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
             banked.push(g);
         } else {
             let prefix = sim.view_prefix(p.view_policy, boundary_len, g.time, p.delta);
-            let tips = sim.tips_of_prefix(prefix);
-            sim.append(g.node, Value::plus(), &tips, g.time);
+            sim.append_referencing_prefix(g.node, Value::plus(), prefix, g.time);
         }
     }
 
-    // Early decider: snapshot now.
+    // Early decider: snapshot now. One index serves both the early
+    // decision and the adversary's fork-point computation below.
     let early_view = sim.mem.read();
-    let early = decide_on(p, rule, &early_view);
+    let early_dag = DagIndex::new(&early_view);
+    let early_chain = select_chain_with(rule, &early_dag);
+    let early = decide_on_chain(p, &early_view, &early_dag, &early_chain);
 
     // Phase 2: the adversary releases its bank as a *reorg chain*: a
     // private chain forked from a canonical-chain block deep enough that
@@ -101,7 +100,7 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
     // selection for anyone who reads after it.
     let reorg_len = banked.len();
     if reorg_len > 0 {
-        let chain = select_chain(rule, &early_view);
+        let chain = early_chain;
         let max_depth = chain.len() - 1; // genesis at depth 0
                                          // Fork so that fork_depth + reorg_len > max_depth.
         let fork_depth = max_depth
@@ -113,6 +112,7 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
             tip = sim.append(tok.node, Value::minus(), &[tip], at);
         }
     }
+    crate::scratch::put_banked(banked);
 
     // Late decider: reads after the release (one Δ of skew).
     let late_view = sim.mem.read();
@@ -127,10 +127,24 @@ pub fn run_dag_staggered(p: &Params, rule: DagRule, ttl_factor: f64) -> Staggere
     }
 }
 
-/// The Algorithm 6 decision on a given snapshot.
+/// The Algorithm 6 decision on a given snapshot: builds one index, selects
+/// the chain, and decides.
 fn decide_on(p: &Params, rule: DagRule, view: &am_core::MemoryView) -> Option<Sign> {
-    let chain = select_chain(rule, view);
-    let lin = linearize(view, &chain);
+    let dag = DagIndex::new(view);
+    let chain = select_chain_with(rule, &dag);
+    decide_on_chain(p, view, &dag, &chain)
+}
+
+/// The Algorithm 6 decision given an already-built index and selected
+/// chain (so callers that need the chain for other purposes pay for one
+/// index build only).
+fn decide_on_chain(
+    p: &Params,
+    view: &am_core::MemoryView,
+    dag: &DagIndex,
+    chain: &[MsgId],
+) -> Option<Sign> {
+    let lin = linearize_with(dag, chain);
     let prefix = lin.first_k_values(view, p.k);
     Sign::of_sum(
         prefix
@@ -158,7 +172,7 @@ pub fn run_chain_staggered(p: &Params, ttl_factor: f64) -> StaggeredTrial {
 
     let mut boundary_len = 1usize;
     let mut cur_interval = 0u64;
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let ttl = p.token_ttl * p.delta * ttl_factor;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
     let mut grants = 0usize;
@@ -203,6 +217,7 @@ pub fn run_chain_staggered(p: &Params, ttl_factor: f64) -> StaggeredTrial {
             tip = sim.append(tok.node, Value::minus(), tip, at);
         }
     }
+    crate::scratch::put_banked(banked);
 
     // Late decider.
     let late = chain_decide(p, &sim);
@@ -277,7 +292,7 @@ pub fn run_dag_multinode(p: &Params, rule: DagRule, ttl_factor: f64) -> MultiTri
 
     let mut boundary_len = 1usize;
     let mut cur_interval = 0u64;
-    let mut banked: Vec<Grant> = Vec::new();
+    let mut banked: Vec<Grant> = crate::scratch::take_banked();
     let ttl = p.token_ttl * p.delta * ttl_factor;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
     let mut grants = 0usize;
@@ -312,33 +327,38 @@ pub fn run_dag_multinode(p: &Params, rule: DagRule, ttl_factor: f64) -> MultiTri
                 break;
             }
             next_read[i] = t + p.delta;
-            let view = sim.mem.read();
             // The adversary releases its reorg the instant a decision is
-            // possible, before slower readers catch up.
-            if !released {
-                let covered = sim.covered_values(&view, sim.deepest());
-                if covered >= p.k && !banked.is_empty() {
-                    released = true;
-                    let chain = select_chain(rule, &view);
-                    let max_depth = chain.len() - 1;
-                    let fork_depth = max_depth
-                        .saturating_sub(banked.len().saturating_sub(2))
-                        .min(max_depth);
-                    let mut tip: MsgId = chain[fork_depth];
-                    let at = sim.mem.now();
-                    for tok in banked.drain(..) {
-                        tip = sim.append(tok.node, Value::minus(), &[tip], at);
-                    }
+            // possible, before slower readers catch up. The coverage probe
+            // uses the incremental tracker — no snapshot, no DFS.
+            if !released && sim.gate_covered() >= p.k && !banked.is_empty() {
+                released = true;
+                let view = sim.mem.read();
+                let chain = select_chain(rule, &view);
+                let max_depth = chain.len() - 1;
+                let fork_depth = max_depth
+                    .saturating_sub(banked.len().saturating_sub(2))
+                    .min(max_depth);
+                let mut tip: MsgId = chain[fork_depth];
+                let at = sim.mem.now();
+                for tok in banked.drain(..) {
+                    tip = sim.append(tok.node, Value::minus(), &[tip], at);
                 }
             }
+            // This reader's decision: one index build serves chain
+            // selection, coverage, and the decision itself.
             let view = sim.mem.read();
-            let chain = select_chain(rule, &view);
-            let covered = chain
-                .last()
-                .map(|&tip| sim.covered_values(&view, tip))
-                .unwrap_or(0);
-            if covered >= p.k {
-                decisions[i] = decide_on(p, rule, &view);
+            let dag = DagIndex::new(&view);
+            let chain = select_chain_with(rule, &dag);
+            let lin = linearize_with(&dag, &chain);
+            if covered_of_lin(&view, &chain, &lin) >= p.k {
+                let prefix = lin.first_k_values(&view, p.k);
+                decisions[i] = Sign::of_sum(
+                    prefix
+                        .iter()
+                        .filter_map(|id| view.get(*id))
+                        .map(|m| m.value.spin_contribution())
+                        .sum(),
+                );
                 decide_times[i] = t;
             }
         }
@@ -353,11 +373,11 @@ pub fn run_dag_multinode(p: &Params, rule: DagRule, ttl_factor: f64) -> MultiTri
             banked.push(g);
         } else {
             let prefix = sim.view_prefix(p.view_policy, boundary_len, g.time, p.delta);
-            let tips = sim.tips_of_prefix(prefix);
-            sim.append(g.node, Value::plus(), &tips, g.time);
+            sim.append_referencing_prefix(g.node, Value::plus(), prefix, g.time);
         }
     }
 
+    crate::scratch::put_banked(banked);
     let first = decisions.iter().flatten().next().copied();
     let agreement = decisions.iter().all(|d| d.is_some()) && decisions.iter().all(|d| *d == first);
     let validity = decisions.iter().all(|d| *d == Some(Sign::Plus));
