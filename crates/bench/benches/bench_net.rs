@@ -2,10 +2,12 @@
 //! across sizes and latency models, against the reliable in-process
 //! network as the zero-overhead baseline — the price of simulated time.
 
-use am_mp::{Network, Payload};
-use am_net::{Fault, LatencyModel, SimNet, Transport};
+use am_bench::recorder;
+use am_mp::{MpSystem, Network, Payload};
+use am_net::{Fault, LatencyModel, NetProfile, SimNet, Transport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 /// Broadcasts `rounds` waves from every node and drains all arrivals.
 fn pump<T: Transport<Payload>>(net: &mut T, rounds: u64) -> u64 {
@@ -87,5 +89,74 @@ fn bench_fault_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_broadcast_drain, bench_fault_pipeline);
+/// PR5: the zero-copy networked engine vs the retained naive baselines
+/// (`broadcast_cloning`, `local_view_rebuild`, `acks_hashmap` — switched
+/// together by `MpSystem::set_naive`). Results merge into
+/// `BENCH_PR5.json` (see CONTRIBUTING.md); the 300-seed `naive_equiv`
+/// suite proves both paths are the same algorithm bit-for-bit.
+fn bench_pr5_networked(_c: &mut Criterion) {
+    let mut rec = recorder::Recorder::pr5();
+    let budget = Duration::from_millis(700);
+
+    // Tentpole headline — an E14-shaped sweep cell: ABD append+read
+    // rounds over a lossy, then partitioned, network. Naive mode pays an
+    // O(history) view rebuild for every ReadReq response and
+    // HashMap/HashSet churn for every ack; the optimized engine answers
+    // with O(history/chunk) snapshot clones and dense bitmask tallies.
+    let sweep = |naive: bool| {
+        let mut acc = 0u64;
+        for (drop, partition) in [(0.05, None), (0.15, Some((50_000_000u64, 250_000_000u64)))] {
+            let n = 8usize;
+            let mut profile =
+                NetProfile::ideal(LatencyModel::Exponential { mean: 1_000_000 }).with_drop(drop);
+            if let Some((from_ns, until_ns)) = partition {
+                profile = profile.with_partition(from_ns, until_ns);
+            }
+            let net: SimNet<Payload> = profile.build(n, 0xe14);
+            let mut sys = MpSystem::with_transport(net, &[], 0xe14);
+            sys.set_naive(naive);
+            for i in 0..800 {
+                let _ = sys.append(i % n, 1);
+                let _ = sys.read((i + 1) % n);
+                let _ = sys.read((i + 3) % n);
+            }
+            acc += sys.total_sent();
+        }
+        black_box(acc)
+    };
+    rec.measure(
+        "net_sweep/e14_drop_partition",
+        Some("net_sweep/e14_drop_partition_naive"),
+        budget,
+        || sweep(false),
+    );
+    rec.measure("net_sweep/e14_drop_partition_naive", None, budget, || {
+        sweep(true)
+    });
+
+    // The ABD read/local_view kernel: a settled 1000-append history,
+    // snapshotting one node's view. The persistent chunked view clones
+    // O(history/chunk) Arcs; the naive baseline copies every message.
+    let mut sys = MpSystem::new(5, &[], 7);
+    for i in 0..1000usize {
+        sys.append(i % 5, 1).expect("reliable network cannot stall");
+    }
+    rec.measure(
+        "abd/local_view",
+        Some("abd/local_view_rebuild"),
+        budget,
+        || black_box(sys.local_view(0).len()),
+    );
+    rec.measure("abd/local_view_rebuild", None, budget, || {
+        black_box(sys.local_view_rebuild(0).len())
+    });
+    rec.write();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast_drain,
+    bench_fault_pipeline,
+    bench_pr5_networked
+);
 criterion_main!(benches);

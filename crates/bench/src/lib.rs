@@ -12,6 +12,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 pub mod pr4;
+pub mod pr5;
+pub mod recorder;
 
 /// Builds a linear chain of `len` blocks authored round-robin by `n` nodes.
 pub fn chain_history(n: usize, len: usize) -> AppendMemory {

@@ -1,0 +1,13 @@
+//! PR5 preset: the networked-engine benchmark schema.
+//!
+//! PR5 made the networked trial path (event core, gossip, ABD views,
+//! propagation state) allocation-free per event; `BENCH_PR5.json` records
+//! the optimized kernels against the in-tree naive baselines
+//! (`broadcast_cloning`, `local_view_rebuild`, `acks_hashmap`) measured
+//! in the same run. Construct the recorder with
+//! [`Recorder::pr5`](crate::recorder::Recorder::pr5); the equivalence of
+//! the two paths is asserted bit-for-bit by the 300-seed
+//! `naive_equiv` suite in `am-mp`.
+
+/// Schema tag written to (and required of) `BENCH_PR5.json`.
+pub const SCHEMA: &str = "bench-pr5/1";

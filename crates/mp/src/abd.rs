@@ -14,6 +14,7 @@
 
 use crate::net::{Network, Payload};
 use crate::sig::{content_hash, KeyRing, Signature};
+use crate::view::{AckTally, MpView};
 use am_net::Transport;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -93,13 +94,27 @@ pub struct MpSystem<T: Transport<Payload> = Network> {
     ring: KeyRing,
     byz: Vec<bool>,
     paused: Vec<bool>,
-    views: Vec<Vec<MpMsg>>,
+    views: Vec<MpView>,
     /// Membership index per node for O(1) duplicate checks.
     seen: Vec<HashSet<u64>>,
     next_seq: Vec<u64>,
     next_op: u64,
-    /// Ack tallies per (author, seq, content): the set of ackers.
-    acks: HashMap<(usize, u64, u64), HashSet<usize>>,
+    /// Ack tallies per (author, seq, content): dense bitmask counters.
+    acks: AckTally,
+    /// The pre-optimization ack bookkeeping, used in naive mode only and
+    /// kept in-tree as the equivalence baseline (see
+    /// [`MpSystem::set_naive`]).
+    acks_hashmap: HashMap<(usize, u64, u64), HashSet<usize>>,
+    /// `resp_hw[receiver][responder]`: how much of `responder`'s
+    /// append-only view `receiver` has already merged from earlier
+    /// `ViewResp`s. Everything below the mark has been verified and
+    /// adopted here before, so later responses are merged from the mark
+    /// on (the naive baseline re-walks full responses).
+    resp_hw: Vec<Vec<usize>>,
+    /// When set, run every optimized path through its naive baseline:
+    /// deep-clone broadcasts, per-read view rebuilds, HashMap/HashSet ack
+    /// tallies.
+    naive: bool,
     stats: MpStats,
     /// Delivery budget per quorum wait, to turn deadlock into an error.
     max_pump: usize,
@@ -150,11 +165,14 @@ impl<T: Transport<Payload>> MpSystem<T> {
             ring: KeyRing::new(n, seed),
             byz: byz_flags,
             paused: vec![false; n],
-            views: vec![Vec::new(); n],
+            views: vec![MpView::new(); n],
             seen: vec![HashSet::new(); n],
             next_seq: vec![0; n],
             next_op: 0,
-            acks: HashMap::new(),
+            acks: AckTally::new(n),
+            acks_hashmap: HashMap::new(),
+            resp_hw: vec![vec![0; n]; n],
+            naive: false,
             stats: MpStats::default(),
             max_pump: 1_000_000,
             write_quorum: n / 2 + 1,
@@ -188,6 +206,19 @@ impl<T: Transport<Payload>> MpSystem<T> {
         self.delivery = d;
     }
 
+    /// Switches the system onto its pre-optimization baselines: broadcasts
+    /// deep-clone per recipient ([`Transport::broadcast_cloning`]), every
+    /// `ReadReq` response rebuilds the responder's view from scratch
+    /// ([`MpSystem::local_view_rebuild`]), and ack quorums are tallied in
+    /// `HashMap<_, HashSet<_>>` (`acks_hashmap`). Outcomes are bit-equal
+    /// to the optimized paths — the equivalence suite pins this — so the
+    /// flag exists for benchmarking and differential testing. Set it
+    /// before the first operation; toggling mid-run would split the ack
+    /// bookkeeping across the two tallies.
+    pub fn set_naive(&mut self, naive: bool) {
+        self.naive = naive;
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.net.n()
@@ -213,9 +244,44 @@ impl<T: Transport<Payload>> MpSystem<T> {
         self.paused[node] = false;
     }
 
-    /// A copy of `node`'s local view `M_v`.
-    pub fn local_view(&self, node: usize) -> Vec<MpMsg> {
+    /// A snapshot of `node`'s local view `M_v`. O(history / chunk): full
+    /// chunks are shared with the live view, not copied.
+    pub fn local_view(&self, node: usize) -> MpView {
         self.views[node].clone()
+    }
+
+    /// The naive O(history) baseline for [`MpSystem::local_view`]: deep-
+    /// copies every message into a fresh vector, exactly what
+    /// `views[node].clone()` cost when views were plain `Vec<MpMsg>`.
+    /// Kept in-tree for the equivalence suite and BENCH_PR5.
+    pub fn local_view_rebuild(&self, node: usize) -> Vec<MpMsg> {
+        self.views[node].to_vec()
+    }
+
+    /// Distinct ackers recorded for an append instance, from whichever
+    /// tally the current mode maintains.
+    pub fn ack_count(&self, key: (usize, u64, u64)) -> usize {
+        if self.naive {
+            self.acks_hashmap.get(&key).map_or(0, HashSet::len)
+        } else {
+            self.acks.count(key)
+        }
+    }
+
+    fn record_ack(&mut self, key: (usize, u64, u64), from: usize) {
+        if self.naive {
+            self.acks_hashmap.entry(key).or_default().insert(from);
+        } else {
+            self.acks.add(key, from);
+        }
+    }
+
+    fn broadcast_payload(&mut self, from: usize, payload: Payload) {
+        if self.naive {
+            self.net.broadcast_cloning(from, payload);
+        } else {
+            self.net.broadcast(from, payload);
+        }
     }
 
     /// Message-complexity statistics so far.
@@ -268,7 +334,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
             sig,
         };
         let before = self.net.sent_count();
-        self.net.broadcast(
+        self.broadcast_payload(
             v,
             Payload::Append {
                 author: v,
@@ -283,7 +349,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
         let mut budget = self.max_pump;
         let _quorum_span = am_obs::span("quorum");
         loop {
-            if self.acks.get(&key).map_or(0, HashSet::len) >= self.quorum() {
+            if self.ack_count(key) >= self.quorum() {
                 break;
             }
             if budget == 0 || !self.pump_one() {
@@ -299,7 +365,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
 
     /// **Algorithm 3**: `M.read()` executed by correct node `v`. Returns
     /// the merged view once `> n/2` responses arrive.
-    pub fn read(&mut self, v: usize) -> Result<Vec<MpMsg>, MpError> {
+    pub fn read(&mut self, v: usize) -> Result<MpView, MpError> {
         if self.byz[v] {
             return Err(MpError::WrongRole);
         }
@@ -308,7 +374,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
         let op = self.next_op;
         self.next_op += 1;
         let before = self.net.sent_count();
-        self.net.broadcast(v, Payload::ReadReq { op });
+        self.broadcast_payload(v, Payload::ReadReq { op });
         // Collect responses by pumping; responses are tagged with `op`.
         let mut responders: HashSet<usize> = HashSet::new();
         let mut budget = self.max_pump;
@@ -432,12 +498,27 @@ impl<T: Transport<Payload>> MpSystem<T> {
     /// that case, `Some(None)` for any other delivery, `None` when stuck.
     fn pump_one_tracking_read(&mut self, reader: usize, op: u64) -> Option<Option<usize>> {
         let n = self.n();
-        let candidates: Vec<usize> = loop {
-            let c: Vec<usize> = (0..n)
-                .filter(|&i| !self.paused[i] && self.net.backlog(i) > 0)
-                .collect();
-            if !c.is_empty() {
-                break c;
+        // Pick the target node without materializing a candidate vector:
+        // FIFO/LIFO take the first unpaused node with a backlog; Random
+        // counts candidates, draws, then indexes — the same RNG stream
+        // (one `gen_range(0..count)` call) as the old collected-Vec code.
+        let deliverable = |sys: &Self, i: usize| !sys.paused[i] && sys.net.backlog(i) > 0;
+        let target = loop {
+            let found = match self.delivery {
+                Delivery::Fifo | Delivery::Lifo => (0..n).find(|&i| deliverable(self, i)),
+                Delivery::Random => {
+                    let count = (0..n).filter(|&i| deliverable(self, i)).count();
+                    (count > 0).then(|| {
+                        let pick = self.delivery_rng.gen_range(0..count);
+                        (0..n)
+                            .filter(|&i| deliverable(self, i))
+                            .nth(pick)
+                            .expect("pick < count")
+                    })
+                }
+            };
+            if let Some(t) = found {
+                break t;
             }
             // Nothing arrived for an unpaused node: progress simulated
             // time. When the substrate has nothing in flight either, the
@@ -445,10 +526,6 @@ impl<T: Transport<Payload>> MpSystem<T> {
             if !self.net.advance() {
                 return None;
             }
-        };
-        let target = match self.delivery {
-            Delivery::Fifo | Delivery::Lifo => candidates[0],
-            Delivery::Random => candidates[self.delivery_rng.gen_range(0..candidates.len())],
         };
         let idx = match self.delivery {
             Delivery::Fifo => 0,
@@ -480,7 +557,7 @@ impl<T: Transport<Payload>> MpSystem<T> {
                         sig,
                     });
                     // Line 4 of Algorithm 2: broadcast the ack.
-                    self.net.broadcast(
+                    self.broadcast_payload(
                         target,
                         Payload::Ack {
                             author,
@@ -495,50 +572,44 @@ impl<T: Transport<Payload>> MpSystem<T> {
                 seq,
                 content,
             } => {
-                self.acks
-                    .entry((author, seq, content))
-                    .or_default()
-                    .insert(env.from);
+                self.record_ack((author, seq, content), env.from);
             }
             Payload::ReadReq { op: req_op } => {
-                // Line 3 of Algorithm 3: send the local view back.
-                let view: Vec<Payload> = self.views[target]
-                    .iter()
-                    .map(|m| Payload::Append {
-                        author: m.author,
-                        seq: m.seq,
-                        value: m.value,
-                        content: m.content,
-                        sig: m.sig,
-                    })
-                    .collect();
+                // Line 3 of Algorithm 3: send the local view back. The
+                // optimized path snapshots (full chunks shared, nothing
+                // copied); the naive baseline rebuilds the whole view —
+                // the old O(history) per-response cost.
+                let view = if self.naive {
+                    MpView::from_slice(&self.local_view_rebuild(target))
+                } else {
+                    self.views[target].clone()
+                };
                 self.net
                     .send(target, env.from, Payload::ViewResp { op: req_op, view });
             }
             Payload::ViewResp { op: resp_op, view } => {
-                // Line 6 of Algorithm 3: adopt all newly seen valid values.
-                for p in view {
-                    if let Payload::Append {
-                        author,
-                        seq,
-                        value,
-                        content,
-                        sig,
-                    } = p
+                // Line 6 of Algorithm 3: adopt all newly seen valid
+                // values. A responder's view is append-only, so every
+                // message below the high-water mark of a previously
+                // merged response from the same responder has already
+                // been verified and adopted here — the optimized path
+                // starts at the mark, the naive baseline re-walks the
+                // whole response (the old O(history) merge).
+                let start = if self.naive {
+                    0
+                } else {
+                    self.resp_hw[target][env.from]
+                };
+                for m in view.iter_from(start) {
+                    if self.ring.verify(m.author, m.content, m.sig)
+                        && !self.seen[target].contains(&m.content)
                     {
-                        if self.ring.verify(author, content, sig)
-                            && !self.seen[target].contains(&content)
-                        {
-                            self.seen[target].insert(content);
-                            self.views[target].push(MpMsg {
-                                author,
-                                seq,
-                                value,
-                                content,
-                                sig,
-                            });
-                        }
+                        self.seen[target].insert(m.content);
+                        self.views[target].push(*m);
                     }
+                }
+                if view.len() > self.resp_hw[target][env.from] {
+                    self.resp_hw[target][env.from] = view.len();
                 }
                 if target == reader && resp_op == op {
                     read_from = Some(env.from);
@@ -794,6 +865,55 @@ mod tests {
             sys.total_sent()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn pause_resume_views_and_ack_tallies_match_naive_baselines() {
+        // The incremental structures must survive the pause/resume
+        // catch-up path: a resumed node replays its whole backlog into an
+        // MpView that already has live snapshots (earlier ViewResps), and
+        // ack bitmasks keep counting across the pause. Run the same
+        // script on a fast and a naive system and require identical
+        // outcomes, then require each node's snapshot to equal its own
+        // naive rebuild.
+        let run = |naive: bool| {
+            let mut sys = MpSystem::new(5, &[], 23);
+            sys.set_naive(naive);
+            sys.set_delivery(Delivery::Random);
+            let mut keys = Vec::new();
+            sys.pause(3);
+            sys.pause(4);
+            for i in 0..6 {
+                let m = sys.append(i % 3, i as i8).unwrap();
+                keys.push((m.author, m.seq, m.content));
+            }
+            let mid_read = sys.read(1).unwrap();
+            sys.resume(3);
+            sys.resume(4);
+            sys.pause(0);
+            for i in 0..4 {
+                let m = sys.append(1 + i % 2, -(i as i8)).unwrap();
+                keys.push((m.author, m.seq, m.content));
+            }
+            sys.resume(0);
+            sys.settle();
+            let acks: Vec<usize> = keys.iter().map(|&k| sys.ack_count(k)).collect();
+            let views: Vec<Vec<MpMsg>> = (0..5).map(|v| sys.local_view(v).to_vec()).collect();
+            // Snapshot ≡ naive rebuild, node by node.
+            for v in 0..5 {
+                assert_eq!(
+                    sys.local_view(v).to_vec(),
+                    sys.local_view_rebuild(v),
+                    "node {v}: snapshot diverged from rebuild"
+                );
+            }
+            (mid_read.to_vec(), acks, views, sys.total_sent())
+        };
+        let fast = run(false);
+        let naive = run(true);
+        assert_eq!(fast, naive, "fast and naive modes diverged");
+        // Every append completed, so every key reached its quorum of 3.
+        assert!(fast.1.iter().all(|&c| c >= 3));
     }
 
     #[test]

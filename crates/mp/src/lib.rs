@@ -26,8 +26,10 @@ pub mod abd;
 pub mod net;
 pub mod sig;
 pub mod unsigned;
+pub mod view;
 
 pub use abd::{Delivery, MpError, MpMsg, MpStats, MpSystem};
 pub use net::{Envelope, Network, Payload};
 pub use sig::{KeyRing, Signature};
 pub use unsigned::{UnsignedMsg, UnsignedSystem};
+pub use view::{AckTally, MpView};

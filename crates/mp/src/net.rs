@@ -6,6 +6,7 @@
 //! Section 4 model requires correct nodes to be available at all times).
 
 use crate::sig::Signature;
+use crate::view::MpView;
 use am_net::{Kinded, Transport};
 use std::collections::VecDeque;
 
@@ -43,8 +44,10 @@ pub enum Payload {
     ViewResp {
         /// The operation id this responds to.
         op: u64,
-        /// The responder's local view (copies of append payloads).
-        view: Vec<Payload>,
+        /// A snapshot of the responder's local view. [`MpView`] shares its
+        /// chunks with the responder's live view, so building and cloning
+        /// this payload is O(history / chunk), not O(history).
+        view: MpView,
     },
 }
 

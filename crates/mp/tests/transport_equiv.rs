@@ -64,12 +64,12 @@ fn run_script<T: Transport<Payload>>(mut sys: MpSystem<T>, ops: &[Op]) -> Observ
                 appends.push(sys.append(node as usize % n, value));
             }
             Op::Read { node } => {
-                reads.push(sys.read(node as usize % n).ok());
+                reads.push(sys.read(node as usize % n).ok().map(|v| v.to_vec()));
             }
         }
     }
     sys.settle();
-    let mut views: Vec<Vec<MpMsg>> = (0..n).map(|v| sys.local_view(v)).collect();
+    let mut views: Vec<Vec<MpMsg>> = (0..n).map(|v| sys.local_view(v).to_vec()).collect();
     for v in &mut views {
         v.sort_by_key(|m| (m.author, m.seq, m.content));
     }

@@ -14,8 +14,9 @@
 //!   `am-mp`'s reliable [`Network`](../am_mp/net/struct.Network.html)
 //!   implements it, and so does [`SimNet`]; Algorithms 2/3 run unchanged
 //!   over either.
-//! * [`SimNet`] — a seeded discrete-event simulator: a binary-heap event
-//!   queue keyed by `(time_ns, seq)` drives per-link latency models
+//! * [`SimNet`] — a seeded discrete-event simulator: a slab-backed
+//!   pairing-heap event queue ([`EventQueue`]) keyed by `(time_ns, seq)`
+//!   drives per-link latency models
 //!   ([`LatencyModel`]: constant, uniform, exponential) and composable
 //!   fault injectors ([`Fault`]: probabilistic drops, duplication,
 //!   reorder-by-extra-delay, node crash/recover windows, scheduled
@@ -32,12 +33,14 @@
 
 pub mod fault;
 pub mod latency;
+pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod transport;
 
 pub use fault::{Fault, PartitionSpec};
 pub use latency::LatencyModel;
-pub use sim::{NetProfile, SimNet};
+pub use queue::EventQueue;
+pub use sim::{NetProfile, NetScratch, SimNet};
 pub use stats::{DeliveryRecord, NetStats};
 pub use transport::{Envelope, Kinded, Transport};

@@ -2,38 +2,54 @@
 
 use crate::fault::{Fault, PartitionSpec};
 use crate::latency::LatencyModel;
+use crate::queue::{EventQueue, Storage};
 use crate::stats::{DeliveryRecord, NetStats};
 use crate::transport::{Envelope, Kinded, Transport};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-/// A scheduled arrival. Ordering is by `(at_ns, seq)` only, so the heap
-/// never inspects the payload and ties break deterministically in send
-/// order.
-struct Event<M> {
-    at_ns: u64,
-    seq: u64,
+/// A payload travelling through the simulator: either owned by exactly
+/// one in-flight copy (point-to-point sends) or shared behind an [`Arc`]
+/// (broadcast fan-out and duplicates of shared sends). An n-node
+/// broadcast interns the payload once and ships n−1 pointer bumps instead
+/// of n−1 deep clones; [`Gossip::into_owned`] unwraps without cloning
+/// whenever the delivered copy is the last one alive.
+#[derive(Clone, Debug)]
+enum Gossip<M> {
+    /// Single-recipient payload, moved in and out without indirection.
+    Owned(M),
+    /// Broadcast-interned payload; clones are pointer bumps.
+    Shared(Arc<M>),
+}
+
+impl<M> Gossip<M> {
+    fn get(&self) -> &M {
+        match self {
+            Gossip::Owned(m) => m,
+            Gossip::Shared(a) => a,
+        }
+    }
+}
+
+impl<M: Clone> Gossip<M> {
+    fn into_owned(self) -> M {
+        match self {
+            Gossip::Owned(m) => m,
+            Gossip::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+/// A scheduled arrival in flight. Ordering lives in the event queue's
+/// `(at_ns, seq)` key, so flights never implement `Ord` and the queue
+/// never inspects the payload.
+#[derive(Debug)]
+struct Flight<M> {
     sent_ns: u64,
-    env: Envelope<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_ns == other.at_ns && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.at_ns, other.seq).cmp(&(self.at_ns, self.seq))
-    }
+    from: usize,
+    to: usize,
+    payload: Gossip<M>,
 }
 
 /// A compact, `Copy` network profile for embedding in experiment
@@ -93,7 +109,18 @@ impl NetProfile {
 
     /// Builds the simulator for `n` nodes with this profile.
     pub fn build<M: Kinded>(&self, n: usize, seed: u64) -> SimNet<M> {
-        let mut net = SimNet::new(n, seed).with_latency(self.latency);
+        self.build_with_scratch(n, seed, NetScratch::new())
+    }
+
+    /// Builds the simulator on recycled [`NetScratch`] storage, so hot
+    /// trial loops pay zero queue/inbox allocations after warm-up.
+    pub fn build_with_scratch<M: Kinded>(
+        &self,
+        n: usize,
+        seed: u64,
+        scratch: NetScratch<M>,
+    ) -> SimNet<M> {
+        let mut net = SimNet::with_scratch(n, seed, scratch).with_latency(self.latency);
         if self.drop_prob > 0.0 {
             net.add_fault(Fault::Drop {
                 prob: self.drop_prob,
@@ -122,18 +149,156 @@ impl NetProfile {
     }
 }
 
-/// A queued arrival: envelope, send time, payload kind, send sequence.
-type Arrival<M> = (Envelope<M>, u64, &'static str, u64);
+/// A queued arrival waiting in a node's inbox.
+#[derive(Debug)]
+struct Arrival<M> {
+    from: usize,
+    to: usize,
+    payload: Gossip<M>,
+    sent_ns: u64,
+    kind: &'static str,
+    seq: u64,
+}
 
-/// The seeded discrete-event network: latency models feed a binary-heap
-/// event queue; fault injectors run at send time; arrivals land in
-/// per-node queues consumed through the [`Transport`] interface.
+/// An order-preserving inbox with O(1) amortized removal at either end
+/// and tombstoned removal in the middle.
+///
+/// `SimNet::deliver_at` used to call `VecDeque::remove(idx)`, which
+/// shifts every later arrival — O(backlog) per delivery, and the ABD pump
+/// delivers from both ends constantly. Slots are now tombstoned
+/// (`None`) instead of shifted: logical order is slot order, front takes
+/// advance `head` past tombstones, back takes pop trailing tombstones,
+/// and the buffer compacts (order-preserving) only when tombstones
+/// dominate. Delivery *order* is bit-identical to the `VecDeque` scheme.
+#[derive(Debug)]
+struct Inbox<M> {
+    slots: Vec<Option<Arrival<M>>>,
+    /// Index of the first possibly-live slot (everything before is a
+    /// tombstone).
+    head: usize,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+}
+
+impl<M> Inbox<M> {
+    fn from_slots(mut slots: Vec<Option<Arrival<M>>>) -> Inbox<M> {
+        slots.clear();
+        Inbox {
+            slots,
+            head: 0,
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn push(&mut self, arrival: Arrival<M>) {
+        if self.live == 0 {
+            // Whole buffer is tombstones — restart it for free.
+            self.slots.clear();
+            self.head = 0;
+        }
+        self.slots.push(Some(arrival));
+        self.live += 1;
+    }
+
+    /// Removes and returns the arrival at logical position `idx` (0 =
+    /// oldest). Preserves the relative order of everything else.
+    fn take(&mut self, idx: usize) -> Option<Arrival<M>> {
+        if idx >= self.live {
+            return None;
+        }
+        let taken = if idx == 0 {
+            while self.slots[self.head].is_none() {
+                self.head += 1;
+            }
+            let a = self.slots[self.head].take();
+            self.head += 1;
+            a
+        } else if idx == self.live - 1 {
+            while self.slots.last().is_some_and(Option::is_none) {
+                self.slots.pop();
+            }
+            self.slots.pop().flatten()
+        } else {
+            // Middle removal: walk to the idx-th live slot and tombstone
+            // it. Rare (only the Random delivery policy lands here), and
+            // no worse than the shift the old VecDeque::remove paid.
+            let mut live_seen = 0;
+            let mut slot = None;
+            for s in self.slots[self.head..].iter_mut() {
+                if s.is_some() {
+                    if live_seen == idx {
+                        slot = s.take();
+                        break;
+                    }
+                    live_seen += 1;
+                }
+            }
+            slot
+        };
+        debug_assert!(taken.is_some(), "logical index {idx} must be live");
+        self.live -= 1;
+        if self.live == 0 {
+            self.slots.clear();
+            self.head = 0;
+        } else if self.slots.len() > self.live * 2 + 32 {
+            // Tombstones dominate: compact in place, preserving order.
+            self.slots.retain(Option::is_some);
+            self.head = 0;
+        }
+        taken
+    }
+
+    /// Tears the inbox down to its reusable slot buffer.
+    fn into_slots(mut self) -> Vec<Option<Arrival<M>>> {
+        self.slots.clear();
+        self.slots
+    }
+}
+
+/// Recycled queue + inbox storage for a [`SimNet`], following the
+/// `TrialScratch` pattern: rayon trial loops keep one `NetScratch` per
+/// worker thread, rebuild each trial's `SimNet` on it via
+/// [`NetProfile::build_with_scratch`], and reclaim it afterwards with
+/// [`SimNet::into_scratch`].
+#[derive(Debug)]
+pub struct NetScratch<M> {
+    queue: Storage<u64, Flight<M>>,
+    inboxes: Vec<Vec<Option<Arrival<M>>>>,
+}
+
+impl<M> Default for NetScratch<M> {
+    fn default() -> Self {
+        NetScratch::new()
+    }
+}
+
+impl<M> NetScratch<M> {
+    /// Empty scratch (allocates nothing until first use).
+    pub fn new() -> NetScratch<M> {
+        NetScratch {
+            queue: Storage::new(),
+            inboxes: Vec::new(),
+        }
+    }
+}
+
+/// The seeded discrete-event network: latency models feed a slab-backed
+/// event queue ([`crate::queue::EventQueue`]); fault injectors run at
+/// send time; arrivals land in per-node inboxes consumed through the
+/// [`Transport`] interface.
 pub struct SimNet<M> {
     n: usize,
     now_ns: u64,
-    next_seq: u64,
-    heap: BinaryHeap<Event<M>>,
-    arrived: Vec<VecDeque<Arrival<M>>>,
+    queue: EventQueue<u64, Flight<M>>,
+    arrived: Vec<Inbox<M>>,
     default_latency: LatencyModel,
     link_latency: Vec<Option<LatencyModel>>, // n*n overrides
     faults: Vec<Fault>,
@@ -151,12 +316,18 @@ impl<M: Kinded> SimNet<M> {
     /// A fault-free simulator with constant zero latency (the degenerate
     /// case equivalent to the reliable in-process network).
     pub fn new(n: usize, seed: u64) -> SimNet<M> {
+        SimNet::with_scratch(n, seed, NetScratch::new())
+    }
+
+    /// Like [`SimNet::new`] but reusing recycled [`NetScratch`] storage.
+    pub fn with_scratch(n: usize, seed: u64, mut scratch: NetScratch<M>) -> SimNet<M> {
+        let mut inbox_slots = std::mem::take(&mut scratch.inboxes);
+        inbox_slots.resize_with(n, Vec::new);
         SimNet {
             n,
             now_ns: 0,
-            next_seq: 0,
-            heap: BinaryHeap::new(),
-            arrived: (0..n).map(|_| VecDeque::new()).collect(),
+            queue: EventQueue::from_storage(scratch.queue),
+            arrived: inbox_slots.into_iter().map(Inbox::from_slots).collect(),
             default_latency: LatencyModel::Constant(0),
             link_latency: vec![None; n * n],
             faults: Vec::new(),
@@ -168,6 +339,15 @@ impl<M: Kinded> SimNet<M> {
             obs_delivered: am_obs::counter("net.delivered"),
             obs_dropped: am_obs::counter("net.dropped"),
             obs_duplicated: am_obs::counter("net.duplicated"),
+        }
+    }
+
+    /// Tears the simulator down to its reusable storage (queue slab +
+    /// inbox buffers), dropping any undelivered payloads.
+    pub fn into_scratch(self) -> NetScratch<M> {
+        NetScratch {
+            queue: self.queue.into_storage(),
+            inboxes: self.arrived.into_iter().map(Inbox::into_slots).collect(),
         }
     }
 
@@ -205,63 +385,27 @@ impl<M: Kinded> SimNet<M> {
         self.faults.iter().any(|f| f.crashes(node, at_ns))
     }
 
-    fn schedule(&mut self, env: Envelope<M>, delay_ns: u64) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event {
-            at_ns: self.now_ns + delay_ns,
-            seq,
-            sent_ns: self.now_ns,
-            env,
-        });
-    }
-
-    /// Moves one popped event into its arrival queue (or drops it if the
-    /// receiver is crashed), advancing the clock to the event time.
-    fn admit(&mut self, ev: Event<M>) -> bool {
-        debug_assert!(ev.at_ns >= self.now_ns, "time went backwards");
-        self.now_ns = ev.at_ns;
-        let (to, from) = (ev.env.to, ev.env.from);
-        let kind = ev.env.payload.kind();
-        if self.crashed(to, self.now_ns) {
-            self.stats.on_dropped(from, to, kind);
-            self.obs_dropped.inc();
-            am_obs::event("net/drop/crashed_receiver", to, self.now_ns, || {
-                format!("{kind} {from}->{to}")
-            });
-            return false;
-        }
-        self.arrived[to].push_back((ev.env, ev.sent_ns, kind, ev.seq));
-        true
-    }
-
-    /// Delivers every in-flight event scheduled at or before `target_ns`,
-    /// then moves the clock to `target_ns` (time-driven callers — the
-    /// protocol runners — use this so sends issued at the target time see
-    /// the right fault windows). Returns whether anything arrived.
-    pub fn advance_until(&mut self, target_ns: u64) -> bool {
-        let mut any = false;
-        while let Some(next) = self.heap.peek() {
-            if next.at_ns > target_ns {
-                break;
-            }
-            let ev = self.heap.pop().expect("peeked");
-            any |= self.admit(ev);
-        }
-        if self.now_ns < target_ns {
-            self.now_ns = target_ns;
-        }
-        any
+    fn schedule(&mut self, from: usize, to: usize, payload: Gossip<M>, delay_ns: u64) {
+        self.queue.schedule(
+            self.now_ns + delay_ns,
+            Flight {
+                sent_ns: self.now_ns,
+                from,
+                to,
+                payload,
+            },
+        );
     }
 }
 
-impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
-    fn n(&self) -> usize {
-        self.n
-    }
-
-    fn send(&mut self, from: usize, to: usize, payload: M) {
-        let kind = payload.kind();
+impl<M: Kinded + Clone> SimNet<M> {
+    /// The shared send path: fault injection, latency sampling, and event
+    /// scheduling over a payload that is either owned (point-to-point) or
+    /// Arc-interned (broadcast fan-out). RNG draw order, stats, and `seq`
+    /// assignment are identical for both, so cloning and zero-copy sends
+    /// produce bit-identical traces.
+    fn send_gossip(&mut self, from: usize, to: usize, payload: Gossip<M>) {
+        let kind = payload.get().kind();
         self.sent += 1;
         self.stats.on_sent(from, to, kind);
         self.obs_sent.inc();
@@ -322,16 +466,85 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
             am_obs::event("net/duplicate", from, self.now_ns, || {
                 format!("{kind} {from}->{to}")
             });
-            self.schedule(
-                Envelope {
-                    from,
-                    to,
-                    payload: payload.clone(),
-                },
-                base + dup_extra,
-            );
+            self.schedule(from, to, payload.clone(), base + dup_extra);
         }
-        self.schedule(Envelope { from, to, payload }, base + extra_ns);
+        self.schedule(from, to, payload, base + extra_ns);
+    }
+
+    /// The deep-copy point-to-point baseline kept in-tree for the
+    /// equivalence suite: identical to [`Transport::send`] except the
+    /// payload always travels as an owned value (duplicates deep-clone).
+    /// [`Transport::broadcast_cloning`] fans out over this path.
+    pub fn send_cloning(&mut self, from: usize, to: usize, payload: M) {
+        self.send_gossip(from, to, Gossip::Owned(payload));
+    }
+
+    /// Moves one popped event into its arrival inbox (or drops it if the
+    /// receiver is crashed), advancing the clock to the event time.
+    fn admit(&mut self, at_ns: u64, seq: u64, flight: Flight<M>) -> bool {
+        debug_assert!(at_ns >= self.now_ns, "time went backwards");
+        self.now_ns = at_ns;
+        let Flight {
+            sent_ns,
+            from,
+            to,
+            payload,
+        } = flight;
+        let kind = payload.get().kind();
+        if self.crashed(to, self.now_ns) {
+            self.stats.on_dropped(from, to, kind);
+            self.obs_dropped.inc();
+            am_obs::event("net/drop/crashed_receiver", to, self.now_ns, || {
+                format!("{kind} {from}->{to}")
+            });
+            return false;
+        }
+        self.arrived[to].push(Arrival {
+            from,
+            to,
+            payload,
+            sent_ns,
+            kind,
+            seq,
+        });
+        true
+    }
+
+    /// Delivers every in-flight event scheduled at or before `target_ns`,
+    /// then moves the clock to `target_ns` (time-driven callers — the
+    /// protocol runners — use this so sends issued at the target time see
+    /// the right fault windows). Returns whether anything arrived.
+    pub fn advance_until(&mut self, target_ns: u64) -> bool {
+        let mut any = false;
+        while self.queue.peek_key().is_some_and(|at| at <= target_ns) {
+            let (at_ns, seq, flight) = self.queue.pop().expect("peeked");
+            any |= self.admit(at_ns, seq, flight);
+        }
+        if self.now_ns < target_ns {
+            self.now_ns = target_ns;
+        }
+        any
+    }
+}
+
+impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, from: usize, to: usize, payload: M) {
+        self.send_gossip(from, to, Gossip::Owned(payload));
+    }
+
+    fn broadcast(&mut self, from: usize, payload: M)
+    where
+        M: Clone,
+    {
+        // Intern once; every recipient's flight is an Arc pointer bump.
+        let shared = Arc::new(payload);
+        for to in 0..self.n {
+            self.send_gossip(from, to, Gossip::Shared(Arc::clone(&shared)));
+        }
     }
 
     fn backlog(&self, node: usize) -> usize {
@@ -339,7 +552,14 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
     }
 
     fn deliver_at(&mut self, node: usize, idx: usize) -> Option<Envelope<M>> {
-        let (env, sent_ns, kind, seq) = self.arrived[node].remove(idx)?;
+        let Arrival {
+            from,
+            to,
+            payload,
+            sent_ns,
+            kind,
+            seq,
+        } = self.arrived[node].take(idx)?;
         self.delivered += 1;
         self.obs_delivered.inc();
         if am_obs::enabled() {
@@ -349,31 +569,32 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
         self.stats.on_delivered(
             DeliveryRecord {
                 at_ns: self.now_ns,
-                from: env.from,
-                to: env.to,
+                from,
+                to,
                 kind,
                 seq,
             },
             self.now_ns - sent_ns,
         );
-        Some(env)
+        Some(Envelope {
+            from,
+            to,
+            payload: payload.into_owned(),
+        })
     }
 
     fn advance(&mut self) -> bool {
-        // Pop events until at least one lands in an arrival queue (crashed
+        // Pop events until at least one lands in an inbox (crashed
         // receivers eat their arrivals, so keep going past those).
-        while let Some(ev) = self.heap.pop() {
-            if !self.admit(ev) {
+        while let Some((at_ns, seq, flight)) = self.queue.pop() {
+            if !self.admit(at_ns, seq, flight) {
                 continue;
             }
             // Also surface everything else arriving at the same instant,
             // so equal-time arrivals stay in send order for the caller.
-            while let Some(next) = self.heap.peek() {
-                if next.at_ns != self.now_ns {
-                    break;
-                }
-                let nev = self.heap.pop().expect("peeked");
-                self.admit(nev);
+            while self.queue.peek_key() == Some(self.now_ns) {
+                let (nat, nseq, nflight) = self.queue.pop().expect("peeked");
+                self.admit(nat, nseq, nflight);
             }
             return true;
         }
@@ -381,7 +602,7 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
     }
 
     fn quiescent(&self) -> bool {
-        self.heap.is_empty() && self.arrived.iter().all(VecDeque::is_empty)
+        self.queue.is_empty() && self.arrived.iter().all(Inbox::is_empty)
     }
 
     fn sent_count(&self) -> u64 {
@@ -550,6 +771,76 @@ mod tests {
         assert!(!a.is_empty());
         let c = run(43);
         assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn broadcast_cloning_matches_zero_copy_broadcast() {
+        // The Arc-interned broadcast and the deep-clone baseline must
+        // draw the same randomness and produce the same trace.
+        let run = |zero_copy: bool| {
+            let mut net: SimNet<Ping> = NetProfile::ideal(LatencyModel::Exponential { mean: 50 })
+                .with_drop(0.1)
+                .with_dup(0.2)
+                .with_reorder(0.3)
+                .build(5, 77);
+            for round in 0..30u64 {
+                for from in 0..5 {
+                    let msg = Ping(round * 5 + from as u64);
+                    if zero_copy {
+                        net.broadcast(from, msg);
+                    } else {
+                        net.broadcast_cloning(from, msg);
+                    }
+                }
+            }
+            let delivered = drain(&mut net);
+            (delivered, net.stats().trace().to_vec(), net.sent_count())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_allocation_stable() {
+        let run = |scratch: NetScratch<Ping>| {
+            let mut net: SimNet<Ping> = NetProfile::ideal(LatencyModel::Exponential { mean: 100 })
+                .with_drop(0.2)
+                .with_dup(0.1)
+                .build_with_scratch(4, 9, scratch);
+            for round in 0..20u64 {
+                for from in 0..4 {
+                    net.broadcast(from, Ping(round));
+                }
+            }
+            let got = drain(&mut net);
+            let trace = net.stats().trace().to_vec();
+            (got, trace, net.into_scratch())
+        };
+        let (got_a, trace_a, scratch) = run(NetScratch::new());
+        let (got_b, trace_b, _) = run(scratch);
+        assert_eq!(got_a, got_b, "recycled storage must not change results");
+        assert_eq!(trace_a, trace_b);
+    }
+
+    #[test]
+    fn middle_removal_preserves_inbox_order() {
+        let mut net: SimNet<Ping> = SimNet::new(2, 1).with_latency(LatencyModel::Constant(1));
+        for i in 0..6 {
+            net.send(0, 1, Ping(i));
+        }
+        net.advance();
+        assert_eq!(net.backlog(1), 6);
+        // Remove the middle (idx 2 = Ping(2)), then the new idx 2 must be
+        // Ping(3): tombstoning must not disturb relative order.
+        assert_eq!(net.deliver_at(1, 2).unwrap().payload, Ping(2));
+        assert_eq!(net.deliver_at(1, 2).unwrap().payload, Ping(3));
+        assert_eq!(
+            net.deliver_at(1, net.backlog(1) - 1).unwrap().payload,
+            Ping(5)
+        );
+        assert_eq!(net.deliver_at(1, 0).unwrap().payload, Ping(0));
+        assert_eq!(net.deliver_at(1, 0).unwrap().payload, Ping(1));
+        assert_eq!(net.deliver_at(1, 0).unwrap().payload, Ping(4));
+        assert!(net.quiescent());
     }
 
     #[test]

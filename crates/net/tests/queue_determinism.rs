@@ -1,0 +1,114 @@
+//! Determinism properties of the slab-backed event core.
+//!
+//! The pairing heap inside [`am_net::EventQueue`] has no canonical shape —
+//! its internal tree depends on the exact push/pop interleaving. What *is*
+//! canonical is the pop sequence: `(key, seq)` is a strict total order, so
+//! any correct implementation must pop in exactly the same order as the
+//! `BinaryHeap` the queue replaced. These tests pin that contract.
+
+use am_net::EventQueue;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Equal-timestamp events must pop in schedule (`seq`) order — the FIFO
+/// tie-break every simulator invariant leans on.
+#[test]
+fn equal_timestamp_events_pop_in_seq_order() {
+    let mut q: EventQueue<u64, &'static str> = EventQueue::new();
+    // Three distinct timestamps, interleaved scheduling.
+    q.schedule(7, "a");
+    q.schedule(3, "b");
+    q.schedule(7, "c");
+    q.schedule(3, "d");
+    q.schedule(1, "e");
+    q.schedule(7, "f");
+    let mut popped = Vec::new();
+    while let Some((key, seq, item)) = q.pop() {
+        popped.push((key, seq, item));
+    }
+    assert_eq!(
+        popped,
+        vec![
+            (1, 4, "e"),
+            (3, 1, "b"),
+            (3, 3, "d"),
+            (7, 0, "a"),
+            (7, 2, "c"),
+            (7, 5, "f"),
+        ],
+        "equal keys must pop in schedule order, keys ascending"
+    );
+}
+
+/// The reference the event core replaced: a `BinaryHeap` of
+/// `Reverse<(key, seq, item)>` (min-heap, seq tie-break).
+type Reference = BinaryHeap<Reverse<(u64, u64, u32)>>;
+
+/// A kill/re-push fuzz: random bursts of schedules (with deliberately
+/// colliding keys), random bursts of pops, and popped items re-scheduled
+/// under new keys ("kill/re-push") — the slab queue must match the
+/// `BinaryHeap` reference event-for-event across 100 seeds.
+#[test]
+fn fuzz_matches_binary_heap_reference_across_100_seeds() {
+    for seed in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<u64, u32> = EventQueue::new();
+        let mut r: Reference = Reference::new();
+        let mut next_seq = 0u64;
+        let mut pops = 0usize;
+
+        let mut push = |q: &mut EventQueue<u64, u32>, r: &mut Reference, key: u64, item: u32| {
+            let seq = q.schedule(key, item);
+            assert_eq!(seq, next_seq, "seq must be dense (seed {seed})");
+            r.push(Reverse((key, seq, item)));
+            next_seq += 1;
+        };
+
+        for step in 0..300 {
+            if rng.gen_bool(0.55) || q.is_empty() {
+                // Keys drawn from a small range so ties are common.
+                let key = rng.gen_range(0..40u64);
+                let item = rng.gen_range(0..1000u32);
+                push(&mut q, &mut r, key, item);
+            } else {
+                let burst = rng.gen_range(1..4usize);
+                for _ in 0..burst {
+                    let got = q.pop();
+                    let want = r.pop().map(|Reverse(t)| t);
+                    assert_eq!(
+                        got, want,
+                        "pop diverged from BinaryHeap reference (seed {seed} step {step})"
+                    );
+                    pops += 1;
+                    // Kill/re-push: the popped event re-enters the future
+                    // under a later key (retransmission-style), stressing
+                    // slab slot reuse.
+                    if let Some((key, _, item)) = got {
+                        if rng.gen_bool(0.3) {
+                            push(&mut q, &mut r, key + rng.gen_range(1..20u64), item);
+                        }
+                    }
+                    if q.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Drain: the tails must agree too.
+        while let Some((key, seq, item)) = q.pop() {
+            assert_eq!(
+                r.pop().map(|Reverse(t)| t),
+                Some((key, seq, item)),
+                "drain diverged (seed {seed})"
+            );
+            pops += 1;
+        }
+        assert!(
+            r.pop().is_none(),
+            "reference had leftover events (seed {seed})"
+        );
+        assert!(pops > 50, "fuzz too shallow to be meaningful (seed {seed})");
+    }
+}

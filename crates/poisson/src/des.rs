@@ -1,17 +1,18 @@
 //! A minimal discrete-event queue for the protocol runners.
 //!
-//! A binary heap of `(Time, seq, payload)` entries; `seq` breaks time ties
-//! in insertion order so runs are deterministic.
+//! A thin wrapper over the shared slab-backed event core
+//! ([`am_net::queue::EventQueue`]) keyed by `(Time, seq)`; `seq` breaks
+//! time ties in insertion order so runs are deterministic, and node
+//! storage is recycled in place instead of reallocated per event.
 
 use am_core::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled event.
 #[derive(Clone, Debug)]
 pub struct Scheduled<E> {
     /// Fire time.
     pub time: Time,
+    #[allow(dead_code)]
     seq: u64,
     /// Payload.
     pub event: E,
@@ -23,25 +24,10 @@ impl<E> PartialEq for Scheduled<E> {
     }
 }
 impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour in BinaryHeap (max-heap).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A deterministic min-time event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
+    core: am_net::queue::EventQueue<Time, E>,
     now: Time,
     obs_scheduled: am_obs::Counter,
     obs_popped: am_obs::Counter,
@@ -57,8 +43,7 @@ impl<E> EventQueue<E> {
     /// Empty queue at time zero.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            core: am_net::queue::EventQueue::new(),
             now: Time::ZERO,
             obs_scheduled: am_obs::counter("poisson.des.scheduled"),
             obs_popped: am_obs::counter("poisson.des.popped"),
@@ -75,13 +60,7 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, t: Time, event: E) {
         assert!(t >= self.now, "cannot schedule into the past");
         self.obs_scheduled.inc();
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled {
-            time: t,
-            seq,
-            event,
-        });
+        self.core.schedule(t, event);
     }
 
     /// Schedules `event` `dt` after now.
@@ -92,20 +71,20 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let s = self.heap.pop()?;
+        let (time, seq, event) = self.core.pop()?;
         self.obs_popped.inc();
-        self.now = s.time;
-        Some(s)
+        self.now = time;
+        Some(Scheduled { time, seq, event })
     }
 
     /// Pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.core.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.core.is_empty()
     }
 }
 

@@ -22,7 +22,7 @@ use crate::chain::{ChainAdversary, ChainSim, ChainTrial, TieBreak};
 use crate::dag::{DagAdversary, DagRule, DagSim, DagTrial};
 use crate::params::Params;
 use am_core::{MsgId, Time, Value, GENESIS};
-use am_net::{Kinded, NetProfile, NetStats, SimNet, Transport};
+use am_net::{Kinded, NetProfile, NetScratch, NetStats, SimNet, Transport};
 use am_poisson::{Grant, TokenAuthority};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -64,18 +64,36 @@ pub struct Propagation {
     /// Arrived blocks waiting for parents, per node.
     pending: Vec<Vec<MsgId>>,
     /// Current tips (visible blocks with no visible child), per node.
+    /// Invariant: sorted ascending by id.
     tips: Vec<Vec<MsgId>>,
     /// Max visible depth and the blocks achieving it, per node.
+    /// Invariant: `deepest[node]` is sorted ascending by id.
     best_depth: Vec<u32>,
     deepest: Vec<Vec<MsgId>>,
+    /// Maintained count of visible blocks, per node (genesis included).
+    visible_n: Vec<usize>,
+    /// Reused buffer for [`Self::flush_pending`].
+    ready_buf: Vec<MsgId>,
     obs_announced: am_obs::Counter,
 }
 
 impl Propagation {
     /// A propagation layer for `n` nodes over `profile`, seeded.
     pub fn new(n: usize, profile: &NetProfile, seed: u64) -> Propagation {
+        Propagation::with_scratch(n, profile, seed, NetScratch::default())
+    }
+
+    /// Like [`Self::new`], but recycling pooled network storage (event-queue
+    /// slab and inbox slots) from a previous trial. Bit-identical to a
+    /// fresh build; only allocation behaviour differs.
+    pub fn with_scratch(
+        n: usize,
+        profile: &NetProfile,
+        seed: u64,
+        scratch: NetScratch<BlockMsg>,
+    ) -> Propagation {
         Propagation {
-            net: profile.build(n, seed),
+            net: profile.build_with_scratch(n, seed, scratch),
             n,
             depth: vec![0],
             parents: vec![Vec::new()],
@@ -84,8 +102,16 @@ impl Propagation {
             tips: vec![vec![GENESIS]; n],
             best_depth: vec![0; n],
             deepest: vec![vec![GENESIS]; n],
+            visible_n: vec![1; n],
+            ready_buf: Vec::new(),
             obs_announced: am_obs::counter("protocols.blocks_announced"),
         }
+    }
+
+    /// Tears the layer down, returning the network storage for reuse by
+    /// the next trial on this thread.
+    pub fn into_scratch(self) -> NetScratch<BlockMsg> {
+        self.net.into_scratch()
     }
 
     /// Registers a freshly appended block and broadcasts its announcement
@@ -159,60 +185,116 @@ impl Propagation {
     }
 
     fn flush_pending(&mut self, node: usize) {
+        let mut ready = std::mem::take(&mut self.ready_buf);
         loop {
-            let ready: Vec<MsgId> = self.pending[node]
-                .iter()
-                .copied()
-                .filter(|&id| self.parents_visible(node, id))
-                .collect();
+            ready.clear();
+            ready.extend(
+                self.pending[node]
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.parents_visible(node, id)),
+            );
             if ready.is_empty() {
-                return;
+                break;
             }
             self.pending[node].retain(|id| !ready.contains(id));
-            for id in ready {
+            for &id in &ready {
                 if !self.visible[node][id.index()] {
                     self.mark_visible(node, id);
                 }
             }
         }
+        ready.clear();
+        self.ready_buf = ready;
     }
 
     fn mark_visible(&mut self, node: usize, id: MsgId) {
         let idx = id.index();
         self.visible[node][idx] = true;
+        self.visible_n[node] += 1;
         let parents = &self.parents[idx];
+        // `retain` preserves order, so the sorted invariant survives the
+        // parent eviction; the insert below restores it for the new tip.
         self.tips[node].retain(|t| !parents.contains(t));
-        self.tips[node].push(id);
+        if let Err(pos) = self.tips[node].binary_search(&id) {
+            self.tips[node].insert(pos, id);
+        }
         let d = self.depth[idx];
         match d.cmp(&self.best_depth[node]) {
             std::cmp::Ordering::Greater => {
                 self.best_depth[node] = d;
-                self.deepest[node] = vec![id];
+                self.deepest[node].clear();
+                self.deepest[node].push(id);
             }
-            std::cmp::Ordering::Equal => self.deepest[node].push(id),
+            std::cmp::Ordering::Equal => {
+                if let Err(pos) = self.deepest[node].binary_search(&id) {
+                    self.deepest[node].insert(pos, id);
+                }
+            }
             std::cmp::Ordering::Less => {}
         }
     }
 
     /// The tips of `node`'s visible sub-DAG, sorted by id (what an
-    /// Algorithm 6 append references).
-    pub fn visible_tips(&self, node: usize) -> Vec<MsgId> {
-        let mut t = self.tips[node].clone();
-        t.sort_unstable();
-        t
+    /// Algorithm 6 append references). Borrowed from the maintained
+    /// sorted invariant — no clone, no sort.
+    pub fn visible_tips(&self, node: usize) -> &[MsgId] {
+        debug_assert!(self.tips[node].is_sorted(), "tips invariant violated");
+        &self.tips[node]
     }
 
     /// The deepest visible blocks of `node`, sorted by id — the longest
     /// chains of its view (Algorithm 5 line 6; index 0 is the
-    /// deterministic "first in memory" tie-break winner).
-    pub fn deepest_visible(&self, node: usize) -> Vec<MsgId> {
-        let mut t = self.deepest[node].clone();
-        t.sort_unstable();
-        t
+    /// deterministic "first in memory" tie-break winner). Borrowed from
+    /// the maintained sorted invariant — no clone, no sort.
+    pub fn deepest_visible(&self, node: usize) -> &[MsgId] {
+        debug_assert!(self.deepest[node].is_sorted(), "deepest invariant violated");
+        &self.deepest[node]
     }
 
-    /// How many blocks (genesis included) `node` can see.
+    /// How many blocks (genesis included) `node` can see. O(1) — a
+    /// maintained counter, not a bitmap scan.
     pub fn visible_count(&self, node: usize) -> usize {
+        debug_assert_eq!(self.visible_n[node], self.visible_count_scan(node));
+        self.visible_n[node]
+    }
+
+    /// Naive baseline for [`Self::visible_tips`]: recomputes the tip set
+    /// from the raw visibility bitmap in O(visible blocks). Kept for
+    /// benchmarks and regression tests against the maintained invariant.
+    pub fn visible_tips_rescan(&self, node: usize) -> Vec<MsgId> {
+        let vis = &self.visible[node];
+        let mut is_tip = vis.clone();
+        for (idx, &seen) in vis.iter().enumerate() {
+            if seen {
+                for p in &self.parents[idx] {
+                    is_tip[p.index()] = false;
+                }
+            }
+        }
+        (0..vis.len())
+            .filter(|&i| vis[i] && is_tip[i])
+            .map(|i| MsgId(i as u64))
+            .collect()
+    }
+
+    /// Naive baseline for [`Self::deepest_visible`]: rescans the bitmap
+    /// for the maximum visible depth and its achievers.
+    pub fn deepest_visible_rescan(&self, node: usize) -> Vec<MsgId> {
+        let vis = &self.visible[node];
+        let best = (0..vis.len())
+            .filter(|&i| vis[i])
+            .map(|i| self.depth[i])
+            .max()
+            .unwrap_or(0);
+        (0..vis.len())
+            .filter(|&i| vis[i] && self.depth[i] == best)
+            .map(|i| MsgId(i as u64))
+            .collect()
+    }
+
+    /// Naive baseline for [`Self::visible_count`]: scans the bitmap.
+    pub fn visible_count_scan(&self, node: usize) -> usize {
         self.visible[node].iter().filter(|&&v| v).count()
     }
 
@@ -235,7 +317,12 @@ pub fn run_chain_net(
 ) -> (ChainTrial, NetStats) {
     let _span = am_obs::span("protocols/chain_net");
     let mut sim = ChainSim::new(p);
-    let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
+    let mut prop = Propagation::with_scratch(
+        p.n,
+        profile,
+        p.seed ^ 0x6e57_c0de,
+        crate::scratch::take_net(),
+    );
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(p.seed ^ 0x5eed5eed5eed5eed);
 
@@ -315,10 +402,9 @@ pub fn run_chain_net(
     }
 
     crate::scratch::put_banked(banked);
-    (
-        crate::chain::decide(p, &sim, correct_appends),
-        prop.stats().clone(),
-    )
+    let stats = prop.stats().clone();
+    crate::scratch::put_net(prop.into_scratch());
+    (crate::chain::decide(p, &sim, correct_appends), stats)
 }
 
 /// Runs one Algorithm 6 trial with block propagation over `profile`,
@@ -331,10 +417,16 @@ pub fn run_dag_net(
 ) -> (DagTrial, NetStats) {
     let _span = am_obs::span("protocols/dag_net");
     let mut sim = DagSim::new(p);
-    let mut prop = Propagation::new(p.n, profile, p.seed ^ 0x6e57_c0de);
+    let mut prop = Propagation::with_scratch(
+        p.n,
+        profile,
+        p.seed ^ 0x6e57_c0de,
+        crate::scratch::take_net(),
+    );
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
 
     let mut banked: Vec<Grant> = crate::scratch::take_banked();
+    let mut tips_buf: Vec<MsgId> = crate::scratch::take_tips();
     let mut burst_len = 0usize;
     let ttl = p.token_ttl * p.delta;
     let max_grants = 10_000 + 400 * p.k * (p.n + 1);
@@ -388,17 +480,20 @@ pub fn run_dag_net(
             continue;
         }
 
-        // Correct append: reference every tip that actually arrived.
-        let tips = prop.visible_tips(g.node.index());
-        let id = sim.append(g.node, Value::plus(), &tips, g.time);
-        prop.on_append(g.node.index(), id, &tips, g.time);
+        // Correct append: reference every tip that actually arrived. The
+        // borrowed slice is copied into the pooled buffer because the
+        // append mutates the propagation layer it borrows from.
+        tips_buf.clear();
+        tips_buf.extend_from_slice(prop.visible_tips(g.node.index()));
+        let id = sim.append(g.node, Value::plus(), &tips_buf, g.time);
+        prop.on_append(g.node.index(), id, &tips_buf, g.time);
     }
 
     crate::scratch::put_banked(banked);
-    (
-        crate::dag::decide(p, &sim, rule, burst_len),
-        prop.stats().clone(),
-    )
+    crate::scratch::put_tips(tips_buf);
+    let stats = prop.stats().clone();
+    crate::scratch::put_net(prop.into_scratch());
+    (crate::dag::decide(p, &sim, rule, burst_len), stats)
 }
 
 #[cfg(test)]
@@ -432,6 +527,72 @@ mod tests {
         assert_eq!(prop.visible_count(2), 3, "a arrived, unlocking b");
         assert_eq!(prop.visible_tips(2), vec![b]);
         assert_eq!(prop.deepest_visible(2), vec![b]);
+    }
+
+    #[test]
+    fn maintained_invariants_match_rescans_under_faults() {
+        // Drive a lossy, reordering network hard and check after every
+        // advance that the maintained sorted tips/deepest and the O(1)
+        // visible counter agree with full rescans of the visibility
+        // bitmaps — the old implementation's semantics.
+        for seed in 0..6u64 {
+            let profile = NetProfile::ideal(LatencyModel::Uniform {
+                lo: 10_000_000,
+                hi: 900_000_000,
+            })
+            .with_drop(0.25)
+            .with_dup(0.15);
+            let n = 5;
+            let mut prop = Propagation::new(n, &profile, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut known: Vec<MsgId> = vec![GENESIS];
+            for step in 1..=60u64 {
+                let at = Time::new(step as f64 * 0.05);
+                prop.advance_to(at);
+                let author = rng.gen_range(0..n);
+                // Parent set: 1-2 random blocks *visible to the author*
+                // (the protocol invariant: a node only references its own
+                // view). Remote nodes still receive children before
+                // parents thanks to the latency spread.
+                let vis: Vec<MsgId> = known
+                    .iter()
+                    .copied()
+                    .filter(|id| prop.visible[author][id.index()])
+                    .collect();
+                let mut parents = vec![vis[rng.gen_range(0..vis.len())]];
+                if vis.len() > 2 && rng.gen_bool(0.5) {
+                    let extra = vis[rng.gen_range(0..vis.len())];
+                    if !parents.contains(&extra) {
+                        parents.push(extra);
+                    }
+                }
+                let id = MsgId(step);
+                prop.on_append(author, id, &parents, at);
+                known.push(id);
+                for node in 0..n {
+                    assert_eq!(
+                        prop.visible_tips(node),
+                        prop.visible_tips_rescan(node),
+                        "tips diverged from rescan (seed {seed} step {step} node {node})"
+                    );
+                    assert_eq!(
+                        prop.deepest_visible(node),
+                        prop.deepest_visible_rescan(node),
+                        "deepest diverged from rescan (seed {seed} step {step} node {node})"
+                    );
+                    assert_eq!(prop.visible_count(node), prop.visible_count_scan(node));
+                }
+            }
+            prop.settle();
+            for node in 0..n {
+                assert_eq!(prop.visible_tips(node), prop.visible_tips_rescan(node));
+                assert_eq!(
+                    prop.deepest_visible(node),
+                    prop.deepest_visible_rescan(node)
+                );
+                assert_eq!(prop.visible_count(node), prop.visible_count_scan(node));
+            }
+        }
     }
 
     #[test]

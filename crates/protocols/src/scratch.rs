@@ -15,20 +15,26 @@
 //! Trials remain bit-identical: the buffers are cleared (or fully
 //! overwritten) before use, so no state leaks between trials.
 
+use crate::propagation::BlockMsg;
 use am_core::ghost::GhostScratch;
 use am_core::{DagIndex, MsgId};
+use am_net::NetScratch;
 use am_poisson::Grant;
 use std::cell::RefCell;
 
 struct TrialScratch {
     banked: Vec<Grant>,
     ghost: GhostScratch,
+    net: NetScratch<BlockMsg>,
+    tips: Vec<MsgId>,
 }
 
 thread_local! {
     static TRIAL_SCRATCH: RefCell<TrialScratch> = RefCell::new(TrialScratch {
         banked: Vec::new(),
         ghost: GhostScratch::new(),
+        net: NetScratch::default(),
+        tips: Vec::new(),
     });
 }
 
@@ -47,6 +53,29 @@ pub(crate) fn put_banked(mut v: Vec<Grant>) {
 /// GHOST pivot through the pooled per-thread [`GhostScratch`].
 pub(crate) fn ghost_pivot_pooled(dag: &DagIndex) -> Vec<MsgId> {
     TRIAL_SCRATCH.with(|s| am_core::ghost::ghost_pivot_in(dag, &mut s.borrow_mut().ghost))
+}
+
+/// Takes the pooled network scratch (event-queue slab + inbox slots) for
+/// a networked trial. Return it with [`put_net`] when the trial is done.
+pub(crate) fn take_net() -> NetScratch<BlockMsg> {
+    TRIAL_SCRATCH.with(|s| std::mem::take(&mut s.borrow_mut().net))
+}
+
+/// Returns network scratch to the pool for the next trial on this thread.
+pub(crate) fn put_net(scratch: NetScratch<BlockMsg>) {
+    TRIAL_SCRATCH.with(|s| s.borrow_mut().net = scratch);
+}
+
+/// Takes the pooled tips buffer (empty, capacity retained) used to copy a
+/// node's borrowed tip slice before mutating the propagation layer.
+pub(crate) fn take_tips() -> Vec<MsgId> {
+    TRIAL_SCRATCH.with(|s| std::mem::take(&mut s.borrow_mut().tips))
+}
+
+/// Returns the tips buffer to the pool, clearing it first.
+pub(crate) fn put_tips(mut v: Vec<MsgId>) {
+    v.clear();
+    TRIAL_SCRATCH.with(|s| s.borrow_mut().tips = v);
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //!   but cannot both end up in one node's canonical chain at the same
 //!   position.
 
-use append_memory::mp::{MpMsg, MpSystem};
+use append_memory::mp::{MpSystem, MpView};
 use std::collections::HashMap;
 
 /// The root "parent" of genesis-level blocks.
@@ -69,7 +69,7 @@ impl ChainView {
 
     /// The deepest block (ties to the smallest content hash, which every
     /// node computes identically).
-    fn tip(&mut self, msgs: &[MpMsg]) -> u64 {
+    fn tip(&mut self, msgs: &MpView) -> u64 {
         let mut best = ROOT;
         let mut best_depth = 0;
         let mut contents: Vec<u64> = msgs.iter().map(|m| m.content).collect();
