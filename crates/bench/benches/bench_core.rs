@@ -1,7 +1,7 @@
 //! Core data-structure benches + ablations A1 (snapshot strategy) and A2
 //! (ordering-rule cost on adversarial DAGs).
 
-use am_bench::{chain_history, dag_history, recorder};
+use am_bench::{chain_history, dag_history, presets::Preset, recorder};
 use am_core::{
     ghost, linearize, linearize_with, longest_chain, longest_chain_with, ConeCoverTracker,
     DagIndex, MsgId,
@@ -79,7 +79,7 @@ fn bench_linearize(c: &mut Criterion) {
 /// recomputation it replaced. Results merge into `BENCH_PR4.json` (see
 /// CONTRIBUTING.md); the vendored criterion shim cannot report them.
 fn bench_pr4_core_kernels(_c: &mut Criterion) {
-    let mut rec = recorder::Recorder::pr4();
+    let mut rec = recorder::Recorder::preset(Preset::Pr4);
     let budget = Duration::from_millis(400);
     let len = 1500usize;
     let view = dag_history(8, len, 11).read();

@@ -2,7 +2,7 @@
 //! across sizes and latency models, against the reliable in-process
 //! network as the zero-overhead baseline — the price of simulated time.
 
-use am_bench::recorder;
+use am_bench::{presets::Preset, recorder};
 use am_mp::{MpSystem, Network, Payload};
 use am_net::{Fault, LatencyModel, NetProfile, SimNet, Transport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -95,7 +95,7 @@ fn bench_fault_pipeline(c: &mut Criterion) {
 /// `BENCH_PR5.json` (see CONTRIBUTING.md); the 300-seed `naive_equiv`
 /// suite proves both paths are the same algorithm bit-for-bit.
 fn bench_pr5_networked(_c: &mut Criterion) {
-    let mut rec = recorder::Recorder::pr5();
+    let mut rec = recorder::Recorder::preset(Preset::Pr5);
     let budget = Duration::from_millis(700);
 
     // Tentpole headline — an E14-shaped sweep cell: ABD append+read

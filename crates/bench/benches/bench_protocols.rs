@@ -1,7 +1,7 @@
 //! E6–E9 kernels: single-trial cost of Algorithms 4, 5, and 6 across
 //! rates, sizes, and adversaries.
 
-use am_bench::recorder;
+use am_bench::{presets::Preset, recorder};
 use am_protocols::{
     dag::run_dag_naive, run_chain, run_dag, run_timestamp, ChainAdversary, DagAdversary, DagRule,
     Params, TieBreak, ViewPolicy,
@@ -129,7 +129,7 @@ fn dag_grid(naive: bool) -> usize {
 /// CONTRIBUTING.md) rather than reported through criterion, because the
 /// vendored shim does not expose measured timings to the caller.
 fn bench_pr4_decision_path(_c: &mut Criterion) {
-    let mut rec = recorder::Recorder::pr4();
+    let mut rec = recorder::Recorder::preset(Preset::Pr4);
     let budget = Duration::from_millis(800);
     // Tentpole headline — the quadratic regime: at λ = 1.6 per node every
     // Δ-interval carries ~λ·n grants, the interval-snapshot lag keeps the

@@ -11,8 +11,7 @@ use am_core::{AppendMemory, MessageBuilder, MsgId, NodeId, Value, GENESIS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-pub mod pr4;
-pub mod pr5;
+pub mod presets;
 pub mod recorder;
 
 /// Builds a linear chain of `len` blocks authored round-robin by `n` nodes.

@@ -1,0 +1,80 @@
+//! The single table of benchmark trajectory files.
+//!
+//! Every optimization PR records its before/after numbers into one
+//! schema-tagged `BENCH_*.json` at the repository root, all written
+//! through [`Recorder::preset`](crate::recorder::Recorder::preset) and
+//! all sharing the same document header (`format` / `schema` / `ops` /
+//! `speedups` — see CONTRIBUTING.md "Benchmark trajectory files").
+//! Adding a trajectory file means adding one [`Preset`] variant here;
+//! nothing else in the recorder changes.
+
+/// Header field shared by every trajectory document: the common format
+/// version, independent of the per-preset `schema` tag.
+pub const FORMAT: &str = "bench-trajectory/1";
+
+/// One benchmark trajectory file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// PR4, the incremental decision-path engine (DESIGN.md §9):
+    /// optimized kernels vs the in-tree `*_naive` baselines
+    /// (`run_dag_naive`, `linearize_naive`, `read_rebuild`,
+    /// `deepest_rescan`).
+    Pr4,
+    /// PR5, the zero-copy networked-trial engine (DESIGN.md §10):
+    /// optimized kernels vs `broadcast_cloning` / `local_view_rebuild` /
+    /// `acks_hashmap`, pinned bit-equal by the 300-seed `naive_equiv`
+    /// suite.
+    Pr5,
+    /// PR6, the `am-node` serving runtime (DESIGN.md §11): loadgen
+    /// throughput and latency records (requests/s, p50/p99/p999) rather
+    /// than kernel-vs-naive pairs.
+    Pr6,
+}
+
+/// All presets, in PR order.
+pub const ALL: [Preset; 3] = [Preset::Pr4, Preset::Pr5, Preset::Pr6];
+
+impl Preset {
+    /// Schema tag written to (and required of) the file.
+    pub fn schema(self) -> &'static str {
+        match self {
+            Preset::Pr4 => "bench-pr4/1",
+            Preset::Pr5 => "bench-pr5/1",
+            Preset::Pr6 => "bench-pr6/1",
+        }
+    }
+
+    /// File name at the repository root.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Preset::Pr4 => "BENCH_PR4.json",
+            Preset::Pr5 => "BENCH_PR5.json",
+            Preset::Pr6 => "BENCH_PR6.json",
+        }
+    }
+
+    /// Short tag prefixing the recorder's progress lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Preset::Pr4 => "pr4",
+            Preset::Pr5 => "pr5",
+            Preset::Pr6 => "pr6",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[i + 1..] {
+                assert_ne!(a.schema(), b.schema());
+                assert_ne!(a.file_name(), b.file_name());
+                assert_ne!(a.tag(), b.tag());
+            }
+        }
+    }
+}

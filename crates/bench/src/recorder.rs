@@ -1,42 +1,47 @@
-//! Machine-readable recorder for before/after benchmark comparisons.
+//! Machine-readable recorder for the benchmark trajectory files.
 //!
 //! The vendored criterion shim prints per-iteration timings but does not
 //! hand the measured numbers back to the caller, so comparison groups
 //! time their closures directly with [`std::time::Instant`] and merge the
-//! results into a `BENCH_*.json` file at the repository root. One file per
-//! optimization PR, schema-tagged; the formats are documented in
-//! CONTRIBUTING.md:
+//! results into a `BENCH_*.json` file at the repository root. One file
+//! per optimization PR — the [`Preset`] table in [`crate::presets`] is
+//! the single registry — all sharing one document shape (documented in
+//! CONTRIBUTING.md "Benchmark trajectory files"):
 //!
 //! ```json
 //! {
 //!   "schema": "bench-prN/1",
+//!   "format": "bench-trajectory/1",
 //!   "ops": { "<op>": { "ns_per_op": 123.4, "baseline": "<naive-op>" } },
 //!   "speedups": { "<op>": 3.7 }
 //! }
 //! ```
 //!
-//! `ops` maps an operation name to its mean wall time per operation in
-//! nanoseconds, plus (for optimised ops) the name of the in-repo
-//! `*_naive` baseline it should be compared against. `speedups` is
-//! derived on every write: `baseline ns / op ns` for each op whose
-//! baseline is also present in the file. Several bench binaries may
-//! contribute to one file, so writes merge into any existing document
-//! with a matching schema instead of replacing it.
+//! `ops` maps an operation name to its record. Kernel comparisons
+//! ([`Recorder::measure`]) record `{ns_per_op, baseline?}` where
+//! `baseline` names the in-repo `*_naive` op to compare against;
+//! richer records ([`Recorder::record_value`], e.g. the `am-node`
+//! loadgen's throughput/latency summaries) store an arbitrary JSON
+//! object. `speedups` is derived on every write: `baseline ns / op ns`
+//! for each op whose baseline is also present in the file. Several
+//! bench binaries may contribute to one file, so writes merge into any
+//! existing document with a matching schema instead of replacing it.
 
+use crate::presets::{Preset, FORMAT};
 use serde::{Number, Value};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// One measured operation: mean ns/op plus the optional baseline op name.
+/// One recorded operation: either a timed kernel (mean ns/op plus the
+/// optional baseline op name) or a preassembled record object.
 #[derive(Debug, Clone)]
 pub struct OpResult {
     /// Operation name, e.g. `run_dag/ghost_withhold_lam1.6_k15`.
     pub op: String,
-    /// Mean wall time per operation in nanoseconds.
-    pub ns_per_op: f64,
-    /// Name of the `*_naive` op this one is compared against, if any.
-    pub baseline: Option<String>,
+    /// The record stored under `ops.<op>` — for timed kernels an object
+    /// of the shape `{ns_per_op, baseline?}`.
+    pub record: Value,
 }
 
 /// Collects [`OpResult`]s and merge-writes them to a schema-tagged
@@ -77,14 +82,10 @@ impl Recorder {
         }
     }
 
-    /// The PR4 preset: decision-path kernels → `BENCH_PR4.json`.
-    pub fn pr4() -> Recorder {
-        Recorder::new(crate::pr4::SCHEMA, "BENCH_PR4.json", "pr4")
-    }
-
-    /// The PR5 preset: networked-engine kernels → `BENCH_PR5.json`.
-    pub fn pr5() -> Recorder {
-        Recorder::new(crate::pr5::SCHEMA, "BENCH_PR5.json", "pr5")
+    /// The recorder for one of the registered trajectory files — the
+    /// single entry point every bench binary and the loadgen share.
+    pub fn preset(p: Preset) -> Recorder {
+        Recorder::new(p.schema(), p.file_name(), p.tag())
     }
 
     /// Times `f` (after one warm-up call) for roughly `budget` and records
@@ -105,12 +106,28 @@ impl Recorder {
         }
         let ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
         println!("{}: {op:<44} {ns:>14.1} ns/op  ({iters} iters)", self.tag);
+        let mut entry = vec![("ns_per_op".to_string(), num(ns))];
+        if let Some(b) = baseline {
+            entry.push(("baseline".to_string(), Value::String(b.to_string())));
+        }
         self.results.push(OpResult {
             op: op.to_string(),
-            ns_per_op: ns,
-            baseline: baseline.map(str::to_string),
+            record: Value::Object(entry),
         });
         ns
+    }
+
+    /// Records a preassembled JSON object under `ops.<op>` — the lane for
+    /// records richer than a kernel timing (e.g. the loadgen's
+    /// throughput/latency summary). The object participates in the merge
+    /// exactly like a timed op; `speedups` derivation skips it unless it
+    /// carries both `ns_per_op` and `baseline`.
+    pub fn record_value(&mut self, op: &str, record: Value) {
+        println!("{}: {op:<44} (record)", self.tag);
+        self.results.push(OpResult {
+            op: op.to_string(),
+            record,
+        });
     }
 
     /// Path of this recorder's output file at the repository root.
@@ -132,11 +149,7 @@ impl Recorder {
             _ => Vec::new(),
         };
         for r in &self.results {
-            let mut entry = vec![("ns_per_op".to_string(), num(r.ns_per_op))];
-            if let Some(b) = &r.baseline {
-                entry.push(("baseline".to_string(), Value::String(b.clone())));
-            }
-            upsert(&mut ops, &r.op, Value::Object(entry));
+            upsert(&mut ops, &r.op, r.record.clone());
         }
         let mut speedups: Vec<(String, Value)> = Vec::new();
         for (op, entry) in &ops {
@@ -158,6 +171,7 @@ impl Recorder {
         }
         let doc = Value::Object(vec![
             ("schema".to_string(), Value::String(self.schema.to_string())),
+            ("format".to_string(), Value::String(FORMAT.to_string())),
             ("ops".to_string(), Value::Object(ops)),
             ("speedups".to_string(), Value::Object(speedups)),
         ]);
@@ -183,12 +197,26 @@ mod tests {
 
     #[test]
     fn presets_target_distinct_files_and_schemas() {
-        let a = Recorder::pr4();
-        let b = Recorder::pr5();
+        let a = Recorder::preset(Preset::Pr4);
+        let b = Recorder::preset(Preset::Pr5);
+        let c = Recorder::preset(Preset::Pr6);
         assert_ne!(a.schema, b.schema);
         assert_ne!(a.output_path(), b.output_path());
         assert!(a.output_path().ends_with("BENCH_PR4.json"));
         assert!(b.output_path().ends_with("BENCH_PR5.json"));
+        assert!(c.output_path().ends_with("BENCH_PR6.json"));
+    }
+
+    #[test]
+    fn record_value_is_upserted_verbatim() {
+        let mut rec = Recorder::new("bench-test/1", "BENCH_TEST.json", "test");
+        let body = Value::Object(vec![
+            ("requests".to_string(), num(100.0)),
+            ("requests_per_sec".to_string(), num(5.0)),
+        ]);
+        rec.record_value("loadgen/smoke", body.clone());
+        assert_eq!(rec.results.len(), 1);
+        assert_eq!(rec.results[0].record, body);
     }
 
     #[test]

@@ -250,6 +250,13 @@ impl<T: Transport<Payload>> MpSystem<T> {
         self.views[node].clone()
     }
 
+    /// Borrows `node`'s live local view without snapshotting — the
+    /// zero-cost read path for layers (e.g. `am-node`'s archival sync)
+    /// that only iterate the new tail.
+    pub fn view(&self, node: usize) -> &MpView {
+        &self.views[node]
+    }
+
     /// The naive O(history) baseline for [`MpSystem::local_view`]: deep-
     /// copies every message into a fresh vector, exactly what
     /// `views[node].clone()` cost when views were plain `Vec<MpMsg>`.
@@ -298,6 +305,13 @@ impl<T: Transport<Payload>> MpSystem<T> {
     /// [`am_net::SimNet::stats`] after a run).
     pub fn transport(&self) -> &T {
         &self.net
+    }
+
+    /// Mutable access to the substrate, for drivers that steer it
+    /// between operations (e.g. `am-node` advancing simulated time
+    /// across a fault window with [`am_net::SimNet::advance_until`]).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.net
     }
 
     /// Consumes the system and hands back the substrate (e.g. to keep a

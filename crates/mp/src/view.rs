@@ -107,6 +107,26 @@ impl MpView {
         }
     }
 
+    /// The last message, if any.
+    pub fn last(&self) -> Option<&MpMsg> {
+        self.chunks.last().and_then(|c| c.last())
+    }
+
+    /// A snapshot of the first `len` messages (clamped to the end),
+    /// sharing every full chunk with `self` — O(chunks) plus a copy of
+    /// at most one partial tail chunk, never O(history). This is the
+    /// archival layer's snapshot-at-height primitive.
+    pub fn prefix(&self, len: usize) -> MpView {
+        let len = len.min(self.len);
+        let full = len / CHUNK;
+        let mut chunks: Vec<Arc<Vec<MpMsg>>> = self.chunks[..full].to_vec();
+        let tail = len % CHUNK;
+        if tail > 0 {
+            chunks.push(Arc::new(self.chunks[full][..tail].to_vec()));
+        }
+        MpView { chunks, len }
+    }
+
     /// Deep-copies the view into a plain vector.
     pub fn to_vec(&self) -> Vec<MpMsg> {
         let mut out = Vec::with_capacity(self.len);
@@ -310,6 +330,36 @@ mod tests {
             let want: Vec<MpMsg> = msgs.iter().skip(start).copied().collect();
             assert_eq!(got, want, "iter_from({start}) diverged from skip");
         }
+    }
+
+    #[test]
+    fn prefix_shares_full_chunks_and_matches_take() {
+        let msgs: Vec<MpMsg> = (0..(3 * CHUNK as u64 + 17)).map(msg).collect();
+        let v = MpView::from_slice(&msgs);
+        for len in [
+            0,
+            1,
+            CHUNK - 1,
+            CHUNK,
+            CHUNK + 1,
+            2 * CHUNK,
+            v.len(),
+            v.len() + 9,
+        ] {
+            let p = v.prefix(len);
+            let want: Vec<MpMsg> = msgs.iter().take(len).copied().collect();
+            assert_eq!(p.len(), want.len(), "prefix({len}) length");
+            assert_eq!(p.to_vec(), want, "prefix({len}) content");
+            // Canonical layout: equal views compare equal.
+            assert_eq!(p, MpView::from_slice(&want));
+        }
+        // A chunk-aligned prefix shares every chunk with the source.
+        let aligned = v.prefix(2 * CHUNK);
+        assert_eq!(aligned.chunk_count(), 2);
+        assert!(v.shared_chunk_count() >= 2, "full chunks are shared");
+        drop(aligned);
+        assert_eq!(v.last(), msgs.last());
+        assert_eq!(MpView::new().last(), None);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! # am-node — a long-lived append-memory node runtime
+//!
+//! The rest of the workspace studies the append memory as a *protocol*
+//! (`am-mp`'s Algorithms 2/3 over `am-net`'s fault-injecting simulator);
+//! this crate hosts it as a *service*. Four layers, bottom up:
+//!
+//! * [`mempool`] — deterministic admission of pending appends: monotone
+//!   tickets, per-author sequence contiguity, typed rejections when full
+//!   (never silent drops), cascading deterministic eviction.
+//! * [`cluster`] — the in-process multi-node cluster: drained mempool
+//!   entries execute through the ABD protocol over a `SimNet` (so fault
+//!   schedules — drops, partitions — apply to a *running* cluster), and
+//!   each node's decided history lands in its archive.
+//! * [`archive`] — decided history on the chunked persistent `MpView`
+//!   log: snapshot-at-height in O(chunks), O(1) tail and tip, rolling
+//!   per-height digests, and an O(1) order-independent linearization
+//!   digest that converged nodes agree on.
+//! * [`runtime`] + [`api`] — the cluster behind a thread, serving the
+//!   JSON-serializable [`api::Request`]/[`api::Response`] pairs to any
+//!   number of concurrent client threads over an in-process transport.
+//!
+//! [`loadgen`] drives the stack: an open- or closed-loop workload
+//! generator with a configurable read/append mix and zipf-skewed author
+//! keys, recording throughput and latency quantiles (p50/p99/p999 via
+//! `am-obs` histograms) for the BENCH_PR6 trajectory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod archive;
+pub mod cluster;
+pub mod loadgen;
+pub mod mempool;
+pub mod runtime;
+
+pub use api::{ApiError, Request, Response};
+pub use archive::Archive;
+pub use cluster::{Cluster, ClusterConfig};
+pub use loadgen::{LoadgenConfig, LoadgenRecord, OpStats};
+pub use mempool::{Mempool, MempoolConfig, MempoolError, PendingAppend, Ticket};
+pub use runtime::{NodeHandle, NodeRuntime};

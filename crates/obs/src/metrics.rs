@@ -146,6 +146,7 @@ impl Histogram {
             },
             p50: bucket_quantile(&buckets, count, 0.50),
             p99: bucket_quantile(&buckets, count, 0.99),
+            p999: bucket_quantile(&buckets, count, 0.999),
         }
     }
 }
@@ -163,6 +164,8 @@ pub struct HistogramStats {
     pub p50: u64,
     /// Approximate 99th percentile (log₂ bucket upper bound).
     pub p99: u64,
+    /// Approximate 99.9th percentile (log₂ bucket upper bound).
+    pub p999: u64,
 }
 
 /// Fetches (creating on first use) the histogram named `name`.
@@ -226,6 +229,27 @@ mod tests {
         // 6 of 10 samples are 1000 → p50 lands in the [512, 1024) bucket.
         assert_eq!(s.p50, 1023);
         assert_eq!(s.p99, 1023);
+        assert_eq!(s.p999, 1023);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn p999_separates_the_extreme_tail() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        let h = histogram("m.tail");
+        // 998 fast samples and two 100x outliers: p99 stays in the fast
+        // bucket, p999 must surface the outlier's bucket.
+        for _ in 0..998 {
+            h.record(100);
+        }
+        h.record(10_000);
+        h.record(10_000);
+        let s = h.stats();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p99, 127, "p99 stays in the bulk bucket");
+        assert_eq!(s.p999, 16_383, "p999 reaches the outlier bucket");
         crate::set_enabled(false);
     }
 

@@ -14,6 +14,7 @@
 //! | [`poisson`] | `am-poisson` | the Poisson token authority and discrete-event substrate |
 //! | [`protocols`] | `am-protocols` | Algorithms 4/5/6 with the paper's adversaries and Monte-Carlo runners |
 //! | [`stats`] | `am-stats` | distributions, estimators, paper bounds, table rendering |
+//! | [`node`] | `am-node` | the serving runtime: mempool, archival log, request API, load generator |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 
 pub use am_core as core;
 pub use am_mp as mp;
+pub use am_node as node;
 pub use am_poisson as poisson;
 pub use am_protocols as protocols;
 pub use am_sched as sched;
