@@ -29,10 +29,14 @@ pub enum Preset {
     /// throughput and latency records (requests/s, p50/p99/p999) rather
     /// than kernel-vs-naive pairs.
     Pr6,
+    /// PR7, the embedded BFT finality layer (DESIGN.md §12): the
+    /// incremental finality oracle vs a replay-from-scratch baseline,
+    /// plus an E15 sweep-cell record.
+    Pr7,
 }
 
 /// All presets, in PR order.
-pub const ALL: [Preset; 3] = [Preset::Pr4, Preset::Pr5, Preset::Pr6];
+pub const ALL: [Preset; 4] = [Preset::Pr4, Preset::Pr5, Preset::Pr6, Preset::Pr7];
 
 impl Preset {
     /// Schema tag written to (and required of) the file.
@@ -41,6 +45,7 @@ impl Preset {
             Preset::Pr4 => "bench-pr4/1",
             Preset::Pr5 => "bench-pr5/1",
             Preset::Pr6 => "bench-pr6/1",
+            Preset::Pr7 => "bench-pr7/1",
         }
     }
 
@@ -50,6 +55,7 @@ impl Preset {
             Preset::Pr4 => "BENCH_PR4.json",
             Preset::Pr5 => "BENCH_PR5.json",
             Preset::Pr6 => "BENCH_PR6.json",
+            Preset::Pr7 => "BENCH_PR7.json",
         }
     }
 
@@ -59,6 +65,7 @@ impl Preset {
             Preset::Pr4 => "pr4",
             Preset::Pr5 => "pr5",
             Preset::Pr6 => "pr6",
+            Preset::Pr7 => "pr7",
         }
     }
 }

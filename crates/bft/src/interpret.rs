@@ -1,0 +1,361 @@
+//! The DAG → protocol-message interpreter.
+//!
+//! Schett & Danezis observe that a block DAG already *is* the message
+//! history of a BFT protocol: every block an author appends doubles as a
+//! protocol message, its parent references are the justification (the
+//! author vouches for having seen the referenced past cone), and the
+//! author's position in its own chain of blocks is the round number. No
+//! separate vote traffic exists — agreement rounds are read back out of
+//! the append/gossip machinery the Section 5 protocols already run on.
+//!
+//! [`DagInterpreter`] maintains that reading incrementally, O(parents·n)
+//! per appended block:
+//!
+//! * **round** — the block's 1-based sequence number within its author's
+//!   own blocks *as witnessed by its past cone* (an author that builds on
+//!   a stale prefix of its own history re-uses a round — equivocation);
+//! * **high-water visibility** — for each block `b` and author `a`, the
+//!   highest round of `a` present in `b`'s closed past cone (the
+//!   justification weight the finality oracle quorum-checks);
+//! * **selected chain** — `parents[0]` is the block's explicit vote: the
+//!   chain tip its author endorses. Chains are trees, and a jump-pointer
+//!   (binary-lifting) ancestor structure answers "does block `b` vote for
+//!   `x`?" in O(log height);
+//! * **equivocation** — two distinct blocks by one author at one round
+//!   mark the author as an equivocator, permanently (the oracle excludes
+//!   flagged authors from every later quorum);
+//! * **role** — each block is classified as the proposal, vote, or echo
+//!   message of the embedded protocol (rotating proposer slots by chain
+//!   height; multi-parent merges act as echoes relaying concurrent
+//!   messages).
+//!
+//! Indices are dense local ids in observation order (genesis = 0), the
+//! same convention as `am_core::IncrementalDag`; the owner (the
+//! [`FinalityOracle`](crate::FinalityOracle)) remaps global `MsgId`s.
+
+/// Sentinel for "no block" / "no author" in the packed index vectors.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// The protocol message a block carries under the embedded reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The rotating slot leader's block for its chain height
+    /// (`height mod n == author`): it proposes the next chain extension.
+    Proposal,
+    /// A single-parent extension by a non-leader: a vote for its selected
+    /// chain (every ancestor of `parents[0]`, implicitly).
+    Vote,
+    /// A multi-parent merge: it acknowledges and relays concurrent
+    /// messages from other authors (the echo broadcast of the embedded
+    /// protocol) while still voting through `parents[0]`.
+    Echo,
+}
+
+/// Incremental interpretation of a growing block DAG as BFT messages.
+///
+/// ```
+/// use am_bft::DagInterpreter;
+/// let mut it = DagInterpreter::new(3);
+/// let a = it.push(0, &[0]); // author 0 builds on genesis
+/// let b = it.push(1, &[a]); // author 1 votes for a's block
+/// assert_eq!(it.round_of(b), 1);
+/// assert_eq!(it.height_of(b), 2);
+/// assert!(it.votes_for(b, a));
+/// assert_eq!(it.equivocator_count(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DagInterpreter {
+    n: usize,
+    /// Author per block (`NONE` for genesis).
+    author: Vec<u32>,
+    /// 1-based own-sequence round per block (genesis 0).
+    round: Vec<u32>,
+    /// Selected-parent chain height (genesis 0).
+    height: Vec<u32>,
+    /// Selected parent = `parents[0]` (genesis points at itself).
+    sel: Vec<u32>,
+    /// Level-ancestor jump pointer over the selected-parent tree.
+    jump: Vec<u32>,
+    /// Parent count per block (genesis 0), for role classification.
+    nparents: Vec<u8>,
+    /// Per block: for each author, the max round present in the closed
+    /// past cone (0 = none). The justification high-water vector.
+    hw: Vec<Box<[u32]>>,
+    /// Per author: first block observed at each round (index `r - 1`).
+    by_round: Vec<Vec<u32>>,
+    /// Sticky equivocator flags.
+    equiv: Vec<bool>,
+    equivocators: usize,
+}
+
+impl DagInterpreter {
+    /// A fresh interpreter over `n` authors, holding only genesis.
+    pub fn new(n: usize) -> DagInterpreter {
+        assert!(n >= 1, "need at least one author");
+        DagInterpreter {
+            n,
+            author: vec![NONE],
+            round: vec![0],
+            height: vec![0],
+            sel: vec![0],
+            jump: vec![0],
+            nparents: vec![0],
+            hw: vec![vec![0; n].into_boxed_slice()],
+            by_round: vec![Vec::new(); n],
+            equiv: vec![false; n],
+            equivocators: 0,
+        }
+    }
+
+    /// Number of blocks interpreted (genesis included).
+    pub fn len(&self) -> usize {
+        self.author.len()
+    }
+
+    /// Whether only genesis is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Number of authors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Interprets the next block: `parents` are prior local ids,
+    /// `parents[0]` is the selected chain tip (the vote). Returns the
+    /// block's local id. O(parents · n).
+    pub fn push(&mut self, author: usize, parents: &[u32]) -> u32 {
+        assert!(author < self.n, "author out of range");
+        assert!(!parents.is_empty(), "blocks reference at least genesis");
+        let idx = self.author.len() as u32;
+
+        // Justification high water: elementwise max over parents, then
+        // the block itself advances its author's entry by one round.
+        let mut hw = self.hw[parents[0] as usize].clone();
+        for &p in &parents[1..] {
+            assert!(p < idx, "parents must precede the block");
+            for (h, &ph) in hw.iter_mut().zip(self.hw[p as usize].iter()) {
+                *h = (*h).max(ph);
+            }
+        }
+        let r = hw[author] + 1;
+        hw[author] = r;
+
+        let sel = parents[0];
+        assert!(sel < idx, "parents must precede the block");
+        let height = self.height[sel as usize] + 1;
+        // Jump pointer: point at jump[jump[sel]] when the two hops below
+        // span equal height gaps (the classic O(1)-space level-ancestor
+        // scheme), else at the parent.
+        let jp = self.jump[sel as usize];
+        let jj = self.jump[jp as usize];
+        let jump = if self.height[sel as usize] + self.height[jj as usize]
+            == 2 * self.height[jp as usize]
+        {
+            jj
+        } else {
+            sel
+        };
+
+        // Round bookkeeping + equivocation: rounds per author grow
+        // contiguously (a block at round r witnesses one at r - 1), so a
+        // collision means two blocks share (author, round).
+        let slots = &mut self.by_round[author];
+        debug_assert!(r as usize <= slots.len() + 1, "rounds grow contiguously");
+        if r as usize == slots.len() + 1 {
+            slots.push(idx);
+        } else if !self.equiv[author] {
+            self.equiv[author] = true;
+            self.equivocators += 1;
+        }
+
+        self.author.push(author as u32);
+        self.round.push(r);
+        self.height.push(height);
+        self.sel.push(sel);
+        self.jump.push(jump);
+        self.nparents
+            .push(parents.len().min(u8::MAX as usize) as u8);
+        self.hw.push(hw);
+        idx
+    }
+
+    /// The selected-chain ancestor of `v` at chain height `h` (requires
+    /// `height_of(v) >= h`). O(log height) via the jump pointers.
+    pub fn ancestor_at(&self, mut v: u32, h: u32) -> u32 {
+        debug_assert!(self.height[v as usize] >= h, "no ancestor above the block");
+        while self.height[v as usize] > h {
+            v = if self.height[self.jump[v as usize] as usize] >= h {
+                self.jump[v as usize]
+            } else {
+                self.sel[v as usize]
+            };
+        }
+        v
+    }
+
+    /// Whether block `b`'s selected chain contains `x` — `b` (transitively)
+    /// votes for `x`.
+    pub fn votes_for(&self, b: u32, x: u32) -> bool {
+        self.height[b as usize] >= self.height[x as usize]
+            && self.ancestor_at(b, self.height[x as usize]) == x
+    }
+
+    /// The embedded protocol message the block carries.
+    pub fn role_of(&self, b: u32) -> Role {
+        let i = b as usize;
+        if self.author[i] == NONE {
+            return Role::Proposal; // genesis proposes height 0
+        }
+        if self.height[i] as usize % self.n == self.author[i] as usize {
+            Role::Proposal
+        } else if self.nparents[i] >= 2 {
+            Role::Echo
+        } else {
+            Role::Vote
+        }
+    }
+
+    /// Author of a block (`None` for genesis).
+    pub fn author_of(&self, b: u32) -> Option<usize> {
+        let a = self.author[b as usize];
+        (a != NONE).then_some(a as usize)
+    }
+
+    /// 1-based own-sequence round of a block (genesis 0).
+    pub fn round_of(&self, b: u32) -> u32 {
+        self.round[b as usize]
+    }
+
+    /// Selected-parent chain height of a block (genesis 0).
+    pub fn height_of(&self, b: u32) -> u32 {
+        self.height[b as usize]
+    }
+
+    /// Highest round of `author` witnessed inside `b`'s closed past cone
+    /// (0 = none).
+    pub fn high_water(&self, b: u32, author: usize) -> u32 {
+        self.hw[b as usize][author]
+    }
+
+    /// The first block observed for `(author, round)`; `round` is 1-based
+    /// and must have been reached.
+    pub fn block_at(&self, author: usize, round: u32) -> u32 {
+        self.by_round[author][round as usize - 1]
+    }
+
+    /// The author's highest-round block, if any (first-observed at that
+    /// round when equivocating).
+    pub fn latest(&self, author: usize) -> Option<u32> {
+        self.by_round[author].last().copied()
+    }
+
+    /// Whether the author has been caught equivocating.
+    pub fn is_equivocator(&self, author: usize) -> bool {
+        self.equiv[author]
+    }
+
+    /// Number of authors caught equivocating.
+    pub fn equivocator_count(&self) -> usize {
+        self.equivocators
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chain_rounds_heights_and_votes() {
+        let mut it = DagInterpreter::new(2);
+        let mut tip = 0u32;
+        for i in 0..10u32 {
+            tip = it.push((i % 2) as usize, &[tip]);
+            assert_eq!(it.height_of(tip), i + 1);
+            assert_eq!(it.round_of(tip), i / 2 + 1);
+        }
+        // Every block votes for every selected ancestor.
+        for h in 0..=10u32 {
+            let anc = it.ancestor_at(tip, h);
+            assert_eq!(it.height_of(anc), h);
+            assert!(it.votes_for(tip, anc));
+        }
+        assert!(!it.votes_for(5, tip), "votes never point forward");
+        assert_eq!(it.equivocator_count(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_the_cone() {
+        let mut it = DagInterpreter::new(3);
+        let a1 = it.push(0, &[0]);
+        let b1 = it.push(1, &[0]); // concurrent with a1
+        let a2 = it.push(0, &[a1, b1]); // merges both
+        assert_eq!(it.high_water(a1, 1), 0, "a1 has not seen author 1");
+        assert_eq!(it.high_water(a2, 0), 2);
+        assert_eq!(it.high_water(a2, 1), 1);
+        assert_eq!(it.high_water(a2, 2), 0);
+        assert_eq!(it.block_at(1, 1), b1);
+    }
+
+    #[test]
+    fn stale_prefix_reuse_is_equivocation() {
+        let mut it = DagInterpreter::new(2);
+        let a1 = it.push(0, &[0]);
+        let _a2 = it.push(0, &[a1]);
+        assert_eq!(it.equivocator_count(), 0);
+        // Author 0 builds on genesis again, pretending a1 never happened:
+        // round 1 collides with a1.
+        let fork = it.push(0, &[0]);
+        assert_eq!(it.round_of(fork), 1);
+        assert!(it.is_equivocator(0));
+        assert!(!it.is_equivocator(1));
+        assert_eq!(it.equivocator_count(), 1);
+        // latest stays the first-observed top-round block.
+        assert_eq!(it.latest(0), Some(2));
+    }
+
+    #[test]
+    fn roles_follow_slots_and_merges() {
+        let mut it = DagInterpreter::new(3);
+        let b1 = it.push(1, &[0]); // height 1, slot 1 → proposal
+        assert_eq!(it.role_of(b1), Role::Proposal);
+        let v = it.push(0, &[b1]); // height 2, slot 2 ≠ 0 → vote
+        assert_eq!(it.role_of(v), Role::Vote);
+        let c = it.push(1, &[0]); // height 1 again (same author forks: echoes aside)
+        let e = it.push(0, &[v, c]); // height 3, slot 0 = 0 → proposal wins over echo
+        assert_eq!(it.role_of(e), Role::Proposal);
+        let e2 = it.push(2, &[e, c]); // height 4, slot 1 ≠ 2, two parents → echo
+        assert_eq!(it.role_of(e2), Role::Echo);
+        assert_eq!(it.role_of(0), Role::Proposal, "genesis proposes height 0");
+    }
+
+    #[test]
+    fn jump_ancestors_match_naive_walk_on_random_trees() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut it = DagInterpreter::new(4);
+            let mut ids: Vec<u32> = vec![0];
+            for _ in 0..200 {
+                let sel = ids[rng.gen_range(0..ids.len())];
+                let author = rng.gen_range(0..4);
+                let mut parents = vec![sel];
+                if rng.gen_bool(0.3) {
+                    parents.push(ids[rng.gen_range(0..ids.len())]);
+                }
+                ids.push(it.push(author, &parents));
+            }
+            for _ in 0..100 {
+                let v = ids[rng.gen_range(0..ids.len())];
+                let h = rng.gen_range(0..=it.height_of(v));
+                // Naive: walk sel pointers down to height h.
+                let mut w = v;
+                while it.height_of(w) > h {
+                    w = it.sel[w as usize];
+                }
+                assert_eq!(it.ancestor_at(v, h), w);
+            }
+        }
+    }
+}

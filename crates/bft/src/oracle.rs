@@ -1,0 +1,557 @@
+//! The finality oracle: a Casper-CBC-style safety criterion over the
+//! interpreted DAG.
+//!
+//! A chain block `X` at height `h` becomes **final** when the oracle's
+//! view contains a quorum `V` (default `⌊2n/3⌋ + 1` authors, none caught
+//! equivocating) such that
+//!
+//! 1. every member's latest block votes for `X` (its selected chain
+//!    passes through `X`), and
+//! 2. the members have *pairwise mutual visibility of those votes*: for
+//!    every `u, v ∈ V`, the highest-round block of `v` inside `u`'s
+//!    latest block's past cone also votes for `X`.
+//!
+//! Condition 2 is the clique condition of the Casper-CBC safety oracle:
+//! each member has justified evidence that every other member is
+//! committed to `X`, so no member can abandon `X` without either seeing
+//! a heavier opposing quorum (impossible while fewer than `2q − n`
+//! authors equivocate) or equivocating itself — and equivocators are
+//! excluded from all later quorums the moment two blocks share an
+//! (author, round) slot. All the evidence lives in the DAG: any observer
+//! whose view covers the members' latest blocks reaches the same
+//! verdict, which is what makes per-node oracles agree (the nonforking
+//! invariant checked exhaustively in `am-sched` and statistically by the
+//! 300-seed suite).
+//!
+//! The watermark only advances: heights are finalized in order, each new
+//! candidate must extend the previously finalized block (a quorum
+//! candidate that fails this raises [`conflict_detected`]
+//! (FinalityOracle::conflict_detected) instead of forking), and per
+//! advance the oracle maintains
+//!
+//! * a rolling **finalized-prefix digest** mixed over the newly
+//!   finalized chain blocks only — O(new tail), and
+//! * the finalized **past cone** via a [`ConeCoverTracker`] pinned to the
+//!   finalized head — successive heads descend from one another, so the
+//!   marks extend in place (the PR5 fast path) and
+//!   [`is_final`](FinalityOracle::is_final) is an O(1) membership probe.
+
+use crate::interpret::{DagInterpreter, Role, NONE};
+use am_core::{ConeCoverTracker, MsgId, GENESIS};
+
+/// Splitmix64-style mixer for the finalized-prefix digest (same family
+/// as the archive digest chain in `am-node`).
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic BFT finality over an observed block DAG.
+///
+/// Feed every block exactly once via [`observe`](FinalityOracle::observe),
+/// parents first (any ancestor-closed order works — per-node oracles feed
+/// blocks in their own admission order). Global ids need not be dense:
+/// the oracle remaps them to local interpretation ids internally.
+///
+/// ```
+/// use am_bft::FinalityOracle;
+/// use am_core::MsgId;
+/// let mut o = FinalityOracle::new(3); // quorum 3
+/// let mut tip = MsgId(0);
+/// for i in 1..=8u64 {
+///     let id = MsgId(i);
+///     o.observe(id, (i % 3) as usize, &[tip]);
+///     tip = id;
+/// }
+/// // All three authors vote and see each other's votes: the prefix
+/// // behind the mutual-visibility frontier is final.
+/// assert!(o.finalized_height() >= 1);
+/// assert!(o.is_final(MsgId(1)));
+/// assert!(!o.conflict_detected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FinalityOracle {
+    interp: DagInterpreter,
+    quorum: usize,
+    /// Local id → global `MsgId` raw value.
+    global: Vec<u64>,
+    /// Global id index → local id (`NONE` = unobserved).
+    local_of: Vec<u32>,
+    /// Closed past cone of the finalized head (local ids).
+    cone: ConeCoverTracker,
+    /// Finalized chain blocks, height order (local ids; genesis omitted).
+    final_chain: Vec<u32>,
+    digest: u64,
+    /// Chain blocks finalized since the last drain (global ids).
+    newly_final: Vec<MsgId>,
+    conflict: bool,
+    // Scratch (reused across observes).
+    pbuf: Vec<u32>,
+    pbuf_ids: Vec<MsgId>,
+    tally: Vec<(u32, u32)>,
+    supporters: Vec<u32>,
+}
+
+impl FinalityOracle {
+    /// An oracle over `n` authors with the default quorum `⌊2n/3⌋ + 1`.
+    pub fn new(n: usize) -> FinalityOracle {
+        FinalityOracle::with_quorum(n, 2 * n / 3 + 1)
+    }
+
+    /// An oracle with an explicit quorum (clamped to `1..=n`).
+    pub fn with_quorum(n: usize, quorum: usize) -> FinalityOracle {
+        FinalityOracle {
+            interp: DagInterpreter::new(n),
+            quorum: quorum.clamp(1, n),
+            global: vec![GENESIS.0],
+            local_of: vec![0],
+            cone: ConeCoverTracker::new(),
+            final_chain: Vec::new(),
+            digest: 0,
+            newly_final: Vec::new(),
+            conflict: false,
+            pbuf: Vec::new(),
+            pbuf_ids: Vec::new(),
+            tally: Vec::new(),
+            supporters: Vec::new(),
+        }
+    }
+
+    /// The quorum size in force.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Number of blocks observed (genesis included).
+    pub fn blocks_observed(&self) -> usize {
+        self.interp.len()
+    }
+
+    /// Observes one appended block: `id` is its global id (any sparse
+    /// id space; genesis is pre-observed as `MsgId(0)`), `parents` must
+    /// all have been observed, `parents[0]` is the selected chain tip.
+    /// Advances the finality watermark as far as the new evidence allows.
+    pub fn observe(&mut self, id: MsgId, author: usize, parents: &[MsgId]) {
+        let gi = id.index();
+        if gi >= self.local_of.len() {
+            self.local_of.resize(gi + 1, NONE);
+        }
+        assert!(self.local_of[gi] == NONE, "block observed twice");
+        self.pbuf.clear();
+        for p in parents {
+            let l = self.local_of[p.index()];
+            assert!(l != NONE, "parents must be observed before their child");
+            self.pbuf.push(l);
+        }
+        let idx = self.interp.push(author, &self.pbuf);
+        self.local_of[gi] = idx;
+        self.global.push(id.0);
+        self.pbuf_ids.clear();
+        self.pbuf_ids
+            .extend(self.pbuf.iter().map(|&l| MsgId(l as u64)));
+        self.cone
+            .on_append(MsgId(idx as u64), &self.pbuf_ids, author < self.interp.n());
+        self.try_advance();
+    }
+
+    /// Attempts to extend the finalized chain height by height; stops at
+    /// the first height whose candidate lacks a mutually-visible quorum.
+    fn try_advance(&mut self) {
+        let n = self.interp.n();
+        loop {
+            let h = self.final_chain.len() as u32 + 1;
+            // Tally the selected-chain ancestor at height h of every
+            // eligible author's latest block.
+            self.tally.clear();
+            for a in 0..n {
+                if self.interp.is_equivocator(a) {
+                    continue;
+                }
+                let Some(l) = self.interp.latest(a) else {
+                    continue;
+                };
+                if self.interp.height_of(l) < h {
+                    continue;
+                }
+                let c = self.interp.ancestor_at(l, h);
+                match self.tally.iter_mut().find(|e| e.0 == c) {
+                    Some(e) => e.1 += 1,
+                    None => self.tally.push((c, 1)),
+                }
+            }
+            // Votes are one-per-author, so at most one candidate can
+            // reach a quorum > n/2.
+            let Some(&(cand, _)) = self.tally.iter().find(|e| e.1 as usize >= self.quorum) else {
+                return;
+            };
+            // The candidate must extend the finalized prefix; a quorum
+            // behind a conflicting branch is a detected safety breach,
+            // never a fork.
+            let prev = if h == 1 {
+                0
+            } else {
+                self.final_chain[h as usize - 2]
+            };
+            if self.interp.ancestor_at(cand, h - 1) != prev {
+                self.conflict = true;
+                return;
+            }
+            self.supporters.clear();
+            for a in 0..n {
+                if self.interp.is_equivocator(a) {
+                    continue;
+                }
+                let Some(l) = self.interp.latest(a) else {
+                    continue;
+                };
+                if self.interp.height_of(l) >= h && self.interp.ancestor_at(l, h) == cand {
+                    self.supporters.push(a as u32);
+                }
+            }
+            // Clique condition: every member's latest block must witness
+            // every other member voting for the candidate.
+            let mut clique = true;
+            'outer: for &u in &self.supporters {
+                let lu = self
+                    .interp
+                    .latest(u as usize)
+                    .expect("supporter has blocks");
+                for &v in &self.supporters {
+                    if v == u {
+                        continue;
+                    }
+                    let r = self.interp.high_water(lu, v as usize);
+                    if r == 0 {
+                        clique = false;
+                        break 'outer;
+                    }
+                    let m = self.interp.block_at(v as usize, r);
+                    if !self.interp.votes_for(m, cand) {
+                        clique = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if !clique {
+                return;
+            }
+            // Finalize: extend the chain, the rolling digest, and the
+            // finalized cone (head descends → marks extend in place).
+            self.final_chain.push(cand);
+            let a = self.interp.author_of(cand).expect("non-genesis") as u64;
+            let r = self.interp.round_of(cand) as u64;
+            self.digest = mix(self.digest, (a << 32) | r);
+            self.digest = mix(self.digest, self.global[cand as usize]);
+            self.cone.cover_of(MsgId(cand as u64));
+            self.newly_final.push(MsgId(self.global[cand as usize]));
+        }
+    }
+
+    /// Height of the finalized chain (number of finalized non-genesis
+    /// chain blocks). Monotone.
+    pub fn finalized_height(&self) -> usize {
+        self.final_chain.len()
+    }
+
+    /// Global id of the highest finalized chain block (genesis if none).
+    pub fn finalized_head(&self) -> MsgId {
+        self.final_chain
+            .last()
+            .map(|&l| MsgId(self.global[l as usize]))
+            .unwrap_or(GENESIS)
+    }
+
+    /// Whether the block has been fed to [`observe`](FinalityOracle::observe)
+    /// (genesis counts as observed).
+    pub fn is_observed(&self, id: MsgId) -> bool {
+        let gi = id.index();
+        gi < self.local_of.len() && self.local_of[gi] != NONE
+    }
+
+    /// Whether the block is final: inside the closed past cone of the
+    /// finalized head (its position in every future linearization is
+    /// fixed). Genesis is trivially final; unobserved ids are not final.
+    pub fn is_final(&self, id: MsgId) -> bool {
+        let gi = id.index();
+        gi < self.local_of.len() && self.local_of[gi] != NONE && {
+            self.cone.in_cone(MsgId(self.local_of[gi] as u64))
+        }
+    }
+
+    /// Rolling digest over the finalized chain, mixed in height order
+    /// from (author, round, global id) — O(new tail) per advance and
+    /// equal on any two oracles that finalized the same chain.
+    pub fn finalized_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Number of blocks in the closed past cone of the finalized head
+    /// (genesis excluded) — the finalized *prefix* of the DAG, which
+    /// grows faster than the finalized chain itself.
+    pub fn finalized_cone_blocks(&self) -> usize {
+        self.cone.covered()
+    }
+
+    /// The finalized chain as global ids, height order.
+    pub fn finalized_chain(&self) -> Vec<MsgId> {
+        self.final_chain
+            .iter()
+            .map(|&l| MsgId(self.global[l as usize]))
+            .collect()
+    }
+
+    /// Moves the chain blocks finalized since the last drain (global
+    /// ids, height order) into `out`.
+    pub fn drain_newly_final(&mut self, out: &mut Vec<MsgId>) {
+        out.append(&mut self.newly_final);
+    }
+
+    /// Whether the observed block's selected chain passes through the
+    /// current finalized head — the fork-choice filter an honest driver
+    /// applies before voting (never extend a chain that abandons your
+    /// own finalized prefix). Genesis-rooted trivially true while
+    /// nothing is final; false for unobserved ids.
+    pub fn extends_finalized(&self, id: MsgId) -> bool {
+        let gi = id.index();
+        if gi >= self.local_of.len() || self.local_of[gi] == NONE {
+            return false;
+        }
+        let head = self.final_chain.last().copied().unwrap_or(0);
+        self.interp.votes_for(self.local_of[gi], head)
+    }
+
+    /// True if a quorum ever backed a candidate conflicting with the
+    /// finalized prefix — a safety breach (only reachable beyond the
+    /// tolerated Byzantine fraction), reported instead of forking.
+    pub fn conflict_detected(&self) -> bool {
+        self.conflict
+    }
+
+    /// Number of authors caught equivocating so far.
+    pub fn equivocator_count(&self) -> usize {
+        self.interp.equivocator_count()
+    }
+
+    /// Whether an author has been caught equivocating.
+    pub fn is_equivocator(&self, author: usize) -> bool {
+        self.interp.is_equivocator(author)
+    }
+
+    /// The embedded protocol message carried by an observed block.
+    pub fn role_of(&self, id: MsgId) -> Option<Role> {
+        let gi = id.index();
+        (gi < self.local_of.len() && self.local_of[gi] != NONE)
+            .then(|| self.interp.role_of(self.local_of[gi]))
+    }
+
+    /// Counts of (proposals, votes, echoes) over the observed blocks,
+    /// genesis excluded.
+    pub fn role_counts(&self) -> (usize, usize, usize) {
+        let (mut p, mut v, mut e) = (0, 0, 0);
+        for b in 1..self.interp.len() as u32 {
+            match self.interp.role_of(b) {
+                Role::Proposal => p += 1,
+                Role::Vote => v += 1,
+                Role::Echo => e += 1,
+            }
+        }
+        (p, v, e)
+    }
+
+    /// Read-only access to the interpretation layer.
+    pub fn interpreter(&self) -> &DagInterpreter {
+        &self.interp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Round-robin chain over n authors, length `len`; returns the ids.
+    fn round_robin(o: &mut FinalityOracle, n: usize, len: u64) -> Vec<MsgId> {
+        let mut ids = vec![GENESIS];
+        for i in 1..=len {
+            let id = MsgId(i);
+            o.observe(id, ((i - 1) % n as u64) as usize, &[*ids.last().unwrap()]);
+            ids.push(id);
+        }
+        ids
+    }
+
+    #[test]
+    fn unanimous_chain_finalizes_behind_the_frontier() {
+        let mut o = FinalityOracle::new(4); // quorum 3
+        let ids = round_robin(&mut o, 4, 20);
+        let h = o.finalized_height();
+        assert!(h >= 10, "deep prefix finalizes, got {h}");
+        assert!(h < 20, "the frontier itself lacks mutual visibility");
+        // Finalized chain is the exact prefix of the single chain.
+        assert_eq!(o.finalized_chain(), ids[1..=h].to_vec());
+        assert!(o.is_final(ids[1]) && o.is_final(ids[h]));
+        assert!(!o.is_final(ids[20]));
+        assert!(o.is_final(GENESIS));
+        assert!(!o.conflict_detected());
+        assert_eq!(o.finalized_head(), ids[h]);
+        assert_eq!(o.finalized_cone_blocks(), h);
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_newly_final_drains_in_order() {
+        let mut o = FinalityOracle::new(4);
+        let mut tip = GENESIS;
+        let mut drained = Vec::new();
+        let mut last = 0;
+        for i in 1..=30u64 {
+            let id = MsgId(i);
+            o.observe(id, ((i - 1) % 4) as usize, &[tip]);
+            tip = id;
+            let h = o.finalized_height();
+            assert!(h >= last, "watermark never regresses");
+            last = h;
+            o.drain_newly_final(&mut drained);
+        }
+        assert_eq!(drained, o.finalized_chain());
+    }
+
+    #[test]
+    fn withheld_votes_stall_finality() {
+        // n = 4, quorum 3: with two authors silent only 2 vote.
+        let mut o = FinalityOracle::new(4);
+        let mut tip = GENESIS;
+        for i in 1..=30u64 {
+            let id = MsgId(i);
+            o.observe(id, (i % 2) as usize, &[tip]);
+            tip = id;
+        }
+        assert_eq!(o.finalized_height(), 0, "2 < quorum 3: nothing final");
+    }
+
+    #[test]
+    fn equivocators_are_excluded_from_quorums() {
+        // n = 3, quorum 3: all three must vote. Author 2 equivocates —
+        // after detection its votes no longer count, so the watermark
+        // freezes at what was finalized before.
+        let mut o = FinalityOracle::new(3);
+        let ids = round_robin(&mut o, 3, 12);
+        let before = o.finalized_height();
+        assert!(before >= 1);
+        // Author 2 forks its own history: round collision.
+        o.observe(MsgId(100), 2, &[ids[3]]);
+        assert_eq!(o.equivocator_count(), 1);
+        assert!(o.is_equivocator(2));
+        for i in 0..20u64 {
+            let id = MsgId(200 + i);
+            let tip = if i == 0 { ids[12] } else { MsgId(200 + i - 1) };
+            o.observe(id, (i % 2) as usize, &[tip]);
+        }
+        assert_eq!(
+            o.finalized_height(),
+            before,
+            "two non-equivocators cannot reach quorum 3"
+        );
+        assert!(!o.conflict_detected());
+    }
+
+    #[test]
+    fn digest_and_chain_agree_across_observation_orders() {
+        // Build a random DAG, then feed it to two oracles in different
+        // ancestor-closed orders: identical finalized state.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for case in 0..30 {
+            let n = 4;
+            // Honest authors on one chain (selected parent = previous
+            // block, so nobody equivocates), with random merge parents.
+            let mut blocks: Vec<(MsgId, usize, Vec<MsgId>)> = Vec::new();
+            for i in 1..=60u64 {
+                let author = rng.gen_range(0..n);
+                let sel = MsgId(i - 1);
+                let mut parents = vec![sel];
+                if rng.gen_bool(0.4) {
+                    let extra = MsgId(rng.gen_range(0..i));
+                    if extra != sel {
+                        parents.push(extra);
+                    }
+                }
+                blocks.push((MsgId(i), author, parents));
+            }
+            let mut a = FinalityOracle::new(n);
+            for (id, author, parents) in &blocks {
+                a.observe(*id, *author, parents);
+            }
+            // Second order: repeatedly pick a random block whose parents
+            // are already observed.
+            let mut b = FinalityOracle::new(n);
+            let mut pending = blocks.clone();
+            let mut seen = vec![GENESIS];
+            while !pending.is_empty() {
+                let ready: Vec<usize> = (0..pending.len())
+                    .filter(|&i| pending[i].2.iter().all(|p| seen.contains(p)))
+                    .collect();
+                let pick = ready[rng.gen_range(0..ready.len())];
+                let (id, author, parents) = pending.remove(pick);
+                b.observe(id, author, &parents);
+                seen.push(id);
+            }
+            assert_eq!(
+                a.finalized_chain(),
+                b.finalized_chain(),
+                "case {case}: same block set must finalize the same chain"
+            );
+            assert_eq!(a.finalized_digest(), b.finalized_digest());
+            assert_eq!(a.conflict_detected(), b.conflict_detected());
+        }
+    }
+
+    #[test]
+    fn sparse_global_ids_are_remapped() {
+        let mut o = FinalityOracle::new(3);
+        o.observe(MsgId(17), 0, &[GENESIS]);
+        o.observe(MsgId(400), 1, &[MsgId(17)]);
+        o.observe(MsgId(401), 2, &[MsgId(400)]);
+        o.observe(MsgId(1000), 0, &[MsgId(401)]);
+        o.observe(MsgId(1001), 1, &[MsgId(1000)]);
+        o.observe(MsgId(1002), 2, &[MsgId(1001)]);
+        assert!(o.finalized_height() >= 1);
+        assert_eq!(o.finalized_chain()[0], MsgId(17));
+        assert!(o.is_final(MsgId(17)));
+        assert!(!o.is_final(MsgId(999)), "unknown ids are not final");
+    }
+
+    #[test]
+    fn role_counts_cover_all_blocks() {
+        let mut o = FinalityOracle::new(3);
+        // author == height mod 3 → every block lands in its proposer slot.
+        for i in 1..=6u64 {
+            o.observe(MsgId(i), (i % 3) as usize, &[MsgId(i - 1)]);
+        }
+        assert_eq!(o.role_counts(), (6, 0, 0));
+        // Off-slot single-parent extension → vote; off-slot merge → echo.
+        o.observe(MsgId(7), 0, &[MsgId(6)]);
+        o.observe(MsgId(8), 0, &[MsgId(7), MsgId(3)]);
+        let (p, v, e) = o.role_counts();
+        assert_eq!((p, v, e), (6, 1, 1));
+        assert_eq!(o.role_of(MsgId(7)), Some(Role::Vote));
+        assert_eq!(o.role_of(MsgId(8)), Some(Role::Echo));
+        assert!(o.role_of(GENESIS).is_some());
+        assert!(o.role_of(MsgId(7777)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "observed before")]
+    fn rejects_unobserved_parents() {
+        let mut o = FinalityOracle::new(3);
+        o.observe(MsgId(2), 0, &[MsgId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed twice")]
+    fn rejects_duplicate_observation() {
+        let mut o = FinalityOracle::new(3);
+        o.observe(MsgId(1), 0, &[GENESIS]);
+        o.observe(MsgId(1), 1, &[GENESIS]);
+    }
+}

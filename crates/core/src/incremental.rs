@@ -272,6 +272,15 @@ impl ConeCoverTracker {
         MsgId(self.tracked)
     }
 
+    /// Whether `id` lies in the closed past cone of the tracked tip — an
+    /// O(1) membership probe against the maintained marks. `am-bft` keeps
+    /// a tracker pinned to the finalized head and answers `is_final` with
+    /// exactly this query.
+    pub fn in_cone(&self, id: MsgId) -> bool {
+        let i = id.index();
+        i < self.len() && self.mark[i] == self.epoch
+    }
+
     /// Number of value-carrying messages in the closed past cone of
     /// `tip`, maintained incrementally. Amortized O(parents) per append
     /// when queried tips descend from one another (the growing-deepest
@@ -505,6 +514,20 @@ mod tests {
                                              // A merge referencing both tips extends whichever cone is held.
         t.on_append(MsgId(6), &[MsgId(2), MsgId(5)], true);
         assert_eq!(t.cover_of(MsgId(6)), 6);
+    }
+
+    #[test]
+    fn in_cone_tracks_the_held_cone() {
+        let mut t = ConeCoverTracker::new();
+        t.on_append(MsgId(1), &[MsgId(0)], true); // branch A
+        t.on_append(MsgId(2), &[MsgId(1)], true);
+        t.on_append(MsgId(3), &[MsgId(0)], true); // branch B
+        t.cover_of(MsgId(2));
+        assert!(t.in_cone(MsgId(0)) && t.in_cone(MsgId(1)) && t.in_cone(MsgId(2)));
+        assert!(!t.in_cone(MsgId(3)));
+        assert!(!t.in_cone(MsgId(99)), "unknown ids are outside");
+        t.cover_of(MsgId(3)); // branch switch: cone is now {0, 3}
+        assert!(t.in_cone(MsgId(3)) && !t.in_cone(MsgId(2)));
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! E15 — deterministic BFT finality embedded in the block DAG.
+//!
+//! The tentpole claim: interpreting the DAG's parent references as a BFT
+//! protocol (Schett & Danezis) gives *finality* — an irreversible
+//! quorum-certified prefix — on top of the same append schedule the
+//! Section 5 algorithms consume, with no extra messages. This experiment
+//! measures that layer head-to-head against Algorithms 4–6:
+//!
+//! 1. **Head-to-head failure sweep** — at each Byzantine fraction `f`
+//!    the timestamp / chain / DAG validity trials and the BFT finality
+//!    trials run at *equal* [`Params`], so the `TokenAuthority` grant
+//!    schedule is byte-identical across all four columns (it depends
+//!    only on `(n, λ, Δ, byz set, seed)`). Failure means validity loss
+//!    for Algorithms 4–6 and finality stall-or-conflict for am-bft.
+//! 2. **Finality latency/throughput vs f, per adversary** — how the
+//!    equivocator, withholder, and stale-miner strategies degrade lag
+//!    and throughput inside the tolerance, and how the layer stalls
+//!    (without ever forking) beyond it.
+//! 3. **Role mix** — the interpreter's reading of the observed blocks:
+//!    proposals/votes/echoes as `f` grows.
+//!
+//! The quorum is `⌊2n/3⌋ + 1`; at `n = 12` that is 9, so `f = 0.33`
+//! (`t = 4`, 8 correct authors) sits just past the tolerance — finality
+//! must stall there, and `conflict` must stay false everywhere.
+
+use crate::report::{f, Report};
+use crate::RunCtx;
+use am_protocols::{
+    run_bft, BftAdversary, BftTrial, ChainAdversary, DagAdversary, DagRule, Params, TieBreak,
+    TrialKind,
+};
+use am_stats::{Series, Table};
+
+/// Node count for every E15 grid point: quorum 9, tolerance t ≤ 3.
+const N: usize = 12;
+/// Decision / finality prefix target.
+const K: usize = 9;
+/// Token rate (the paper's λ).
+const LAMBDA: f64 = 0.5;
+/// The nominal Byzantine fractions of the sweep.
+const FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.33];
+
+/// Byzantine cohort size for a nominal fraction: `round(f · n)` — at
+/// `n = 12` the sweep {0, 0.1, 0.2, 0.33} maps to t ∈ {0, 1, 2, 4}.
+pub(crate) fn byz_count(n: usize, frac: f64) -> usize {
+    (frac * n as f64).round() as usize
+}
+
+/// Scalar aggregate of repeated [`run_bft`] trials at one grid point.
+struct BftCell {
+    finality_rate: f64,
+    height_mean: f64,
+    lag_mean: f64,
+    lag_max: f64,
+    throughput: f64,
+    equivocators: f64,
+    conflicts: u64,
+    roles: (usize, usize, usize),
+}
+
+fn bft_cell(p: &Params, adv: BftAdversary, reps: u64) -> BftCell {
+    let mut cell = BftCell {
+        finality_rate: 0.0,
+        height_mean: 0.0,
+        lag_mean: 0.0,
+        lag_max: 0.0,
+        throughput: 0.0,
+        equivocators: 0.0,
+        conflicts: 0,
+        roles: (0, 0, 0),
+    };
+    let mut finalized = 0u64;
+    for s in 0..reps {
+        let q = p.with_seed(p.seed ^ (s.wrapping_mul(0x9e37_79b9).wrapping_add(s)));
+        let out: BftTrial = run_bft(&q, adv);
+        cell.finality_rate += out.finality as u64 as f64;
+        cell.height_mean += out.finalized_height as f64;
+        cell.equivocators += out.equivocators as f64;
+        cell.conflicts += out.conflict as u64;
+        cell.roles.0 += out.roles.0;
+        cell.roles.1 += out.roles.1;
+        cell.roles.2 += out.roles.2;
+        if out.finalized_height > 0 {
+            // Lag/throughput only mean something when something finalized.
+            finalized += 1;
+            cell.lag_mean += out.lag_mean;
+            cell.lag_max = cell.lag_max.max(out.lag_max);
+            cell.throughput += out.throughput;
+        }
+    }
+    let r = reps.max(1) as f64;
+    cell.finality_rate /= r;
+    cell.height_mean /= r;
+    cell.equivocators /= r;
+    let fr = finalized.max(1) as f64;
+    cell.lag_mean /= fr;
+    cell.throughput /= fr;
+    cell
+}
+
+/// Runs E15.
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
+    let mut rep = Report::new(
+        "E15",
+        "Embedded BFT finality vs Byzantine fraction, head-to-head with Algs 4-6",
+        "Extension: Schett-Danezis interpretation + Casper-CBC finality over §5 schedules",
+    );
+
+    // --- Part 1: head-to-head failure sweep under identical schedules. ---
+    let part1 = am_obs::span("head_to_head");
+    let runner = ctx.runner();
+    let budget = ctx.budget(160);
+    let kinds: [(&str, TrialKind); 4] = [
+        ("timestamp", TrialKind::Timestamp),
+        (
+            "chain",
+            TrialKind::Chain(TieBreak::Randomized, ChainAdversary::TieBreaker),
+        ),
+        (
+            "dag",
+            TrialKind::Dag(DagRule::LongestChain, DagAdversary::WithholdBurst),
+        ),
+        ("bft", TrialKind::Bft(BftAdversary::Equivocator)),
+    ];
+    let mut table1 = Table::new(
+        "failure rate vs Byzantine fraction f (n = 12, λ = 0.5, k = 9; \
+         byte-identical grant schedules per row)",
+        &[
+            "f",
+            "t",
+            "timestamp",
+            "chain",
+            "dag",
+            "bft (stall|conflict)",
+        ],
+    );
+    let mut points = Vec::new();
+    let mut s_bft = Series::new("bft failure vs f");
+    let mut s_dag = Series::new("dag failure vs f");
+    for &frac in &FRACTIONS {
+        let t = byz_count(N, frac);
+        let p = Params::new(N, t, LAMBDA, K, seed ^ 0x15);
+        let mut row = vec![f(frac), t.to_string()];
+        for (name, kind) in &kinds {
+            let key = format!("f{frac}/{name}");
+            let pt = runner.measure(&key, &p, *kind, budget);
+            row.push(f(pt.estimate()));
+            if *name == "bft" {
+                s_bft.push(frac, pt.estimate());
+            }
+            if *name == "dag" {
+                s_dag.push(frac, pt.estimate());
+            }
+            points.push((key, pt));
+        }
+        table1.row(&row);
+    }
+    rep.tables.push(table1);
+    rep.series.push(s_bft);
+    rep.series.push(s_dag);
+    rep.record_sweep("head-to-head vs f", points);
+    rep.note(
+        "All four columns of each row consume the same TokenAuthority \
+         grant schedule (it is a pure function of (n, λ, Δ, byz set, \
+         seed)), so the comparison isolates the structure, not the luck \
+         of the draw. Algorithms 4-6 fail by deciding the wrong sign; \
+         the finality layer fails only by stalling — at f = 0.33 the 8 \
+         correct authors cannot fill a 9-author quorum, so the stall is \
+         certain and safe.",
+    );
+    drop(part1);
+
+    // --- Part 2: finality latency/throughput per adversary. ---
+    let part2 = am_obs::span("latency");
+    let reps = ctx.reps(24);
+    let mut table2 = Table::new(
+        "finality quality vs f per adversary (mean over trials; lag in s)",
+        &[
+            "adversary",
+            "f",
+            "finality",
+            "height",
+            "lag mean",
+            "lag max",
+            "chain blk/s",
+            "equivocators",
+            "conflicts",
+        ],
+    );
+    let mut s_lag = Series::new("equivocator: finality lag vs f");
+    let mut s_tput = Series::new("equivocator: finalized blocks/s vs f");
+    let mut conflicts_total = 0u64;
+    let mut role_rows: Vec<(f64, (usize, usize, usize))> = Vec::new();
+    for adv in [
+        BftAdversary::Absent,
+        BftAdversary::Equivocator,
+        BftAdversary::Withholder,
+        BftAdversary::StaleMiner,
+    ] {
+        for &frac in &FRACTIONS {
+            let t = byz_count(N, frac);
+            if t == 0 && adv != BftAdversary::Absent {
+                continue; // no Byzantine nodes: every strategy is Absent
+            }
+            let p = Params::new(N, t, LAMBDA, K, seed ^ 0x15b);
+            let cell = {
+                let _cell = am_obs::span(format!("{}_f{frac}", adv.label()));
+                bft_cell(&p, adv, reps)
+            };
+            conflicts_total += cell.conflicts;
+            table2.row(&[
+                adv.label().to_string(),
+                f(frac),
+                f(cell.finality_rate),
+                format!("{:.1}", cell.height_mean),
+                format!("{:.2}", cell.lag_mean),
+                format!("{:.2}", cell.lag_max),
+                format!("{:.3}", cell.throughput),
+                format!("{:.1}", cell.equivocators),
+                cell.conflicts.to_string(),
+            ]);
+            if adv == BftAdversary::Equivocator || (adv == BftAdversary::Absent && t == 0) {
+                s_lag.push(frac, cell.lag_mean);
+                s_tput.push(frac, cell.throughput);
+                role_rows.push((frac, cell.roles));
+            }
+        }
+    }
+    rep.tables.push(table2);
+    rep.series.push(s_lag);
+    rep.series.push(s_tput);
+    rep.note(format!(
+        "Safety is unconditional in this sweep ({} conflicting-quorum \
+         detections across every adversary and fraction — past the \
+         tolerance the layer stalls, finality rate 0 at f = 0.33, but \
+         never certifies two incompatible prefixes): {}",
+        conflicts_total,
+        if conflicts_total == 0 {
+            "CONFIRMED"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    rep.note(
+        "Inside the tolerance the adversaries only tax performance: \
+         equivocators burn their slots (caught and excluded after one \
+         fork), withholders add burst jitter to the lag tail, stale \
+         miners thicken the DAG without moving the quorum.",
+    );
+    drop(part2);
+
+    // --- Part 3: the interpreter's role mix. ---
+    let _part3 = am_obs::span("roles");
+    let mut table3 = Table::new(
+        "DAG-interpreter role mix of observed blocks (equivocator runs)",
+        &["f", "proposals", "votes", "echoes", "echo share"],
+    );
+    for (frac, (pr, vo, ec)) in role_rows {
+        let total = (pr + vo + ec).max(1) as f64;
+        table3.row(&[
+            f(frac),
+            pr.to_string(),
+            vo.to_string(),
+            ec.to_string(),
+            f(ec as f64 / total),
+        ]);
+    }
+    rep.tables.push(table3);
+    rep.note(
+        "Every block already is a protocol message: the leader-slot \
+         blocks read as proposals, single-parent extensions as votes, \
+         multi-parent merges as echo broadcasts — finality costs zero \
+         extra messages over the append schedule.",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byz_count_maps_the_nominal_fractions() {
+        let ts: Vec<usize> = FRACTIONS.iter().map(|&f| byz_count(N, f)).collect();
+        assert_eq!(ts, vec![0, 1, 2, 4]);
+        let quorum = 2 * N / 3 + 1;
+        // t = 4 of n = 12 is past the ⌊2n/3⌋+1 = 9 quorum's tolerance;
+        // t = 2 is within it.
+        assert!(N - ts[3] < quorum);
+        assert!(N - ts[2] >= quorum);
+    }
+
+    #[test]
+    fn bft_cell_aggregates_fault_free_runs() {
+        let p = Params::new(7, 0, 0.5, 5, 3);
+        let cell = bft_cell(&p, BftAdversary::Absent, 4);
+        assert_eq!(cell.finality_rate, 1.0);
+        assert!(cell.height_mean >= 5.0);
+        assert!(cell.lag_mean > 0.0);
+        assert!(cell.throughput > 0.0);
+        assert_eq!(cell.conflicts, 0);
+        let (pr, vo, ec) = cell.roles;
+        assert!(pr > 0 && pr + vo + ec > 0);
+    }
+}

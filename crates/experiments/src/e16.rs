@@ -1,0 +1,310 @@
+//! E16 — finalized-prefix growth when delivery itself is faulty.
+//!
+//! E15 measures the embedded finality layer over abstract interval
+//! views; here every block gossips over the `am-net` simulator and each
+//! node runs its *own* oracle over exactly the sub-DAG it admitted. The
+//! questions are about the finalized prefix as a distributed object:
+//!
+//! 1. **Drops** — how fast does the watermark grow, and how far apart do
+//!    per-node watermarks drift, as the drop rate rises? Correct nodes
+//!    pull-repair dangling references (re-requesting missing parents
+//!    over the same faulty wire), so loss costs latency, not liveness —
+//!    and the per-node finalized chains must stay extension-ordered
+//!    (safety) at every rate.
+//! 2. **Duplication + reordering** — pure reshuffling must be free:
+//!    admission is ancestor-closed, so the oracles see the same DAG in a
+//!    different interleaving and certify the same prefix.
+//! 3. **Partition + heal** — during a half/half split neither side can
+//!    finalize past its quorum; after the heal the watermark catches up.
+//!    The settled/healed chains measure exactly how much of the gap the
+//!    prefix recovers.
+//! 4. **Byzantine + lossy** — an equivocator under drops: the two fault
+//!    axes compose without ever producing conflicting certificates.
+//!
+//! Every trial reports three growth stages of the same run: the chains
+//! at the decision gate, after in-flight delivery settles, and after an
+//! omniscient heal — monotone by construction, equal (among correct
+//! nodes) at the end.
+
+use crate::report::{f, Report};
+use crate::RunCtx;
+use am_net::{LatencyModel, NetProfile};
+use am_protocols::{run_bft_net_full, BftAdversary, BftNetRun, Params};
+use am_stats::{Series, Table};
+
+/// One Δ of the protocol clock in network nanoseconds (matches
+/// `am_protocols::propagation`).
+const DELTA_NS: u64 = 1_000_000_000;
+/// Node count: quorum 5, tolerance t ≤ 2.
+const N: usize = 7;
+/// Finality prefix target.
+const K: usize = 7;
+const LAMBDA: f64 = 0.5;
+
+/// Aggregate of repeated networked trials at one profile point.
+struct NetCell {
+    finality_rate: f64,
+    gate_height: f64,
+    spread_gate: f64,
+    spread_settled: f64,
+    healed_agree: f64,
+    lag_mean: f64,
+    conflicts: u64,
+}
+
+/// Max − min finalized-chain length over the correct nodes.
+fn spread(chains: &[Vec<am_core::MsgId>], correct: usize) -> usize {
+    let lens: Vec<usize> = chains[..correct].iter().map(Vec::len).collect();
+    lens.iter().max().unwrap() - lens.iter().min().unwrap()
+}
+
+/// The nonforking invariant: every correct node's finalized chain is a
+/// prefix of every longer one. (Watermarks may lag — a transient quorum
+/// seen by one observer and not another leaves their *heights* apart —
+/// but the chains must never diverge.)
+fn prefix_agree(chains: &[Vec<am_core::MsgId>], correct: usize) -> bool {
+    chains[..correct].iter().all(|a| {
+        chains[..correct].iter().all(|b| {
+            let m = a.len().min(b.len());
+            a[..m] == b[..m]
+        })
+    })
+}
+
+fn net_cell(p: &Params, adv: BftAdversary, profile: &NetProfile, reps: u64) -> NetCell {
+    let correct = p.n - p.t;
+    let mut cell = NetCell {
+        finality_rate: 0.0,
+        gate_height: 0.0,
+        spread_gate: 0.0,
+        spread_settled: 0.0,
+        healed_agree: 0.0,
+        lag_mean: 0.0,
+        conflicts: 0,
+    };
+    let mut finalized = 0u64;
+    for s in 0..reps {
+        let q = p.with_seed(p.seed ^ (s.wrapping_mul(0x9e37_79b9).wrapping_add(s)));
+        let run: BftNetRun = run_bft_net_full(&q, adv, profile);
+        cell.finality_rate += run.trial.finality as u64 as f64;
+        cell.gate_height += run.trial.finalized_height as f64;
+        cell.spread_gate += spread(&run.chains_at_gate, correct) as f64;
+        cell.spread_settled += spread(&run.chains_settled, correct) as f64;
+        cell.healed_agree += prefix_agree(&run.chains_healed, correct) as u64 as f64;
+        cell.conflicts += run.conflict_any as u64;
+        if run.trial.finalized_height > 0 {
+            finalized += 1;
+            cell.lag_mean += run.trial.lag_mean;
+        }
+    }
+    let r = reps.max(1) as f64;
+    cell.finality_rate /= r;
+    cell.gate_height /= r;
+    cell.spread_gate /= r;
+    cell.spread_settled /= r;
+    cell.healed_agree /= r;
+    cell.lag_mean /= finalized.max(1) as f64;
+    cell
+}
+
+fn row(table: &mut Table, label: String, cell: &NetCell) {
+    table.row(&[
+        label,
+        f(cell.finality_rate),
+        format!("{:.1}", cell.gate_height),
+        format!("{:.2}", cell.spread_gate),
+        format!("{:.2}", cell.spread_settled),
+        f(cell.healed_agree),
+        format!("{:.2}", cell.lag_mean),
+        cell.conflicts.to_string(),
+    ]);
+}
+
+const COLS: [&str; 8] = [
+    "profile",
+    "finality",
+    "gate height",
+    "spread@gate",
+    "spread@settle",
+    "healed agree",
+    "lag (s)",
+    "conflicts",
+];
+
+/// Runs E16.
+pub fn run(ctx: &RunCtx) -> Report {
+    let seed = ctx.seed;
+    let mut rep = Report::new(
+        "E16",
+        "Finalized-prefix growth over a faulty network (drops, dup/reorder, partitions)",
+        "Extension: am-bft per-node oracles over am-net fault schedules",
+    );
+    let latency = LatencyModel::Constant(DELTA_NS / 20); // 0.05 Δ per hop
+    let reps = ctx.reps(16);
+    let mut conflicts_total = 0u64;
+    let mut healed_agree_min = 1.0f64;
+
+    // --- Part 1: drops. ---
+    let part1 = am_obs::span("drops");
+    let mut table1 = Table::new(
+        "finality vs drop rate (n = 7, t = 0, k = 7; pull repair on)",
+        &COLS,
+    );
+    let mut s_rate = Series::new("finality rate vs drop");
+    let mut s_spread = Series::new("watermark spread at gate vs drop");
+    for &drop in &[0.0f64, 0.05, 0.1, 0.2, 0.3] {
+        let profile = NetProfile::ideal(latency).with_drop(drop);
+        let p = Params::new(N, 0, LAMBDA, K, seed ^ 0x16);
+        let cell = net_cell(&p, BftAdversary::Absent, &profile, reps);
+        conflicts_total += cell.conflicts;
+        healed_agree_min = healed_agree_min.min(cell.healed_agree);
+        s_rate.push(drop, cell.finality_rate);
+        s_spread.push(drop, cell.spread_gate);
+        row(&mut table1, format!("drop {drop}"), &cell);
+    }
+    rep.note(
+        "Correct nodes pull-repair dangling references (the parent-fetch \
+         every deployed BlockDAG performs), so a dropped announcement is \
+         re-requested from its author over the same faulty wire; without \
+         the pull a single lost block would starve every quorum forever.",
+    );
+    rep.tables.push(table1);
+    rep.series.push(s_rate);
+    rep.series.push(s_spread);
+    rep.note(
+        "Drops tax liveness, not agreement: lost blocks thin the visible \
+         cone, so quorum certificates take longer to assemble and \
+         per-node watermarks drift apart — but every finalized chain \
+         stays a prefix of every other, and the omniscient heal closes \
+         the gap exactly.",
+    );
+    drop(part1);
+
+    // --- Part 2: duplication and reordering are free. ---
+    let part2 = am_obs::span("dup_reorder");
+    let mut table2 = Table::new(
+        "finality under duplication / reordering (same params)",
+        &COLS,
+    );
+    for (label, profile) in [
+        ("clean", NetProfile::ideal(latency)),
+        ("dup 0.3", NetProfile::ideal(latency).with_dup(0.3)),
+        ("reorder 0.3", NetProfile::ideal(latency).with_reorder(0.3)),
+        (
+            "dup+reorder",
+            NetProfile::ideal(latency).with_dup(0.2).with_reorder(0.2),
+        ),
+    ] {
+        let p = Params::new(N, 0, LAMBDA, K, seed ^ 0x16d);
+        let cell = net_cell(&p, BftAdversary::Absent, &profile, reps);
+        conflicts_total += cell.conflicts;
+        healed_agree_min = healed_agree_min.min(cell.healed_agree);
+        row(&mut table2, label.to_string(), &cell);
+    }
+    rep.tables.push(table2);
+    rep.note(
+        "Duplicates are absorbed by idempotent admission and reordering \
+         by the ancestor-closed pending queue, so both profiles match \
+         the clean row's finality rate — the append-memory abstraction \
+         is already an anti-entropy protocol.",
+    );
+    drop(part2);
+
+    // --- Part 3: partition + heal. ---
+    let part3 = am_obs::span("partition");
+    let mut table3 = Table::new(
+        "finality vs half/half partition window (heal at window end)",
+        &COLS,
+    );
+    let mut s_part = Series::new("finality rate vs partition window (Δ)");
+    for &win in &[0u64, 4, 16, 64] {
+        let profile = NetProfile::ideal(latency).with_partition(0, win * DELTA_NS);
+        let p = Params::new(N, 0, LAMBDA, K, seed ^ 0x16e);
+        let cell = net_cell(&p, BftAdversary::Absent, &profile, reps);
+        conflicts_total += cell.conflicts;
+        healed_agree_min = healed_agree_min.min(cell.healed_agree);
+        s_part.push(win as f64, cell.finality_rate);
+        row(&mut table3, format!("window {win}Δ"), &cell);
+    }
+    rep.tables.push(table3);
+    rep.series.push(s_part);
+    rep.note(
+        "During the split neither half spans the 5-author quorum, so \
+         both watermarks flatline; after the heal, pull repair backfills \
+         the cross-partition gap and finalization resumes from where it \
+         stopped — the finality lag absorbs the whole window, but growth \
+         is delayed, never rewound.",
+    );
+    drop(part3);
+
+    // --- Part 4: Byzantine + lossy, composed. ---
+    let _part4 = am_obs::span("byz_lossy");
+    let mut table4 = Table::new(
+        "equivocator (t = 1) under drops: fault axes compose safely",
+        &COLS,
+    );
+    for &drop in &[0.0f64, 0.1, 0.2] {
+        let profile = NetProfile::ideal(latency).with_drop(drop);
+        let p = Params::new(N, 1, LAMBDA, K, seed ^ 0x16f);
+        let cell = net_cell(&p, BftAdversary::Equivocator, &profile, reps);
+        conflicts_total += cell.conflicts;
+        healed_agree_min = healed_agree_min.min(cell.healed_agree);
+        row(&mut table4, format!("eq + drop {drop}"), &cell);
+    }
+    rep.tables.push(table4);
+    rep.note(format!(
+        "No conflicting certificate across every profile, window, and \
+         adversary of this experiment ({conflicts_total} detections — \
+         network faults and Byzantine faults both reduce to a thinner \
+         visible cone, which can only slow certification, never fork \
+         it): {}",
+        if conflicts_total == 0 {
+            "CONFIRMED"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    rep.note(format!(
+        "Nonforking after heal — every correct node's finalized chain a \
+         prefix of every longer one, in every trial of every cell \
+         (worst per-cell agreement rate {}): {}",
+        f(healed_agree_min),
+        if healed_agree_min == 1.0 {
+            "CONFIRMED"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    rep.note(
+        "\"healed agree\" checks the nonforking invariant, not watermark \
+         equality: a certificate is per-observer, so a transient quorum \
+         one node saw mid-stream can leave its watermark a step ahead of \
+         a peer's until the next certificate — the chains themselves \
+         never diverge.",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_is_over_correct_nodes_only() {
+        let c = |n: usize| (0..n).map(|i| am_core::MsgId(i as u64)).collect::<Vec<_>>();
+        let chains = vec![c(5), c(3), c(9)];
+        assert_eq!(spread(&chains, 2), 2, "third (byz) node ignored");
+        assert_eq!(spread(&chains, 3), 6);
+    }
+
+    #[test]
+    fn net_cell_on_a_clean_wire_finalizes_and_agrees() {
+        let p = Params::new(5, 0, 0.5, 4, 2);
+        let profile = NetProfile::ideal(LatencyModel::Constant(DELTA_NS / 50));
+        let cell = net_cell(&p, BftAdversary::Absent, &profile, 3);
+        assert_eq!(cell.finality_rate, 1.0);
+        assert_eq!(cell.healed_agree, 1.0);
+        assert_eq!(cell.conflicts, 0);
+        assert!(cell.gate_height >= 4.0);
+    }
+}

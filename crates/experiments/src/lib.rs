@@ -1,4 +1,4 @@
-//! # am-experiments — the E1..E14 harness, as a library
+//! # am-experiments — the E1..E16 harness, as a library
 //!
 //! Every experiment module exposes `run(ctx: &RunCtx) -> Report`;
 //! [`REGISTRY`] is the single table of [`Experiment`] descriptors the
@@ -16,6 +16,8 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -31,7 +33,7 @@ use report::Report;
 use std::path::Path;
 
 /// Budget cap applied to every Monte-Carlo loop under `--fast`: enough
-/// trials to exercise the full pipeline, few enough that all fourteen
+/// trials to exercise the full pipeline, few enough that all sixteen
 /// experiments smoke-test in seconds.
 pub const FAST_BUDGET: u64 = 24;
 
@@ -203,6 +205,16 @@ pub static REGISTRY: &[Experiment] = &[
         describe: "Extension: ABD + chain/DAG under drops and partitions (am-net)",
         run: e14::run,
     },
+    Experiment {
+        id: "e15",
+        describe: "Extension: embedded BFT finality vs Byzantine fraction (am-bft)",
+        run: e15::run,
+    },
+    Experiment {
+        id: "e16",
+        describe: "Extension: finalized-prefix growth on a faulty network",
+        run: e16::run,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -320,7 +332,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(REGISTRY.len(), 14);
+        assert_eq!(REGISTRY.len(), 16);
         for (i, exp) in REGISTRY.iter().enumerate() {
             assert_eq!(exp.id, format!("e{}", i + 1), "presentation order");
             assert!(!exp.describe.is_empty(), "{} lacks a description", exp.id);

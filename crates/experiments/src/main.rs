@@ -3,13 +3,13 @@
 //! Blockchains" (SPAA 2020).
 //!
 //! ```text
-//! am-experiments                  # run everything (E1..E14)
+//! am-experiments                  # run everything (E1..E16)
 //! am-experiments e8 e9 e10        # run a subset
 //! am-experiments --seed 7 e8      # shift every Monte-Carlo trial
 //! am-experiments --out-dir out e8 # write out/e8.json + out/manifest.json
 //! am-experiments --adaptive e8    # Wilson early stopping per sweep point
 //! am-experiments --ci-width 0.02 e8  # adaptive, tighter half-width target
-//! am-experiments --fast           # tiny budgets: all 14 in seconds
+//! am-experiments --fast           # tiny budgets: all 16 in seconds
 //! am-experiments --max-batches 1 e8  # stop mid-sweep (checkpoint kept)
 //! am-experiments --resume e8      # finish from the checkpoint
 //! am-experiments --trace t.json e14 # export a chrome://tracing trace

@@ -66,6 +66,22 @@ pub struct LinearizeReq {
     pub node: u64,
 }
 
+/// The node's finalized watermark (quorum-replicated prefix height) and
+/// its digest — served locally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinalizedHeightReq {
+    /// The node whose archive is queried.
+    pub node: u64,
+}
+
+/// Archive snapshot pinned to the node's finalized watermark — the
+/// strongest prefix a client can read without trusting a single node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotAtFinalReq {
+    /// The node whose archive is queried.
+    pub node: u64,
+}
+
 /// Everything a client can ask.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Request {
@@ -81,6 +97,10 @@ pub enum Request {
     SnapshotAt(SnapshotAtReq),
     /// The node's canonical linearization digest.
     Linearize(LinearizeReq),
+    /// The node's finalized watermark and its digest.
+    FinalizedHeight(FinalizedHeightReq),
+    /// An archive snapshot at the node's finalized watermark.
+    SnapshotAtFinal(SnapshotAtFinalReq),
     /// Cluster-wide counters.
     Stats,
 }
@@ -164,6 +184,17 @@ pub struct LinearizedResp {
     pub digest: u64,
 }
 
+/// A finalized-watermark report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinalizedResp {
+    /// The finalized prefix height (quorum-replicated).
+    pub height: u64,
+    /// Rolling digest of the finalized prefix.
+    pub digest: u64,
+    /// The node's full archived height, for gauging its lag.
+    pub archived: u64,
+}
+
 /// Cluster-wide counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsResp {
@@ -226,6 +257,8 @@ pub enum Response {
     Snapshot(SnapshotResp),
     /// The canonical linearization digest.
     Linearized(LinearizedResp),
+    /// The finalized watermark.
+    Finalized(FinalizedResp),
     /// Cluster counters.
     Stats(StatsResp),
     /// The request failed with a typed error.
@@ -270,6 +303,8 @@ mod tests {
         round_trip_req(Request::Tip(TipReq { node: 0 }));
         round_trip_req(Request::SnapshotAt(SnapshotAtReq { node: 1, height: 9 }));
         round_trip_req(Request::Linearize(LinearizeReq { node: 3 }));
+        round_trip_req(Request::FinalizedHeight(FinalizedHeightReq { node: 2 }));
+        round_trip_req(Request::SnapshotAtFinal(SnapshotAtFinalReq { node: 0 }));
         round_trip_req(Request::Stats);
     }
 
@@ -312,6 +347,11 @@ mod tests {
         round_trip_resp(Response::Linearized(LinearizedResp {
             height: 10,
             digest: 11,
+        }));
+        round_trip_resp(Response::Finalized(FinalizedResp {
+            height: 8,
+            digest: 13,
+            archived: 10,
         }));
         round_trip_resp(Response::Stats(StatsResp {
             nodes: 4,

@@ -54,6 +54,9 @@ pub struct Archive {
     /// incrementally on sync, read in O(1) — the load generator queries
     /// it on the hot path.
     lin_digest: u64,
+    /// Finalized watermark: the prefix height the cluster has proven
+    /// durable (quorum-replicated). Monotone, never past [`Archive::height`].
+    final_h: usize,
 }
 
 impl Archive {
@@ -130,6 +133,33 @@ impl Archive {
     /// incrementally; O(1) per query.
     pub fn linearization_digest(&self) -> u64 {
         self.lin_digest
+    }
+
+    /// Raises the finalized watermark to `h`, clamped to the archived
+    /// height and never lowered (finality is monotone — a stale or
+    /// overshooting caller cannot regress or outrun the log). Returns
+    /// the watermark in force.
+    pub fn set_final_watermark(&mut self, h: usize) -> usize {
+        let clamped = h.min(self.height());
+        if clamped > self.final_h {
+            self.final_h = clamped;
+        }
+        self.final_h
+    }
+
+    /// The finalized prefix height — everything below it is
+    /// quorum-replicated and can no longer be lost to a single node's
+    /// failure. Always ≤ [`Archive::height`].
+    pub fn finalized_height(&self) -> usize {
+        self.final_h
+    }
+
+    /// Rolling digest of the finalized prefix — the O(1) integrity
+    /// handle clients compare across nodes. Watermarks may differ while
+    /// nodes lag; equal watermarks imply equal digests.
+    pub fn finalized_digest(&self) -> u64 {
+        self.digest_at(self.final_h)
+            .expect("watermark never exceeds the archived height")
     }
 
     /// The canonical linearization itself, for callers that want the
@@ -234,5 +264,25 @@ mod tests {
         assert_eq!(ar.digest_at(0), Some(0));
         assert_eq!(ar.linearization_digest(), 0);
         assert_eq!(ar.snapshot_at(5).len(), 0);
+        assert_eq!(ar.finalized_height(), 0);
+        assert_eq!(ar.finalized_digest(), 0);
+    }
+
+    #[test]
+    fn final_watermark_is_monotone_and_clamped() {
+        let msgs: Vec<MpMsg> = (0..30).map(|i| msg(0, i)).collect();
+        let mut ar = Archive::new();
+        ar.sync_from(&view(&msgs[..10]));
+        // Overshooting clamps to the archived height.
+        assert_eq!(ar.set_final_watermark(25), 10);
+        assert_eq!(ar.finalized_height(), 10);
+        // Lower calls never regress it.
+        assert_eq!(ar.set_final_watermark(3), 10);
+        assert_eq!(ar.finalized_digest(), ar.digest_at(10).unwrap());
+        // Growth re-enables raising, and the digest follows the prefix.
+        ar.sync_from(&view(&msgs));
+        assert_eq!(ar.set_final_watermark(25), 25);
+        assert_eq!(ar.finalized_digest(), ar.digest_at(25).unwrap());
+        assert!(ar.finalized_height() <= ar.height());
     }
 }

@@ -24,8 +24,8 @@
 //! the settle merges the remaining straggler responses).
 
 use crate::api::{
-    ApiError, ApiMsg, AppendedResp, DupInfo, GapInfo, LinearizedResp, Request, Response,
-    SnapshotResp, StatsResp, TipResp, ViewResp,
+    ApiError, ApiMsg, AppendedResp, DupInfo, FinalizedResp, GapInfo, LinearizedResp, Request,
+    Response, SnapshotResp, StatsResp, TipResp, ViewResp,
 };
 use crate::archive::Archive;
 use crate::mempool::{Mempool, MempoolConfig, MempoolError, PendingAppend};
@@ -65,6 +65,8 @@ pub struct Cluster {
     archives: Vec<Archive>,
     appends_done: u64,
     reads_done: u64,
+    /// Scratch for the per-sync watermark computation.
+    heights_buf: Vec<usize>,
 }
 
 impl Cluster {
@@ -77,6 +79,7 @@ impl Cluster {
             archives: vec![Archive::new(); cfg.nodes],
             appends_done: 0,
             reads_done: 0,
+            heights_buf: Vec::new(),
         }
     }
 
@@ -111,6 +114,21 @@ impl Cluster {
     fn sync_archives(&mut self) {
         for node in 0..self.archives.len() {
             self.archives[node].sync_from(self.sys.view(node));
+        }
+        // Finalized watermark: a prefix height is final once a majority
+        // of archives hold it (the q-th largest archived height, q =
+        // ⌊n/2⌋ + 1) — quorum intersection then guarantees any future
+        // quorum read returns it. Each archive clamps the cluster
+        // watermark to its own height, so a lagging node reports the
+        // finalized prefix it actually holds.
+        let q = self.archives.len() / 2 + 1;
+        self.heights_buf.clear();
+        self.heights_buf
+            .extend(self.archives.iter().map(|a| a.height()));
+        self.heights_buf.sort_unstable_by(|a, b| b.cmp(a));
+        let w = self.heights_buf[q - 1];
+        for ar in &mut self.archives {
+            ar.set_final_watermark(w);
         }
     }
 
@@ -253,6 +271,30 @@ impl Cluster {
                     digest: ar.linearization_digest(),
                 }))
             }
+            Request::FinalizedHeight(r) => {
+                let node = self.node_of(r.node)?;
+                let ar = &self.archives[node];
+                Ok(Response::Finalized(FinalizedResp {
+                    height: ar.finalized_height() as u64,
+                    digest: ar.finalized_digest(),
+                    archived: ar.height() as u64,
+                }))
+            }
+            Request::SnapshotAtFinal(r) => {
+                let node = self.node_of(r.node)?;
+                let ar = &self.archives[node];
+                let height = ar.finalized_height();
+                let snap = ar.snapshot_at(height);
+                let tail_start = height.saturating_sub(8);
+                Ok(Response::Snapshot(SnapshotResp {
+                    height: height as u64,
+                    digest: ar.finalized_digest(),
+                    tail: snap
+                        .iter_from(tail_start)
+                        .map(|m| ApiMsg::from(*m))
+                        .collect(),
+                }))
+            }
             Request::Stats => Ok(Response::Stats(StatsResp {
                 nodes: self.n() as u64,
                 appends: self.appends_done,
@@ -307,6 +349,48 @@ mod tests {
     }
 
     #[test]
+    fn finalized_watermark_tracks_quorum_replication_and_converges() {
+        use crate::api::{FinalizedHeightReq, SnapshotAtFinalReq};
+        let mut c = Cluster::new(ClusterConfig::ideal(4, 11));
+        for i in 0..12 {
+            append(&mut c, i % 2, 1);
+        }
+        // Watermarks never exceed archived heights and at least one node
+        // (the quorum majority) has finalized something.
+        for node in 0..4u64 {
+            match c.handle(&Request::FinalizedHeight(FinalizedHeightReq { node })) {
+                Response::Finalized(f) => {
+                    assert!(f.height <= f.archived, "node {node}: {f:?}");
+                    assert_eq!(
+                        Some(f.digest),
+                        c.archive(node as usize).digest_at(f.height as usize)
+                    );
+                }
+                other => panic!("finalized failed: {other:?}"),
+            }
+        }
+        // converge() equalizes archives, hence finality watermarks.
+        c.converge();
+        let finals: Vec<Response> = (0..4)
+            .map(|node| c.handle(&Request::FinalizedHeight(FinalizedHeightReq { node })))
+            .collect();
+        match &finals[0] {
+            Response::Finalized(f) => assert_eq!(f.height, 12, "all appends finalized"),
+            other => panic!("finalized failed: {other:?}"),
+        }
+        assert!(finals.iter().all(|f| *f == finals[0]), "{finals:?}");
+        // SnapshotAtFinal pins the snapshot to the watermark.
+        match c.handle(&Request::SnapshotAtFinal(SnapshotAtFinalReq { node: 1 })) {
+            Response::Snapshot(s) => {
+                assert_eq!(s.height, 12);
+                assert_eq!(Some(s.digest), c.archive(1).digest_at(12));
+                assert_eq!(s.tail.len(), 8, "tail caps at 8");
+            }
+            other => panic!("snapshot-at-final failed: {other:?}"),
+        }
+    }
+
+    #[test]
     fn quorum_read_reports_merged_view() {
         let mut c = Cluster::new(ClusterConfig::ideal(5, 3));
         append(&mut c, 0, 1);
@@ -356,6 +440,8 @@ mod tests {
                 height: 0,
             }),
             Request::Linearize(LinearizeReq { node: 3 }),
+            Request::FinalizedHeight(crate::api::FinalizedHeightReq { node: 3 }),
+            Request::SnapshotAtFinal(crate::api::SnapshotAtFinalReq { node: 8 }),
         ] {
             assert_eq!(c.handle(&req), Response::Error(ApiError::NoSuchNode));
         }

@@ -16,7 +16,10 @@
 //! op class — is plain serde data, ready for the BENCH_PR6 trajectory
 //! file or a smoke-test round-trip.
 
-use crate::api::{AppendReq, LinearizeReq, ReadReq, Request, Response, SnapshotAtReq, TipReq};
+use crate::api::{
+    AppendReq, FinalizedHeightReq, LinearizeReq, ReadReq, Request, Response, SnapshotAtFinalReq,
+    SnapshotAtReq, TipReq,
+};
 use crate::cluster::ClusterConfig;
 use crate::mempool::MempoolConfig;
 use crate::runtime::{NodeHandle, NodeRuntime};
@@ -130,6 +133,8 @@ pub struct LoadgenRecord {
     pub read: OpStats,
     /// Archive-query-call latency (tip / snapshot / linearize).
     pub query: OpStats,
+    /// Finality-query-call latency (finalized height / snapshot-at-final).
+    pub finality: OpStats,
 }
 
 /// Cumulative zipf distribution over `n` authors with exponent `theta`.
@@ -161,6 +166,7 @@ enum OpKind {
     Append,
     Read,
     Query,
+    Finality,
 }
 
 fn draw_request<R: Rng>(rng: &mut R, cfg: &LoadgenConfig, zipf: &ZipfCdf) -> (OpKind, Request) {
@@ -175,7 +181,7 @@ fn draw_request<R: Rng>(rng: &mut R, cfg: &LoadgenConfig, zipf: &ZipfCdf) -> (Op
         );
     }
     let node = rng.gen_range(0..cfg.nodes) as u64;
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..12u32) {
         0 => (OpKind::Read, Request::Read(ReadReq { node })),
         1..=6 => (OpKind::Query, Request::Tip(TipReq { node })),
         7..=8 => (
@@ -187,7 +193,15 @@ fn draw_request<R: Rng>(rng: &mut R, cfg: &LoadgenConfig, zipf: &ZipfCdf) -> (Op
                 height: rng.gen_range(0..1_000_000),
             }),
         ),
-        _ => (OpKind::Query, Request::Linearize(LinearizeReq { node })),
+        9 => (OpKind::Query, Request::Linearize(LinearizeReq { node })),
+        10 => (
+            OpKind::Finality,
+            Request::FinalizedHeight(FinalizedHeightReq { node }),
+        ),
+        _ => (
+            OpKind::Finality,
+            Request::SnapshotAtFinal(SnapshotAtFinalReq { node }),
+        ),
     }
 }
 
@@ -225,6 +239,7 @@ fn client_loop(
     let lat_append = am_obs::histogram("node.lat.append");
     let lat_read = am_obs::histogram("node.lat.read");
     let lat_query = am_obs::histogram("node.lat.query");
+    let lat_finality = am_obs::histogram("node.lat.finality");
     let mut out = ClientOutcome {
         completed: 0,
         errors: 0,
@@ -246,6 +261,7 @@ fn client_loop(
             OpKind::Append => lat_append.record(ns),
             OpKind::Read => lat_read.record(ns),
             OpKind::Query => lat_query.record(ns),
+            OpKind::Finality => lat_finality.record(ns),
         }
         out.completed += 1;
         if resp.is_err() {
@@ -332,6 +348,7 @@ pub fn run(cfg: LoadgenConfig) -> LoadgenRecord {
         append: OpStats::from_hist(&am_obs::histogram("node.lat.append")),
         read: OpStats::from_hist(&am_obs::histogram("node.lat.read")),
         query: OpStats::from_hist(&am_obs::histogram("node.lat.query")),
+        finality: OpStats::from_hist(&am_obs::histogram("node.lat.finality")),
     };
     am_obs::set_enabled(obs_was_enabled);
     record
@@ -356,11 +373,11 @@ mod tests {
         assert_eq!(rec.errors, 0, "an ideal network decides everything");
         assert!(rec.requests_per_sec > 0.0);
         assert!(
-            rec.append.count > 0 && rec.query.count > 0,
-            "both op classes ran: {rec:?}"
+            rec.append.count > 0 && rec.query.count > 0 && rec.finality.count > 0,
+            "append, query, and finality op classes all ran: {rec:?}"
         );
         assert_eq!(
-            rec.append.count + rec.read.count + rec.query.count,
+            rec.append.count + rec.read.count + rec.query.count + rec.finality.count,
             rec.completed,
             "every completed call is in exactly one histogram"
         );

@@ -16,6 +16,10 @@
 //!   Adversaries: *dissenter* (spends its fair token share on minority
 //!   values) and *withhold-burst* (banks tokens and releases a private
 //!   chain just before the decision — Lemma 5.5).
+//! * [`bft`] — the finality layer (PR 7): the same token-gated DAG read
+//!   as an embedded BFT protocol (`am-bft`), with per-node finality
+//!   oracles and Byzantine strategies that target finality itself
+//!   (equivocation, vote withholding, stale-parent mining).
 //! * [`runner`] — parallel Monte-Carlo estimation of validity-failure
 //!   rates and resilience thresholds (rayon fan-out, per-trial seeding).
 //! * [`sweep`] — the adaptive sweep engine: batched trials with Wilson
@@ -38,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bft;
 pub mod chain;
 pub mod dag;
 pub mod params;
@@ -48,6 +53,7 @@ pub mod sweep;
 pub mod timestamp;
 pub mod weak;
 
+pub use bft::{run_bft, run_bft_net, run_bft_net_full, BftAdversary, BftNetRun, BftTrial};
 pub use chain::{run_chain, ChainAdversary, ChainTrial, TieBreak};
 pub use dag::{run_dag, DagAdversary, DagRule, DagTrial};
 pub use params::{ParamError, Params, ParamsBuilder, ViewPolicy};

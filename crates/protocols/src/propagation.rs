@@ -59,6 +59,8 @@ pub struct Propagation {
     /// Global block metadata, indexed by `MsgId::index()`.
     depth: Vec<u32>,
     parents: Vec<Vec<MsgId>>,
+    /// Block authors (`u32::MAX` for genesis), for pull repair.
+    authors: Vec<u32>,
     /// `visible[node][id.index()]`.
     visible: Vec<Vec<bool>>,
     /// Arrived blocks waiting for parents, per node.
@@ -72,6 +74,12 @@ pub struct Propagation {
     deepest: Vec<Vec<MsgId>>,
     /// Maintained count of visible blocks, per node (genesis included).
     visible_n: Vec<usize>,
+    /// Opt-in per-node admission log: ids in the order they became
+    /// visible (ancestor-closed by construction). The BFT runners drain
+    /// this to feed per-node finality oracles in delivery order; the
+    /// Algorithm 5/6 runners leave it off.
+    track_admitted: bool,
+    admitted: Vec<Vec<MsgId>>,
     /// Reused buffer for [`Self::flush_pending`].
     ready_buf: Vec<MsgId>,
     obs_announced: am_obs::Counter,
@@ -97,12 +105,15 @@ impl Propagation {
             n,
             depth: vec![0],
             parents: vec![Vec::new()],
+            authors: vec![u32::MAX],
             visible: vec![vec![true]; n], // genesis is visible everywhere
             pending: vec![Vec::new(); n],
             tips: vec![vec![GENESIS]; n],
             best_depth: vec![0; n],
             deepest: vec![vec![GENESIS]; n],
             visible_n: vec![1; n],
+            track_admitted: false,
+            admitted: vec![Vec::new(); n],
             ready_buf: Vec::new(),
             obs_announced: am_obs::counter("protocols.blocks_announced"),
         }
@@ -127,6 +138,7 @@ impl Propagation {
             .unwrap_or(1);
         self.depth.push(d);
         self.parents.push(parents.to_vec());
+        self.authors.push(author as u32);
         for v in &mut self.visible {
             v.push(false);
         }
@@ -212,6 +224,9 @@ impl Propagation {
         let idx = id.index();
         self.visible[node][idx] = true;
         self.visible_n[node] += 1;
+        if self.track_admitted {
+            self.admitted[node].push(id);
+        }
         let parents = &self.parents[idx];
         // `retain` preserves order, so the sorted invariant survives the
         // parent eviction; the insert below restores it for the new tip.
@@ -296,6 +311,60 @@ impl Propagation {
     /// Naive baseline for [`Self::visible_count`]: scans the bitmap.
     pub fn visible_count_scan(&self, node: usize) -> usize {
         self.visible[node].iter().filter(|&&v| v).count()
+    }
+
+    /// Turns the per-node admission log on (call before the first
+    /// append). Off by default — the Algorithm 5/6 runners pay nothing.
+    pub fn set_track_admitted(&mut self, on: bool) {
+        self.track_admitted = on;
+    }
+
+    /// Moves the blocks `node` admitted since the last drain into `out`,
+    /// in admission order (parents always precede children). Requires
+    /// [`Self::set_track_admitted`].
+    pub fn drain_admitted(&mut self, node: usize, out: &mut Vec<MsgId>) {
+        debug_assert!(self.track_admitted, "admission log is off");
+        out.append(&mut self.admitted[node]);
+    }
+
+    /// Opt-in pull repair (the finality runners call it; Algorithm 5/6
+    /// runners never do, so their delivery traces are untouched): every
+    /// block parked in `node`'s pending queue re-requests its missing
+    /// parents from their authors — the parent-fetch a deployed BlockDAG
+    /// performs when it sees a dangling reference. The refetched
+    /// announcement travels the normal faulty wire (it can be dropped or
+    /// partitioned away again; the request itself is not modelled), and
+    /// idempotent admission absorbs duplicate copies. Deep gaps converge
+    /// iteratively: a fetched parent with missing parents of its own
+    /// parks in pending and is repaired on a later call. Returns the
+    /// number of fetches issued.
+    pub fn pull_missing_parents(&mut self, node: usize) -> usize {
+        let mut wanted = std::mem::take(&mut self.ready_buf);
+        wanted.clear();
+        for i in 0..self.pending[node].len() {
+            let id = self.pending[node][i];
+            for &p in &self.parents[id.index()] {
+                if !self.visible[node][p.index()] && !wanted.contains(&p) {
+                    wanted.push(p);
+                }
+            }
+        }
+        let fetched = wanted.len();
+        for &p in &wanted {
+            // A node always sees its own appends instantly, so a missing
+            // block's author is never the requester.
+            let author = self.authors[p.index()] as usize;
+            self.net.send(author, node, BlockMsg { id: p });
+        }
+        wanted.clear();
+        self.ready_buf = wanted;
+        fetched
+    }
+
+    /// The parents a block was announced with (for replaying admissions
+    /// into a per-node interpreter).
+    pub fn parents_of(&self, id: MsgId) -> &[MsgId] {
+        &self.parents[id.index()]
     }
 
     /// The network's observability data.

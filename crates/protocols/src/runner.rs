@@ -5,6 +5,7 @@
 //! into [`Proportion`] tallies — the pattern the experiment harness and
 //! the resilience-threshold searches are built on.
 
+use crate::bft::{run_bft, run_bft_net, BftAdversary};
 use crate::chain::{run_chain, ChainAdversary, TieBreak};
 use crate::dag::{run_dag, DagAdversary, DagRule};
 use crate::params::Params;
@@ -22,6 +23,10 @@ pub enum TrialKind {
     Chain(TieBreak, ChainAdversary),
     /// Algorithm 6 with an ordering rule and adversary.
     Dag(DagRule, DagAdversary),
+    /// The embedded BFT finality layer with a finality-targeting
+    /// adversary; a trial fails if finality stalls or a conflict is
+    /// detected.
+    Bft(BftAdversary),
 }
 
 impl TrialKind {
@@ -31,6 +36,7 @@ impl TrialKind {
             TrialKind::Timestamp => "timestamp".into(),
             TrialKind::Chain(tie, adv) => format!("chain/{tie:?}/{adv:?}").to_lowercase(),
             TrialKind::Dag(rule, adv) => format!("dag/{rule:?}/{adv:?}").to_lowercase(),
+            TrialKind::Bft(adv) => format!("bft/{}", adv.label()),
         }
     }
 
@@ -48,6 +54,14 @@ impl TrialKind {
             (TrialKind::Dag(rule, adv), None) => !run_dag(p, *rule, *adv).validity,
             (TrialKind::Dag(rule, adv), Some(profile)) => {
                 !run_dag_net(p, *rule, *adv, &profile).0.validity
+            }
+            (TrialKind::Bft(adv), None) => {
+                let out = run_bft(p, *adv);
+                !out.finality || out.conflict
+            }
+            (TrialKind::Bft(adv), Some(profile)) => {
+                let out = run_bft_net(p, *adv, &profile).0;
+                !out.finality || out.conflict
             }
         }
     }

@@ -37,12 +37,14 @@
 
 pub mod bivalence;
 pub mod explore;
+pub mod nonforking;
 pub mod proto;
 pub mod round_lb;
 pub mod zoo_ext;
 
 pub use bivalence::{initial_bivalent, round_robin_witness, Witness, WitnessOutcome};
 pub use explore::{Analysis, Config, Entry, Event, Explorer, LocalState, Ref, Valency};
+pub use nonforking::{check_nonforking, NonforkingReport};
 pub use proto::{AsyncProtocol, FirstSeenProtocol, Op, QuorumVoteProtocol, ViewRef};
 pub use round_lb::{search_disagreement, search_disagreement_t, RoundLbOutcome};
 pub use zoo_ext::EchoVoteProtocol;

@@ -1,0 +1,387 @@
+//! Nonforking of the embedded finality layer, model-checked.
+//!
+//! The am-bft oracle claims an *invariant*, not a statistical tendency:
+//! whatever order blocks are authored and observed in, and whatever
+//! stale views Byzantine authors build on, the finalized chain only
+//! ever grows, and any two observation schedules of the same history
+//! finalize extension-ordered chains. The Monte-Carlo drivers sample
+//! that claim; this module checks it *exhaustively* over a bounded
+//! universe, in the spirit of the Section 2 explorer.
+//!
+//! The universe: `n` authors grow one block DAG. A correct author has
+//! exactly one move per state — append on its full current view with a
+//! self-parent (the honest rule of the protocol drivers). A Byzantine
+//! author may append on **any** id-prefix of the history, without a
+//! self-parent — the stale-prefix moves that manufacture equivocation
+//! (two blocks by one author at the same round). Every interleaving up
+//! to `max_blocks` appends is explored.
+//!
+//! At each reachable state the finality oracle replays the history and
+//! three invariants are checked:
+//!
+//! 1. **No conflict** — the oracle never certifies two incompatible
+//!    candidates ([`FinalityOracle::conflict_detected`] stays false).
+//! 2. **Monotonicity** — along every edge, the child state's finalized
+//!    chain extends the parent state's: observing more never retracts.
+//! 3. **Cross-schedule agreement** — states holding the *same logical
+//!    blocks* (identified structurally, so ids assigned by different
+//!    interleavings don't matter) finalize pairwise extension-ordered
+//!    chains, even when their watermarks differ.
+
+use am_bft::FinalityOracle;
+use am_core::{MsgId, GENESIS};
+use std::collections::HashMap;
+
+/// splitmix64-style mixer for structural block identities.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One appended block of a history under exploration.
+#[derive(Clone)]
+struct Block {
+    author: usize,
+    parents: Vec<MsgId>,
+    depth: u32,
+    /// Structural identity: a pure function of `(author, parent cids,
+    /// duplicate index)` — equal across interleavings that assign
+    /// different global ids to the same logical block.
+    cid: u64,
+}
+
+/// Outcome of one exhaustive nonforking search.
+#[derive(Clone, Debug)]
+pub struct NonforkingReport {
+    /// Distinct states (interleavings) visited.
+    pub states: usize,
+    /// Whether the state budget cut the search short (results are then
+    /// lower bounds; the invariants still held on everything visited).
+    pub truncated: bool,
+    /// States in which the observer had finalized at least one block.
+    pub finalizing_states: usize,
+    /// States in which the observer had caught an equivocator.
+    pub equivocating_states: usize,
+    /// Deepest finalized chain seen anywhere.
+    pub max_finalized: usize,
+    /// The first invariant violation found, if any — `None` is the
+    /// theorem (over this bounded universe).
+    pub violation: Option<String>,
+}
+
+struct Search {
+    n: usize,
+    byz: Vec<bool>,
+    max_blocks: usize,
+    max_states: usize,
+    report: NonforkingReport,
+    /// Structural block-set key → finalized chains (as cid sequences)
+    /// seen at states holding exactly that set.
+    groups: HashMap<u64, Vec<Vec<u64>>>,
+}
+
+/// The parent list an append on the prefix of the first `p` blocks
+/// (plus genesis) uses: the deepest visible block (ties to the smallest
+/// id), the author's own last block when `own` is given and visible,
+/// and every remaining visible tip — the same rule the protocol
+/// drivers follow.
+fn view_parents(blocks: &[Block], p: usize, own: MsgId) -> Vec<MsgId> {
+    let mut best_d = 0u32;
+    let mut sel = GENESIS;
+    for (i, b) in blocks[..p].iter().enumerate() {
+        if b.depth > best_d {
+            best_d = b.depth;
+            sel = MsgId(i as u64 + 1);
+        }
+    }
+    let mut has_child = vec![false; p + 1];
+    for b in &blocks[..p] {
+        for par in &b.parents {
+            has_child[par.index()] = true;
+        }
+    }
+    let mut parents = vec![sel];
+    if own != sel && own != GENESIS && own.index() <= p {
+        parents.push(own);
+    }
+    for (idx, taken) in has_child.iter().enumerate() {
+        let id = MsgId(idx as u64);
+        if !taken && id != sel && id != own {
+            parents.push(id);
+        }
+    }
+    parents
+}
+
+/// Replays `blocks` into a fresh oracle; returns the finalized chain,
+/// whether a conflict was certified, and the equivocator count.
+fn replay(n: usize, blocks: &[Block]) -> (Vec<MsgId>, bool, usize) {
+    let mut oracle = FinalityOracle::new(n);
+    for (i, b) in blocks.iter().enumerate() {
+        oracle.observe(MsgId(i as u64 + 1), b.author, &b.parents);
+    }
+    (
+        oracle.finalized_chain(),
+        oracle.conflict_detected(),
+        oracle.equivocator_count(),
+    )
+}
+
+impl Search {
+    fn chain_cids(blocks: &[Block], chain: &[MsgId]) -> Vec<u64> {
+        chain
+            .iter()
+            .map(|id| {
+                if *id == GENESIS {
+                    0
+                } else {
+                    blocks[id.index() - 1].cid
+                }
+            })
+            .collect()
+    }
+
+    fn set_key(blocks: &[Block]) -> u64 {
+        let mut cids: Vec<u64> = blocks.iter().map(|b| b.cid).collect();
+        cids.sort_unstable();
+        cids.into_iter().fold(0x006e_6f6e_666f_726b_u64, mix)
+    }
+
+    fn fail(&mut self, why: String) {
+        if self.report.violation.is_none() {
+            self.report.violation = Some(why);
+        }
+    }
+
+    /// DFS from `blocks`, whose own replay produced `chain`.
+    fn explore(&mut self, blocks: &mut Vec<Block>, chain: &[MsgId]) {
+        if self.report.violation.is_some() || blocks.len() >= self.max_blocks {
+            return;
+        }
+        for node in 0..self.n {
+            // A correct author's single move uses the full view with a
+            // self-parent; a Byzantine author picks any prefix, dropping
+            // the self-parent (the equivocation device).
+            let prefixes = if self.byz[node] {
+                0..=blocks.len()
+            } else {
+                blocks.len()..=blocks.len()
+            };
+            for p in prefixes {
+                if self.report.states >= self.max_states {
+                    self.report.truncated = true;
+                    return;
+                }
+                let own = if self.byz[node] {
+                    GENESIS
+                } else {
+                    blocks
+                        .iter()
+                        .rposition(|b| b.author == node)
+                        .map(|i| MsgId(i as u64 + 1))
+                        .unwrap_or(GENESIS)
+                };
+                let parents = view_parents(blocks, p, own);
+                let depth = parents
+                    .iter()
+                    .map(|pa| {
+                        if *pa == GENESIS {
+                            1
+                        } else {
+                            blocks[pa.index() - 1].depth + 1
+                        }
+                    })
+                    .max()
+                    .unwrap();
+                let base = parents
+                    .iter()
+                    .map(|pa| {
+                        if *pa == GENESIS {
+                            0
+                        } else {
+                            blocks[pa.index() - 1].cid
+                        }
+                    })
+                    .fold(mix(0, node as u64 + 1), mix);
+                // Structural twins (same author, same parents — i.e.
+                // equivocation duplicates) get distinct cids via a
+                // duplicate index, so chains over them stay comparable.
+                let mut twin = 0u64;
+                let mut cid = mix(base, twin);
+                while blocks.iter().any(|b| b.cid == cid) {
+                    twin += 1;
+                    cid = mix(base, twin);
+                }
+                blocks.push(Block {
+                    author: node,
+                    parents,
+                    depth,
+                    cid,
+                });
+                self.visit(blocks, chain);
+                blocks.pop();
+                if self.report.violation.is_some() {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, blocks: &mut Vec<Block>, parent_chain: &[MsgId]) {
+        self.report.states += 1;
+        let (chain, conflict, equivocators) = replay(self.n, blocks);
+        if conflict {
+            self.fail(format!(
+                "conflicting quorum certified after {} blocks",
+                blocks.len()
+            ));
+            return;
+        }
+        if equivocators > 0 {
+            self.report.equivocating_states += 1;
+        }
+        if chain.len() > 1 {
+            self.report.finalizing_states += 1;
+            self.report.max_finalized = self.report.max_finalized.max(chain.len() - 1);
+        }
+        // Monotonicity: the child's chain extends the parent's.
+        if chain.len() < parent_chain.len() || chain[..parent_chain.len()] != *parent_chain {
+            self.fail(format!(
+                "finality retracted: {parent_chain:?} -> {chain:?} after {} blocks",
+                blocks.len()
+            ));
+            return;
+        }
+        // Cross-schedule agreement: same logical block set, extension-
+        // ordered chains (watermarks may differ; prefixes may not).
+        let cids = Search::chain_cids(blocks, &chain);
+        let peers = self.groups.entry(Search::set_key(blocks)).or_default();
+        let fork = peers.iter().find(|peer| {
+            let m = peer.len().min(cids.len());
+            peer[..m] != cids[..m]
+        });
+        if let Some(peer) = fork {
+            let why = format!("two schedules of one history fork: {peer:?} vs {cids:?}");
+            self.fail(why);
+            return;
+        }
+        peers.push(cids);
+        self.explore(blocks, &chain);
+    }
+}
+
+/// Exhaustively explores every interleaving of up to `max_blocks`
+/// appends by `n` authors (those in `byz` using arbitrary stale-prefix
+/// views without self-parents) and checks the nonforking invariants at
+/// every reachable state. `max_states` bounds the search; hitting it
+/// sets [`NonforkingReport::truncated`] rather than failing.
+pub fn check_nonforking(
+    n: usize,
+    byz: &[usize],
+    max_blocks: usize,
+    max_states: usize,
+) -> NonforkingReport {
+    let mut byz_mask = vec![false; n];
+    for &b in byz {
+        byz_mask[b] = true;
+    }
+    let mut search = Search {
+        n,
+        byz: byz_mask,
+        max_blocks,
+        max_states,
+        report: NonforkingReport {
+            states: 0,
+            truncated: false,
+            finalizing_states: 0,
+            equivocating_states: 0,
+            max_finalized: 0,
+            violation: None,
+        },
+        groups: HashMap::new(),
+    };
+    let mut blocks = Vec::new();
+    let (chain, _, _) = replay(n, &blocks);
+    search.explore(&mut blocks, &chain);
+    search.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_histories_finalize_and_never_fork() {
+        let rep = check_nonforking(3, &[], 6, 100_000);
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(!rep.truncated);
+        assert!(rep.finalizing_states > 0, "nothing finalized: {rep:?}");
+        assert_eq!(rep.equivocating_states, 0, "honest authors can't collide");
+        assert!(rep.max_finalized >= 1);
+    }
+
+    #[test]
+    fn stale_prefix_byzantine_equivocates_but_never_forks() {
+        // Author 2 may build on any stale prefix without a self-parent:
+        // the search reaches states where it equivocates, states where
+        // the two correct authors finalized first, and every interleaving
+        // between — none may retract or fork finality.
+        let rep = check_nonforking(3, &[2], 6, 400_000);
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(!rep.truncated, "raise the budget: {} states", rep.states);
+        assert!(rep.equivocating_states > 0, "no equivocation reached");
+        assert!(rep.finalizing_states > 0, "no finality reached");
+    }
+
+    #[test]
+    fn two_byzantine_authors_cannot_fork_either() {
+        // Beyond the n = 3 tolerance (quorum 3 needs every author):
+        // finality may become unreachable, forking must stay impossible.
+        let rep = check_nonforking(3, &[1, 2], 4, 400_000);
+        assert!(rep.violation.is_none(), "{:?}", rep.violation);
+        assert!(!rep.truncated);
+    }
+
+    #[test]
+    fn state_budget_truncates_gracefully() {
+        let rep = check_nonforking(3, &[2], 6, 500);
+        assert!(rep.truncated);
+        assert!(rep.states <= 500);
+        assert!(rep.violation.is_none());
+    }
+
+    #[test]
+    fn view_parents_selects_deepest_and_tips() {
+        // genesis <- b1 <- b2, plus b3 off genesis: full view selects b2
+        // (deepest), keeps b3 as a tip.
+        let blocks = vec![
+            Block {
+                author: 0,
+                parents: vec![GENESIS],
+                depth: 1,
+                cid: 1,
+            },
+            Block {
+                author: 1,
+                parents: vec![MsgId(1)],
+                depth: 2,
+                cid: 2,
+            },
+            Block {
+                author: 2,
+                parents: vec![GENESIS],
+                depth: 1,
+                cid: 3,
+            },
+        ];
+        let ps = view_parents(&blocks, 3, GENESIS);
+        assert_eq!(ps, vec![MsgId(2), MsgId(3)]);
+        // Self-parent joins when it isn't already the selection.
+        let ps = view_parents(&blocks, 3, MsgId(1));
+        assert_eq!(ps, vec![MsgId(2), MsgId(1), MsgId(3)]);
+    }
+}

@@ -115,9 +115,10 @@ fn summarize(rec: &LoadgenRecord) {
         ("append", &rec.append),
         ("read", &rec.read),
         ("query", &rec.query),
+        ("finality", &rec.finality),
     ] {
         println!(
-            "loadgen:   {class:<6} n={:<9} mean={:>9.0}ns  p50={:>8}ns  p99={:>9}ns  p999={:>9}ns",
+            "loadgen:   {class:<8} n={:<9} mean={:>9.0}ns  p50={:>8}ns  p99={:>9}ns  p999={:>9}ns",
             s.count, s.mean_ns, s.p50_ns, s.p99_ns, s.p999_ns
         );
     }

@@ -8,6 +8,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `am-core` | the append memory, messages, views, reference DAG, chain/GHOST ordering, linearization |
+//! | [`bft`] | `am-bft` | deterministic BFT finality embedded in the block DAG: interpreter + finality oracle |
 //! | [`sched`] | `am-sched` | the Section 2 formalism + bivalence model checker (Theorem 2.1, Lemma 3.1) |
 //! | [`sync`] | `am-sync` | Algorithm 1 (synchronous Byzantine agreement) and its straddling adversaries |
 //! | [`mp`] | `am-mp` | the ABD-style message-passing simulation (Algorithms 2–3) |
@@ -40,6 +41,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use am_bft as bft;
 pub use am_core as core;
 pub use am_mp as mp;
 pub use am_node as node;
