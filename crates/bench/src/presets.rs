@@ -33,10 +33,20 @@ pub enum Preset {
     /// incremental finality oracle vs a replay-from-scratch baseline,
     /// plus an E15 sweep-cell record.
     Pr7,
+    /// PR8, the topology engine (DESIGN.md §13): relay-gossip trial
+    /// throughput with sparse per-link state vs the dense O(n²)
+    /// statistics baseline, plus an E18-style divergence-probe record.
+    Pr8,
 }
 
 /// All presets, in PR order.
-pub const ALL: [Preset; 4] = [Preset::Pr4, Preset::Pr5, Preset::Pr6, Preset::Pr7];
+pub const ALL: [Preset; 5] = [
+    Preset::Pr4,
+    Preset::Pr5,
+    Preset::Pr6,
+    Preset::Pr7,
+    Preset::Pr8,
+];
 
 impl Preset {
     /// Schema tag written to (and required of) the file.
@@ -46,6 +56,7 @@ impl Preset {
             Preset::Pr5 => "bench-pr5/1",
             Preset::Pr6 => "bench-pr6/1",
             Preset::Pr7 => "bench-pr7/1",
+            Preset::Pr8 => "bench-pr8/1",
         }
     }
 
@@ -56,6 +67,7 @@ impl Preset {
             Preset::Pr5 => "BENCH_PR5.json",
             Preset::Pr6 => "BENCH_PR6.json",
             Preset::Pr7 => "BENCH_PR7.json",
+            Preset::Pr8 => "BENCH_PR8.json",
         }
     }
 
@@ -66,6 +78,7 @@ impl Preset {
             Preset::Pr5 => "pr5",
             Preset::Pr6 => "pr6",
             Preset::Pr7 => "pr7",
+            Preset::Pr8 => "pr8",
         }
     }
 }

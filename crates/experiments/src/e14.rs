@@ -25,7 +25,7 @@
 use crate::report::{f, Report};
 use crate::RunCtx;
 use am_mp::{MpMsg, MpSystem, Payload};
-use am_net::{LatencyModel, NetProfile, SimNet, Transport};
+use am_net::{LatencyModel, NetConfig, NetProfile, SimNet, Transport};
 use am_protocols::{
     run_chain_net, run_dag_net, ChainAdversary, DagAdversary, DagRule, Params, TieBreak, TrialKind,
 };
@@ -357,7 +357,7 @@ pub fn run(ctx: &RunCtx) -> Report {
     let mut s_ckept = Series::new("chain kept vs drop");
     let mut s_dkept = Series::new("dag kept vs drop");
     for &drop in &[0.0f64, 0.1, 0.2, 0.3, 0.5] {
-        let profile = NetProfile::ideal(block_latency).with_drop(drop);
+        let profile = NetConfig::from(NetProfile::ideal(block_latency).with_drop(drop));
         let (mut ck, mut dk, mut orphans) = (0.0f64, 0.0f64, 0u64);
         for s in 0..inc_trials {
             let p = Params::new(pn, pt, lambda, k, seed ^ 0x17 ^ (s * 0x9e37));
@@ -429,7 +429,7 @@ pub fn run(ctx: &RunCtx) -> Report {
     let _part5 = am_obs::span("netstats");
 
     // --- Network observability snapshots → the e14.netstats.json side-car. ---
-    let profile = NetProfile::ideal(block_latency).with_drop(0.2);
+    let profile = NetConfig::from(NetProfile::ideal(block_latency).with_drop(0.2));
     let p = Params::new(pn, pt, lambda, k, seed ^ 0x16);
     let (_, chain_stats) = run_chain_net(
         &p,

@@ -72,6 +72,7 @@ fn prefix_agree(chains: &[Vec<am_core::MsgId>], correct: usize) -> bool {
 }
 
 fn net_cell(p: &Params, adv: BftAdversary, profile: &NetProfile, reps: u64) -> NetCell {
+    let cfg = am_net::NetConfig::from(*profile);
     let correct = p.n - p.t;
     let mut cell = NetCell {
         finality_rate: 0.0,
@@ -85,7 +86,7 @@ fn net_cell(p: &Params, adv: BftAdversary, profile: &NetProfile, reps: u64) -> N
     let mut finalized = 0u64;
     for s in 0..reps {
         let q = p.with_seed(p.seed ^ (s.wrapping_mul(0x9e37_79b9).wrapping_add(s)));
-        let run: BftNetRun = run_bft_net_full(&q, adv, profile);
+        let run: BftNetRun = run_bft_net_full(&q, adv, &cfg);
         cell.finality_rate += run.trial.finality as u64 as f64;
         cell.gate_height += run.trial.finalized_height as f64;
         cell.spread_gate += spread(&run.chains_at_gate, correct) as f64;

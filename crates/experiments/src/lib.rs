@@ -1,4 +1,4 @@
-//! # am-experiments — the E1..E16 harness, as a library
+//! # am-experiments — the E1..E18 harness, as a library
 //!
 //! Every experiment module exposes `run(ctx: &RunCtx) -> Report`;
 //! [`REGISTRY`] is the single table of [`Experiment`] descriptors the
@@ -18,6 +18,8 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -33,7 +35,7 @@ use report::Report;
 use std::path::Path;
 
 /// Budget cap applied to every Monte-Carlo loop under `--fast`: enough
-/// trials to exercise the full pipeline, few enough that all sixteen
+/// trials to exercise the full pipeline, few enough that all eighteen
 /// experiments smoke-test in seconds.
 pub const FAST_BUDGET: u64 = 24;
 
@@ -48,6 +50,10 @@ pub struct RunCtx {
     pub sweep: SweepConfig,
     /// `--fast`: shrink every trial budget to [`FAST_BUDGET`].
     pub fast: bool,
+    /// `--topology`: override the network topology of experiments that
+    /// honour it (E18's planet-scale sweep); `None` keeps each
+    /// experiment's own default.
+    pub topology: Option<am_net::Topology>,
     checkpoint: Option<CheckpointStore>,
 }
 
@@ -59,6 +65,7 @@ impl RunCtx {
             seed,
             sweep: SweepConfig::fixed(),
             fast: false,
+            topology: None,
             checkpoint: None,
         }
     }
@@ -69,6 +76,7 @@ impl RunCtx {
             seed,
             sweep,
             fast: false,
+            topology: None,
             checkpoint: None,
         }
     }
@@ -215,6 +223,16 @@ pub static REGISTRY: &[Experiment] = &[
         describe: "Extension: finalized-prefix growth on a faulty network",
         run: e16::run,
     },
+    Experiment {
+        id: "e17",
+        describe: "Extension: chain orphans vs topology diameter (relay/geo gossip)",
+        run: e17::run,
+    },
+    Experiment {
+        id: "e18",
+        describe: "Extension: divergence at planet scale (n up to 5000, geo latency)",
+        run: e18::run,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -252,6 +270,9 @@ pub struct HarnessOpts {
     pub resume: bool,
     /// Write per-experiment checkpoint files (`<out-dir>/<id>.checkpoint.json`).
     pub checkpoints: bool,
+    /// Topology override for experiments that honour it (see
+    /// [`RunCtx::topology`]).
+    pub topology: Option<am_net::Topology>,
 }
 
 impl HarnessOpts {
@@ -265,6 +286,7 @@ impl HarnessOpts {
             fast: false,
             resume: false,
             checkpoints: true,
+            topology: None,
         }
     }
 }
@@ -283,6 +305,7 @@ pub fn execute(id: &str, opts: &HarnessOpts) -> Option<am_obs::ExperimentRecord>
         seed: opts.seed,
         sweep: opts.sweep,
         fast: opts.fast,
+        topology: opts.topology,
         checkpoint: None,
     };
     if opts.checkpoints {
@@ -332,7 +355,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(REGISTRY.len(), 16);
+        assert_eq!(REGISTRY.len(), 18);
         for (i, exp) in REGISTRY.iter().enumerate() {
             assert_eq!(exp.id, format!("e{}", i + 1), "presentation order");
             assert!(!exp.describe.is_empty(), "{} lacks a description", exp.id);

@@ -3,17 +3,18 @@
 //! Blockchains" (SPAA 2020).
 //!
 //! ```text
-//! am-experiments                  # run everything (E1..E16)
+//! am-experiments                  # run everything (E1..E18)
 //! am-experiments e8 e9 e10        # run a subset
 //! am-experiments --seed 7 e8      # shift every Monte-Carlo trial
 //! am-experiments --out-dir out e8 # write out/e8.json + out/manifest.json
 //! am-experiments --adaptive e8    # Wilson early stopping per sweep point
 //! am-experiments --ci-width 0.02 e8  # adaptive, tighter half-width target
-//! am-experiments --fast           # tiny budgets: all 16 in seconds
+//! am-experiments --fast           # tiny budgets: all 18 in seconds
 //! am-experiments --max-batches 1 e8  # stop mid-sweep (checkpoint kept)
 //! am-experiments --resume e8      # finish from the checkpoint
 //! am-experiments --trace t.json e14 # export a chrome://tracing trace
 //! am-experiments --no-obs e4      # skip spans/counters/manifest
+//! am-experiments --topology relay:8 e18 # override the gossip topology
 //! am-experiments --list           # list experiments
 //! ```
 //!
@@ -40,6 +41,7 @@ struct Cli {
     fast: bool,
     resume: bool,
     max_batches: Option<u64>,
+    topology: Option<am_net::Topology>,
     ids: Vec<String>,
 }
 
@@ -54,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         fast: false,
         resume: false,
         max_batches: None,
+        topology: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -93,6 +96,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("--max-batches must be ≥ 1".into());
                 }
                 cli.max_batches = Some(n);
+            }
+            "--topology" => {
+                let v = it
+                    .next()
+                    .ok_or("--topology needs mesh|relay:<k>|geo:<r>[:<k>]")?;
+                cli.topology = Some(v.parse().map_err(|e| format!("--topology: {e}"))?);
             }
             "--no-obs" => cli.obs = false,
             other if other.starts_with('-') => {
@@ -156,6 +165,7 @@ fn main() {
         fast: cli.fast,
         resume: cli.resume,
         checkpoints: true,
+        topology: cli.topology,
     };
     let mut manifest = RunManifest::new(cli.seed, cli.out_dir.clone());
     let mut failed = false;

@@ -22,7 +22,12 @@ fn exercise_all_layers() {
     run_one("e4", 0).expect("e4 runs");
     let p = Params::new(6, 1, 0.5, 9, 3);
     let profile = NetProfile::ideal(LatencyModel::Constant(10_000_000)).with_drop(0.1);
-    let _ = run_chain_net(&p, TieBreak::Randomized, ChainAdversary::Absent, &profile);
+    let _ = run_chain_net(
+        &p,
+        TieBreak::Randomized,
+        ChainAdversary::Absent,
+        &profile.into(),
+    );
 }
 
 #[test]

@@ -20,6 +20,7 @@ fn opts(out_dir: &Path, max_batches: Option<u64>, resume: bool) -> HarnessOpts {
         fast: true,
         resume,
         checkpoints: true,
+        topology: None,
     }
 }
 

@@ -31,16 +31,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod fault;
 pub mod latency;
 pub mod queue;
 pub mod sim;
 pub mod stats;
+pub mod topology;
 pub mod transport;
 
+pub use config::{NetConfig, NetConfigBuilder, NetConfigError};
 pub use fault::{Fault, PartitionSpec};
 pub use latency::LatencyModel;
 pub use queue::EventQueue;
 pub use sim::{NetProfile, NetScratch, SimNet};
 pub use stats::{DeliveryRecord, NetStats};
+pub use topology::{Topology, TopologyMap};
 pub use transport::{Envelope, Kinded, Transport};

@@ -1,12 +1,15 @@
 //! The discrete-event simulator.
 
+use crate::config::NetConfig;
 use crate::fault::{Fault, PartitionSpec};
 use crate::latency::LatencyModel;
 use crate::queue::{EventQueue, Storage};
 use crate::stats::{DeliveryRecord, NetStats};
+use crate::topology::TopologyMap;
 use crate::transport::{Envelope, Kinded, Transport};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A payload travelling through the simulator: either owned by exactly
@@ -43,19 +46,29 @@ impl<M: Clone> Gossip<M> {
 
 /// A scheduled arrival in flight. Ordering lives in the event queue's
 /// `(at_ns, seq)` key, so flights never implement `Ord` and the queue
-/// never inspects the payload.
+/// never inspects the payload. Endpoints are `u32` — node counts cap at
+/// `u32::MAX` and 5k-node runs keep millions of these in the slab.
 #[derive(Debug)]
 struct Flight<M> {
     sent_ns: u64,
-    from: usize,
-    to: usize,
+    from: u32,
+    to: u32,
     payload: Gossip<M>,
 }
 
+/// The directed-link key for the sparse per-link maps.
+#[inline]
+fn link_key(from: usize, to: usize) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
 /// A compact, `Copy` network profile for embedding in experiment
-/// parameter structs. [`NetProfile::build`] turns it into a [`SimNet`];
-/// richer setups (per-link latency overrides, crash schedules, multiple
-/// partitions) use the `SimNet` builder methods directly.
+/// parameter structs — the *legacy* chained-setter surface, kept as a
+/// thin wrapper over [`NetConfig`] (see [`crate::config`]): building
+/// through a profile is bit-identical to building through
+/// `NetConfig::from(profile)` at every seed, with the delivery trace on.
+/// New code uses [`NetConfig::builder`], which validates and exposes the
+/// topology/bandwidth/fanout knobs a profile cannot express.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetProfile {
     /// Default latency of every link.
@@ -109,7 +122,7 @@ impl NetProfile {
 
     /// Builds the simulator for `n` nodes with this profile.
     pub fn build<M: Kinded>(&self, n: usize, seed: u64) -> SimNet<M> {
-        self.build_with_scratch(n, seed, NetScratch::new())
+        NetConfig::from(*self).build_net(n, seed)
     }
 
     /// Builds the simulator on recycled [`NetScratch`] storage, so hot
@@ -120,7 +133,32 @@ impl NetProfile {
         seed: u64,
         scratch: NetScratch<M>,
     ) -> SimNet<M> {
-        let mut net = SimNet::with_scratch(n, seed, scratch).with_latency(self.latency);
+        NetConfig::from(*self).build_net_with_scratch(n, seed, scratch)
+    }
+}
+
+impl NetConfig {
+    /// Builds the simulator for `n` nodes with this configuration.
+    pub fn build_net<M: Kinded>(&self, n: usize, seed: u64) -> SimNet<M> {
+        self.build_net_with_scratch(n, seed, NetScratch::new())
+    }
+
+    /// Like [`NetConfig::build_net`] but reusing recycled [`NetScratch`]
+    /// storage. Fault injectors are appended in the fixed legacy order
+    /// (drop, duplicate, reorder, partition), so RNG draw order — and
+    /// hence the delivery trace — matches the historic
+    /// `NetProfile::build` path exactly on full-mesh configs.
+    pub fn build_net_with_scratch<M: Kinded>(
+        &self,
+        n: usize,
+        seed: u64,
+        scratch: NetScratch<M>,
+    ) -> SimNet<M> {
+        let mut net = SimNet::with_scratch(n, seed, scratch);
+        net.default_latency = self.latency;
+        net.topo = self.topology.instantiate(n, seed);
+        net.bandwidth_bps = self.bandwidth_bps;
+        net.stats = NetStats::with_options(n, self.trace, self.dense_stats);
         if self.drop_prob > 0.0 {
             net.add_fault(Fault::Drop {
                 prob: self.drop_prob,
@@ -149,15 +187,16 @@ impl NetProfile {
     }
 }
 
-/// A queued arrival waiting in a node's inbox.
+/// A queued arrival waiting in a node's inbox. Compact on purpose — the
+/// receiver is implied by which inbox it sits in, and the payload kind is
+/// recomputed from the payload at delivery — so 5k-node backlogs carry no
+/// redundant per-arrival bookkeeping.
 #[derive(Debug)]
 struct Arrival<M> {
-    from: usize,
-    to: usize,
-    payload: Gossip<M>,
+    from: u32,
     sent_ns: u64,
-    kind: &'static str,
     seq: u64,
+    payload: Gossip<M>,
 }
 
 /// An order-preserving inbox with O(1) amortized removal at either end
@@ -266,7 +305,7 @@ impl<M> Inbox<M> {
 /// Recycled queue + inbox storage for a [`SimNet`], following the
 /// `TrialScratch` pattern: rayon trial loops keep one `NetScratch` per
 /// worker thread, rebuild each trial's `SimNet` on it via
-/// [`NetProfile::build_with_scratch`], and reclaim it afterwards with
+/// [`NetConfig::build_net_with_scratch`], and reclaim it afterwards with
 /// [`SimNet::into_scratch`].
 #[derive(Debug)]
 pub struct NetScratch<M> {
@@ -294,18 +333,37 @@ impl<M> NetScratch<M> {
 /// event queue ([`crate::queue::EventQueue`]); fault injectors run at
 /// send time; arrivals land in per-node inboxes consumed through the
 /// [`Transport`] interface.
+///
+/// Per-node state is O(nodes + active links): latency overrides, link
+/// busy-times, and [`NetStats`] counters all live in sparse maps keyed by
+/// the directed link, and the set of nodes with fresh arrivals is
+/// maintained incrementally ([`SimNet::drain_arrived_nodes`]) so delivery
+/// loops iterate O(active) instead of O(n).
 pub struct SimNet<M> {
     n: usize,
     now_ns: u64,
     queue: EventQueue<u64, Flight<M>>,
     arrived: Vec<Inbox<M>>,
     default_latency: LatencyModel,
-    link_latency: Vec<Option<LatencyModel>>, // n*n overrides
+    /// Sparse per-link latency overrides (the old dense `Vec` was n²).
+    link_latency: HashMap<u64, LatencyModel>,
+    /// Gossip adjacency + region/latency classes (implicit full mesh by
+    /// default).
+    topo: TopologyMap,
+    /// Per-link store-and-forward capacity; `None` = infinite.
+    bandwidth_bps: Option<u64>,
+    /// Sparse per-link transmit-busy horizon (only touched when
+    /// `bandwidth_bps` is set).
+    link_busy: HashMap<u64, u64>,
     faults: Vec<Fault>,
     rng: ChaCha8Rng,
     stats: NetStats,
     sent: u64,
     delivered: u64,
+    /// Nodes that received ≥ 1 arrival since the last
+    /// [`SimNet::drain_arrived_nodes`], deduplicated via `in_dirty`.
+    dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
     obs_sent: am_obs::Counter,
     obs_delivered: am_obs::Counter,
     obs_dropped: am_obs::Counter,
@@ -329,12 +387,17 @@ impl<M: Kinded> SimNet<M> {
             queue: EventQueue::from_storage(scratch.queue),
             arrived: inbox_slots.into_iter().map(Inbox::from_slots).collect(),
             default_latency: LatencyModel::Constant(0),
-            link_latency: vec![None; n * n],
+            link_latency: HashMap::new(),
+            topo: TopologyMap::mesh(n),
+            bandwidth_bps: None,
+            link_busy: HashMap::new(),
             faults: Vec::new(),
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5e70_fae7),
             stats: NetStats::new(n),
             sent: 0,
             delivered: 0,
+            dirty: Vec::new(),
+            in_dirty: vec![false; n],
             obs_sent: am_obs::counter("net.sent"),
             obs_delivered: am_obs::counter("net.delivered"),
             obs_dropped: am_obs::counter("net.dropped"),
@@ -359,7 +422,7 @@ impl<M: Kinded> SimNet<M> {
 
     /// Overrides the latency model of one directed link.
     pub fn set_link_latency(&mut self, from: usize, to: usize, model: LatencyModel) {
-        self.link_latency[from * self.n + to] = Some(model);
+        self.link_latency.insert(link_key(from, to), model);
     }
 
     /// Appends a fault injector (applied to every send, in order).
@@ -377,8 +440,32 @@ impl<M: Kinded> SimNet<M> {
         &self.stats
     }
 
+    /// The gossip adjacency this network was configured with.
+    pub fn topology(&self) -> &TopologyMap {
+        &self.topo
+    }
+
+    /// Moves the nodes that received arrivals since the last call into
+    /// `out`, ascending (so a caller draining them visits nodes in the
+    /// same order as the legacy `for node in 0..n` scan). O(active), the
+    /// backbone of the 5k-node delivery loop.
+    pub fn drain_arrived_nodes(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        std::mem::swap(out, &mut self.dirty);
+        out.sort_unstable();
+        for &node in out.iter() {
+            self.in_dirty[node as usize] = false;
+        }
+    }
+
     fn latency_of(&self, from: usize, to: usize) -> LatencyModel {
-        self.link_latency[from * self.n + to].unwrap_or(self.default_latency)
+        if let Some(&m) = self.link_latency.get(&link_key(from, to)) {
+            return m;
+        }
+        if let Some(m) = self.topo.inter_latency(from, to) {
+            return m;
+        }
+        self.default_latency
     }
 
     fn crashed(&self, node: usize, at_ns: u64) -> bool {
@@ -390,8 +477,8 @@ impl<M: Kinded> SimNet<M> {
             self.now_ns + delay_ns,
             Flight {
                 sent_ns: self.now_ns,
-                from,
-                to,
+                from: from as u32,
+                to: to as u32,
                 payload,
             },
         );
@@ -399,11 +486,12 @@ impl<M: Kinded> SimNet<M> {
 }
 
 impl<M: Kinded + Clone> SimNet<M> {
-    /// The shared send path: fault injection, latency sampling, and event
-    /// scheduling over a payload that is either owned (point-to-point) or
-    /// Arc-interned (broadcast fan-out). RNG draw order, stats, and `seq`
-    /// assignment are identical for both, so cloning and zero-copy sends
-    /// produce bit-identical traces.
+    /// The shared send path: fault injection, transmission-delay
+    /// queueing, latency sampling, and event scheduling over a payload
+    /// that is either owned (point-to-point) or Arc-interned (broadcast
+    /// fan-out). RNG draw order, stats, and `seq` assignment are
+    /// identical for both, so cloning and zero-copy sends produce
+    /// bit-identical traces.
     fn send_gossip(&mut self, from: usize, to: usize, payload: Gossip<M>) {
         let kind = payload.get().kind();
         self.sent += 1;
@@ -459,6 +547,23 @@ impl<M: Kinded + Clone> SimNet<M> {
             }
         }
 
+        // Store-and-forward queueing: the link transmits one message at a
+        // time at `bandwidth_bps`, so a burst serializes — the i-th
+        // message waits behind the first i−1. Size-dependent via
+        // [`Kinded::wire_bytes`]; propagation latency is added on top.
+        // Duplicates ride the same transmission (they are a fault
+        // artifact, not a second send). No RNG is drawn, so configs
+        // without bandwidth stay bit-identical to the historic path.
+        let mut tx_ns: u64 = 0;
+        if let Some(bps) = self.bandwidth_bps {
+            let bits = (payload.get().wire_bytes() as u128) * 8;
+            let tx = ((bits * 1_000_000_000) / bps.max(1) as u128).min(u64::MAX as u128) as u64;
+            let busy = self.link_busy.entry(link_key(from, to)).or_insert(0);
+            let done = (*busy).max(self.now_ns).saturating_add(tx);
+            *busy = done;
+            tx_ns = done - self.now_ns;
+        }
+
         let base = self.latency_of(from, to).sample(&mut self.rng);
         if let Some(dup_extra) = duplicate {
             self.stats.on_duplicated(from, to, kind);
@@ -466,9 +571,9 @@ impl<M: Kinded + Clone> SimNet<M> {
             am_obs::event("net/duplicate", from, self.now_ns, || {
                 format!("{kind} {from}->{to}")
             });
-            self.schedule(from, to, payload.clone(), base + dup_extra);
+            self.schedule(from, to, payload.clone(), tx_ns + base + dup_extra);
         }
-        self.schedule(from, to, payload, base + extra_ns);
+        self.schedule(from, to, payload, tx_ns + base + extra_ns);
     }
 
     /// The deep-copy point-to-point baseline kept in-tree for the
@@ -490,9 +595,10 @@ impl<M: Kinded + Clone> SimNet<M> {
             to,
             payload,
         } = flight;
-        let kind = payload.get().kind();
+        let to = to as usize;
         if self.crashed(to, self.now_ns) {
-            self.stats.on_dropped(from, to, kind);
+            let kind = payload.get().kind();
+            self.stats.on_dropped(from as usize, to, kind);
             self.obs_dropped.inc();
             am_obs::event("net/drop/crashed_receiver", to, self.now_ns, || {
                 format!("{kind} {from}->{to}")
@@ -501,12 +607,14 @@ impl<M: Kinded + Clone> SimNet<M> {
         }
         self.arrived[to].push(Arrival {
             from,
-            to,
-            payload,
             sent_ns,
-            kind,
             seq,
+            payload,
         });
+        if !self.in_dirty[to] {
+            self.in_dirty[to] = true;
+            self.dirty.push(to as u32);
+        }
         true
     }
 
@@ -554,12 +662,12 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
     fn deliver_at(&mut self, node: usize, idx: usize) -> Option<Envelope<M>> {
         let Arrival {
             from,
-            to,
-            payload,
             sent_ns,
-            kind,
             seq,
+            payload,
         } = self.arrived[node].take(idx)?;
+        let from = from as usize;
+        let kind = payload.get().kind();
         self.delivered += 1;
         self.obs_delivered.inc();
         if am_obs::enabled() {
@@ -570,7 +678,7 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
             DeliveryRecord {
                 at_ns: self.now_ns,
                 from,
-                to,
+                to: node,
                 kind,
                 seq,
             },
@@ -578,7 +686,7 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
         );
         Some(Envelope {
             from,
-            to,
+            to: node,
             payload: payload.into_owned(),
         })
     }
@@ -617,6 +725,7 @@ impl<M: Kinded + Clone> Transport<M> for SimNet<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Topology;
 
     #[derive(Clone, Debug, PartialEq, Eq)]
     struct Ping(u64);
@@ -894,5 +1003,107 @@ mod tests {
         let mut sorted = payloads.clone();
         sorted.sort_unstable();
         assert_ne!(payloads, sorted, "exponential latency should reorder");
+    }
+
+    #[test]
+    fn bandwidth_serializes_a_bursty_link() {
+        // 512-byte default wire size at 4_096_000_000 bps → 1000 ns per
+        // transmission. Three back-to-back sends on one link serialize:
+        // arrival i completes its transmission at (i+1)·1000, plus the
+        // 10 ns propagation latency.
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(10))
+            .bandwidth_bps(4_096_000_000)
+            .trace(true)
+            .build()
+            .unwrap();
+        let mut net: SimNet<Ping> = cfg.build_net(2, 1);
+        net.send(0, 1, Ping(0));
+        net.send(0, 1, Ping(1));
+        net.send(0, 1, Ping(2));
+        // The reverse link is idle, so it only pays one transmission.
+        net.send(1, 0, Ping(9));
+        let got = drain(&mut net);
+        assert_eq!(
+            got,
+            vec![
+                (1010, 1, 0, 9),
+                (1010, 0, 1, 0),
+                (2010, 0, 1, 1),
+                (3010, 0, 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn geo_config_routes_cross_region_sends_through_the_inter_class() {
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(1))
+            .topology(Topology::Geo {
+                regions: 2,
+                k: 4,
+                inter: LatencyModel::Constant(100),
+            })
+            .trace(true)
+            .build()
+            .unwrap();
+        let mut net: SimNet<Ping> = cfg.build_net(4, 3);
+        net.send(0, 1, Ping(1)); // intra region 0
+        net.send(0, 3, Ping(2)); // region 0 → region 1
+        let got = drain(&mut net);
+        assert_eq!(got, vec![(1, 0, 1, 1), (100, 0, 3, 2)]);
+        // An explicit per-link override still beats the region class.
+        net.set_link_latency(0, 3, LatencyModel::Constant(7));
+        net.send(0, 3, Ping(3));
+        assert!(net.advance());
+        assert_eq!(net.now_ns(), 107);
+    }
+
+    #[test]
+    fn drained_arrival_nodes_come_back_sorted_and_deduplicated() {
+        let mut net: SimNet<Ping> = SimNet::new(5, 1).with_latency(LatencyModel::Constant(10));
+        net.send(0, 3, Ping(1));
+        net.send(0, 1, Ping(2));
+        net.send(0, 3, Ping(3));
+        net.advance_until(10);
+        let mut active = Vec::new();
+        net.drain_arrived_nodes(&mut active);
+        assert_eq!(active, vec![1, 3]);
+        net.drain_arrived_nodes(&mut active);
+        assert!(active.is_empty(), "drain clears the set");
+        net.send(2, 4, Ping(4));
+        net.advance_until(20);
+        net.drain_arrived_nodes(&mut active);
+        assert_eq!(active, vec![4]);
+    }
+
+    #[test]
+    fn builder_config_with_trace_matches_legacy_profile_bitwise() {
+        let workload = |mut net: SimNet<Ping>| {
+            for round in 0..15u64 {
+                for from in 0..4 {
+                    net.broadcast(from, Ping(round * 4 + from as u64));
+                }
+            }
+            let got = drain(&mut net);
+            (got, net.stats().trace().to_vec(), net.sent_count())
+        };
+        let profile = NetProfile::ideal(LatencyModel::Exponential { mean: 200 })
+            .with_drop(0.15)
+            .with_dup(0.1)
+            .with_reorder(0.2)
+            .with_partition(0, 500);
+        let via_profile = workload(profile.build(4, 11));
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Exponential { mean: 200 })
+            .drop(0.15)
+            .dup(0.1)
+            .reorder(0.2)
+            .partition(0, 500)
+            .trace(true)
+            .build()
+            .unwrap();
+        let via_builder = workload(cfg.build_net(4, 11));
+        assert_eq!(via_profile, via_builder);
     }
 }

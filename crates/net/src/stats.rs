@@ -1,7 +1,16 @@
 //! Per-link / per-kind observability.
+//!
+//! Per-link counters live in a sparse map keyed by the directed link, so
+//! memory is O(active links) — the dense n² layout (25M `Counters` at
+//! n = 5000, allocated eagerly even for an idle network) survives only as
+//! an opt-in benchmark baseline ([`NetStats::with_options`] /
+//! `NetConfig::dense_stats`). Totals are maintained incrementally, so
+//! [`NetStats::totals`] is O(1) instead of an n² scan, and the delivery
+//! trace is opt-in for the same reason: at 5k nodes an unbounded record
+//! stream dominates peak memory.
 
 use serde::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Counter set shared by links and payload kinds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -118,29 +127,124 @@ pub struct DeliveryRecord {
     pub seq: u64,
 }
 
-/// Aggregated network observability: per-link counters, per-kind counters
-/// with delay histograms, and the delivery trace.
-#[derive(Clone, Debug, Default)]
-pub struct NetStats {
-    n: usize,
-    links: Vec<Counters>,
-    kinds: BTreeMap<&'static str, (Counters, DelayHistogram)>,
-    trace: Vec<DeliveryRecord>,
+/// The per-link counter storage: sparse by default (O(active links)),
+/// dense n² on request as the benchmark baseline. Counter values and the
+/// JSON export (sorted `(from, to)` order either way) are identical.
+#[derive(Clone)]
+enum LinkStore {
+    Sparse(HashMap<u64, Counters>),
+    Dense { n: usize, links: Vec<Counters> },
 }
 
-impl NetStats {
-    /// Stats for an `n`-node network.
-    pub fn new(n: usize) -> NetStats {
-        NetStats {
-            n,
-            links: vec![Counters::default(); n * n],
-            kinds: BTreeMap::new(),
-            trace: Vec::new(),
+impl std::fmt::Debug for LinkStore {
+    /// Deterministic Debug: the sparse map prints in sorted key order
+    /// (HashMap iteration order varies per instance), the dense table in
+    /// the same non-zero `(from, to)` form so the two layouts compare
+    /// equal in Debug whenever their counters agree.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (from, to, c) in self.sorted_nonzero() {
+            map.entry(&(from, to), &c);
+        }
+        map.finish()
+    }
+}
+
+impl Default for LinkStore {
+    fn default() -> Self {
+        LinkStore::Sparse(HashMap::new())
+    }
+}
+
+#[inline]
+fn store_key(from: usize, to: usize) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
+impl LinkStore {
+    fn get_mut(&mut self, from: usize, to: usize) -> &mut Counters {
+        match self {
+            LinkStore::Sparse(map) => map.entry(store_key(from, to)).or_default(),
+            LinkStore::Dense { n, links } => &mut links[from * *n + to],
         }
     }
 
-    fn link_mut(&mut self, from: usize, to: usize) -> &mut Counters {
-        &mut self.links[from * self.n + to]
+    fn get(&self, from: usize, to: usize) -> Counters {
+        match self {
+            LinkStore::Sparse(map) => map.get(&store_key(from, to)).copied().unwrap_or_default(),
+            LinkStore::Dense { n, links } => links[from * *n + to],
+        }
+    }
+
+    fn active(&self) -> usize {
+        match self {
+            LinkStore::Sparse(map) => map.len(),
+            LinkStore::Dense { links, .. } => links.iter().filter(|c| !c.is_zero()).count(),
+        }
+    }
+
+    /// Non-zero links, ascending `(from, to)` — the historic row-major
+    /// export order.
+    fn sorted_nonzero(&self) -> Vec<(usize, usize, Counters)> {
+        match self {
+            LinkStore::Sparse(map) => {
+                let mut keys: Vec<u64> = map.keys().copied().collect();
+                keys.sort_unstable();
+                keys.into_iter()
+                    .map(|k| ((k >> 32) as usize, (k & 0xffff_ffff) as usize, map[&k]))
+                    .filter(|(_, _, c)| !c.is_zero())
+                    .collect()
+            }
+            LinkStore::Dense { n, links } => (0..*n)
+                .flat_map(|from| (0..*n).map(move |to| (from, to)))
+                .filter_map(|(from, to)| {
+                    let c = links[from * n + to];
+                    (!c.is_zero()).then_some((from, to, c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregated network observability: per-link counters, per-kind counters
+/// with delay histograms, maintained totals, and the (opt-in) delivery
+/// trace.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    n: usize,
+    links: LinkStore,
+    totals: Counters,
+    kinds: BTreeMap<&'static str, (Counters, DelayHistogram)>,
+    trace: Vec<DeliveryRecord>,
+    trace_on: bool,
+}
+
+impl NetStats {
+    /// Stats for an `n`-node network with the legacy defaults: sparse
+    /// links, delivery trace *on* (every `SimNet::new` / `NetProfile`
+    /// construction historically traced; `NetConfig` turns it off unless
+    /// asked).
+    pub fn new(n: usize) -> NetStats {
+        NetStats::with_options(n, true, false)
+    }
+
+    /// Stats with explicit trace / dense-layout choices.
+    pub fn with_options(n: usize, trace: bool, dense: bool) -> NetStats {
+        NetStats {
+            n,
+            links: if dense {
+                LinkStore::Dense {
+                    n,
+                    links: vec![Counters::default(); n * n],
+                }
+            } else {
+                LinkStore::Sparse(HashMap::new())
+            },
+            totals: Counters::default(),
+            kinds: BTreeMap::new(),
+            trace: Vec::new(),
+            trace_on: trace,
+        }
     }
 
     fn kind_mut(&mut self, kind: &'static str) -> &mut (Counters, DelayHistogram) {
@@ -149,34 +253,40 @@ impl NetStats {
 
     /// Records a send.
     pub fn on_sent(&mut self, from: usize, to: usize, kind: &'static str) {
-        self.link_mut(from, to).sent += 1;
+        self.links.get_mut(from, to).sent += 1;
+        self.totals.sent += 1;
         self.kind_mut(kind).0.sent += 1;
     }
 
     /// Records a drop (fault loss).
     pub fn on_dropped(&mut self, from: usize, to: usize, kind: &'static str) {
-        self.link_mut(from, to).dropped += 1;
+        self.links.get_mut(from, to).dropped += 1;
+        self.totals.dropped += 1;
         self.kind_mut(kind).0.dropped += 1;
     }
 
     /// Records an injected duplicate.
     pub fn on_duplicated(&mut self, from: usize, to: usize, kind: &'static str) {
-        self.link_mut(from, to).duplicated += 1;
+        self.links.get_mut(from, to).duplicated += 1;
+        self.totals.duplicated += 1;
         self.kind_mut(kind).0.duplicated += 1;
     }
 
     /// Records a consumed delivery with its in-flight delay.
     pub fn on_delivered(&mut self, rec: DeliveryRecord, delay_ns: u64) {
-        self.link_mut(rec.from, rec.to).delivered += 1;
+        self.links.get_mut(rec.from, rec.to).delivered += 1;
+        self.totals.delivered += 1;
         let (c, h) = self.kind_mut(rec.kind);
         c.delivered += 1;
         h.record(delay_ns);
-        self.trace.push(rec);
+        if self.trace_on {
+            self.trace.push(rec);
+        }
     }
 
     /// Per-link counters for `from → to`.
     pub fn link(&self, from: usize, to: usize) -> Counters {
-        self.links[from * self.n + to]
+        self.links.get(from, to)
     }
 
     /// Per-kind counters for `kind` (zeroes if never seen).
@@ -192,25 +302,29 @@ impl NetStats {
             .unwrap_or(0.0)
     }
 
-    /// Totals across all links.
+    /// Totals across all links — O(1), maintained incrementally.
     pub fn totals(&self) -> Counters {
-        let mut t = Counters::default();
-        for c in &self.links {
-            t.sent += c.sent;
-            t.delivered += c.delivered;
-            t.dropped += c.dropped;
-            t.duplicated += c.duplicated;
-        }
-        t
+        self.totals
     }
 
-    /// The delivery trace (arrival-ordered).
+    /// Number of links that ever carried (or dropped) a message.
+    pub fn active_links(&self) -> usize {
+        self.links.active()
+    }
+
+    /// Whether the per-delivery trace is being recorded.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// The delivery trace (arrival-ordered; empty when tracing is off).
     pub fn trace(&self) -> &[DeliveryRecord] {
         &self.trace
     }
 
     /// Renders everything as a JSON value: totals, per-kind counters with
-    /// delay histograms, and the non-empty links.
+    /// delay histograms, and the non-empty links in ascending `(from,
+    /// to)` order — identical output for sparse and dense layouts.
     pub fn to_json(&self) -> Value {
         let kinds: Vec<(String, Value)> = self
             .kinds
@@ -224,15 +338,16 @@ impl NetStats {
                 (k.to_string(), Value::Object(obj))
             })
             .collect();
-        let links: Vec<Value> = (0..self.n)
-            .flat_map(|from| (0..self.n).map(move |to| (from, to)))
-            .filter(|&(from, to)| !self.link(from, to).is_zero())
-            .map(|(from, to)| {
+        let links: Vec<Value> = self
+            .links
+            .sorted_nonzero()
+            .into_iter()
+            .map(|(from, to, c)| {
                 let mut obj = vec![
                     ("from".into(), Value::Number((from as u64).into())),
                     ("to".into(), Value::Number((to as u64).into())),
                 ];
-                if let Value::Object(fields) = self.link(from, to).to_json() {
+                if let Value::Object(fields) = c.to_json() {
                     obj.extend(fields);
                 }
                 Value::Object(obj)
@@ -291,6 +406,7 @@ mod tests {
         assert_eq!(s.kind("a").sent, 2);
         assert_eq!(s.kind("b").duplicated, 1);
         assert_eq!(s.totals().sent, 3);
+        assert_eq!(s.active_links(), 2);
         assert_eq!(s.trace().len(), 1);
         assert_eq!(s.kind_mean_delay_ns("a"), 5.0);
     }
@@ -324,5 +440,53 @@ mod tests {
             Value::Array(ls) => assert_eq!(ls.len(), 1),
             other => panic!("links not an array: {other:?}"),
         }
+    }
+
+    fn exercise(mut s: NetStats) -> NetStats {
+        for from in 0..4 {
+            for to in [1usize, 3] {
+                s.on_sent(from, to, "a");
+                s.on_delivered(
+                    DeliveryRecord {
+                        at_ns: (from * 10 + to) as u64,
+                        from,
+                        to,
+                        kind: "a",
+                        seq: from as u64,
+                    },
+                    3,
+                );
+            }
+        }
+        s.on_dropped(2, 0, "b");
+        s
+    }
+
+    #[test]
+    fn sparse_and_dense_layouts_agree() {
+        let sparse = exercise(NetStats::with_options(4, true, false));
+        let dense = exercise(NetStats::with_options(4, true, true));
+        assert_eq!(sparse.totals(), dense.totals());
+        assert_eq!(sparse.active_links(), dense.active_links());
+        for from in 0..4 {
+            for to in 0..4 {
+                assert_eq!(sparse.link(from, to), dense.link(from, to));
+            }
+        }
+        assert_eq!(sparse.trace(), dense.trace());
+        assert_eq!(
+            sparse.to_json().render(false),
+            dense.to_json().render(false),
+            "JSON export must be byte-identical across layouts"
+        );
+    }
+
+    #[test]
+    fn trace_opt_out_keeps_counters() {
+        let s = exercise(NetStats::with_options(4, false, false));
+        assert!(s.trace().is_empty(), "trace off records nothing");
+        assert!(!s.trace_enabled());
+        assert_eq!(s.totals().delivered, 8, "counters still aggregate");
+        assert_eq!(s.kind("a").delivered, 8);
     }
 }

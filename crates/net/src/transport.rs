@@ -16,6 +16,14 @@ pub struct Envelope<M> {
 pub trait Kinded {
     /// The metric label for this payload.
     fn kind(&self) -> &'static str;
+
+    /// Serialized size on the wire, for transmission-delay queueing on
+    /// bandwidth-limited links. The default (512 bytes, a typical block
+    /// header + compact id announcement) keeps payloads that don't care
+    /// about size out of the business of estimating one.
+    fn wire_bytes(&self) -> u64 {
+        512
+    }
 }
 
 /// A network substrate for `n` nodes exchanging messages of type `M`.

@@ -1,0 +1,273 @@
+//! The `NetConfig` builder is the new front door for every network the
+//! repo simulates; this suite pins it to the legacy surfaces it
+//! replaced.
+//!
+//! 1. **100-seed bit-identity** — a faulty chatter script driven over a
+//!    network assembled the pre-PR8 way (`SimNet::new`, `with_latency`,
+//!    and hand-added faults in the historic Drop → Duplicate → Reorder
+//!    → Partition order) and over `NetConfig::builder()` must produce the
+//!    same delivery tuples, the same per-delivery trace, and the same
+//!    statistics JSON, byte for byte — every seeded experiment in the
+//!    repo depends on this.
+//! 2. **Layout neutrality** — the sparse per-link statistics store and
+//!    the dense n² baseline export identical JSON.
+//! 3. **Validation** — property tests drive every invalid field through
+//!    the builder and assert each is rejected with the right error,
+//!    and that everything in-range builds.
+
+use am_net::{
+    Fault, Kinded, LatencyModel, NetConfig, NetConfigError, NetProfile, PartitionSpec, SimNet,
+    Topology, Transport,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Ping(u64);
+
+impl Kinded for Ping {
+    fn kind(&self) -> &'static str {
+        "ping"
+    }
+}
+
+/// Six rounds of all-pairs chatter with full drains in between; returns
+/// every delivery as `(from, to, value)` in delivery order.
+fn chatter(net: &mut SimNet<Ping>) -> Vec<(usize, usize, u64)> {
+    let n = net.n();
+    let mut out = Vec::new();
+    for round in 0..6u64 {
+        for from in 0..n {
+            net.broadcast(from, Ping(round * n as u64 + from as u64));
+        }
+        loop {
+            let mut any = false;
+            for node in 0..n {
+                while let Some(env) = net.deliver(node) {
+                    out.push((env.from, env.to, env.payload.0));
+                    any = true;
+                }
+            }
+            if !net.advance() && !any {
+                break;
+            }
+        }
+    }
+    out
+}
+
+const LAT: LatencyModel = LatencyModel::Uniform { lo: 50, hi: 9_000 };
+const N: usize = 6;
+
+/// The pre-PR8 assembly: raw constructor, setter, hand-ordered faults.
+fn legacy_net(seed: u64) -> SimNet<Ping> {
+    let mut net: SimNet<Ping> = SimNet::new(N, seed).with_latency(LAT);
+    net.add_fault(Fault::Drop { prob: 0.15 });
+    net.add_fault(Fault::Duplicate {
+        prob: 0.1,
+        extra: LAT,
+    });
+    net.add_fault(Fault::Reorder {
+        prob: 0.2,
+        extra: LAT,
+    });
+    net.add_fault(Fault::Partition(PartitionSpec {
+        side_a: (0..N / 2).collect(),
+        from_ns: 4_000,
+        until_ns: 20_000,
+    }));
+    net
+}
+
+/// The same network through the validating builder. `trace(true)`
+/// mirrors the legacy always-on delivery trace.
+fn builder_net(seed: u64) -> SimNet<Ping> {
+    NetConfig::builder()
+        .latency(LAT)
+        .drop(0.15)
+        .dup(0.1)
+        .reorder(0.2)
+        .partition(4_000, 20_000)
+        .trace(true)
+        .build()
+        .expect("valid config")
+        .build_net(N, seed)
+}
+
+#[test]
+fn hundred_seeds_of_builder_vs_legacy_bit_identity() {
+    for seed in 0..100u64 {
+        let mut legacy = legacy_net(seed);
+        let mut built = builder_net(seed);
+        let a = chatter(&mut legacy);
+        let b = chatter(&mut built);
+        assert_eq!(a, b, "delivery tuples diverged at seed {seed}");
+        assert_eq!(
+            legacy.stats().trace(),
+            built.stats().trace(),
+            "delivery traces diverged at seed {seed}"
+        );
+        assert_eq!(
+            legacy.stats().to_json().render(false),
+            built.stats().to_json().render(false),
+            "statistics JSON diverged at seed {seed}"
+        );
+        assert_eq!(legacy.sent_count(), built.sent_count());
+        assert_eq!(legacy.delivered_count(), built.delivered_count());
+    }
+}
+
+#[test]
+fn hundred_seeds_of_profile_wrapper_vs_builder() {
+    // The kept `NetProfile` surface is a thin wrapper over `NetConfig`;
+    // its `build` must stay interchangeable with the builder path.
+    for seed in 0..100u64 {
+        let profile = NetProfile::ideal(LAT)
+            .with_drop(0.15)
+            .with_dup(0.1)
+            .with_reorder(0.2)
+            .with_partition(4_000, 20_000);
+        let mut from_profile: SimNet<Ping> = profile.build(N, seed);
+        let mut from_builder = builder_net(seed);
+        assert_eq!(
+            chatter(&mut from_profile),
+            chatter(&mut from_builder),
+            "profile wrapper diverged at seed {seed}"
+        );
+        assert_eq!(
+            from_profile.stats().to_json().render(false),
+            from_builder.stats().to_json().render(false)
+        );
+    }
+}
+
+#[test]
+fn sparse_and_dense_stats_layouts_export_identical_json() {
+    for seed in [0u64, 3, 17, 0xbeef] {
+        let cfg = |dense| {
+            NetConfig::builder()
+                .latency(LAT)
+                .topology(Topology::Relay { k: 4 })
+                .drop(0.1)
+                .dense_stats(dense)
+                .build()
+                .expect("valid config")
+        };
+        let mut sparse: SimNet<Ping> = cfg(false).build_net(12, seed);
+        let mut dense: SimNet<Ping> = cfg(true).build_net(12, seed);
+        assert_eq!(chatter(&mut sparse), chatter(&mut dense));
+        assert_eq!(
+            sparse.stats().to_json().render(false),
+            dense.stats().to_json().render(false),
+            "layouts diverged at seed {seed}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn probability_fields_reject_exactly_out_of_range(p in -2.0f64..3.0, which in 0usize..3) {
+        let b = NetConfig::builder();
+        let b = match which {
+            0 => b.drop(p),
+            1 => b.dup(p),
+            2 => b.reorder(p),
+            _ => unreachable!(),
+        };
+        let field = ["drop", "dup", "reorder"][which];
+        match b.build() {
+            Ok(cfg) => {
+                prop_assert!((0.0..=1.0).contains(&p), "{field} accepted {p}");
+                let got = [cfg.drop_prob, cfg.dup_prob, cfg.reorder_prob][which];
+                prop_assert_eq!(got, p);
+            }
+            Err(e) => {
+                prop_assert!(!(0.0..=1.0).contains(&p), "{} rejected valid {}: {}", field, p, e);
+                prop_assert_eq!(e, NetConfigError::InvalidProbability { field, value: p });
+            }
+        }
+    }
+
+    #[test]
+    fn nan_probabilities_are_rejected(which in 0usize..3) {
+        let b = NetConfig::builder();
+        let b = match which {
+            0 => b.drop(f64::NAN),
+            1 => b.dup(f64::NAN),
+            2 => b.reorder(f64::NAN),
+            _ => unreachable!(),
+        };
+        prop_assert!(matches!(
+            b.build(),
+            Err(NetConfigError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_capacities_are_rejected(
+        bps_v in 0u64..1000,
+        has_bps in any::<bool>(),
+        fanout_v in 0usize..10,
+        has_fanout in any::<bool>(),
+    ) {
+        let bps = has_bps.then_some(bps_v);
+        let fanout = has_fanout.then_some(fanout_v);
+        let mut b = NetConfig::builder();
+        if let Some(bps) = bps {
+            b = b.bandwidth_bps(bps);
+        }
+        if let Some(f) = fanout {
+            b = b.fanout(f);
+        }
+        match b.build() {
+            Ok(cfg) => {
+                prop_assert_ne!(bps, Some(0));
+                prop_assert_ne!(fanout, Some(0));
+                prop_assert_eq!(cfg.bandwidth_bps, bps);
+                prop_assert_eq!(cfg.fanout, fanout);
+            }
+            Err(NetConfigError::ZeroBandwidth) => prop_assert_eq!(bps, Some(0)),
+            Err(NetConfigError::ZeroFanout) => {
+                prop_assert_ne!(bps, Some(0), "bandwidth is checked first");
+                prop_assert_eq!(fanout, Some(0));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+        }
+    }
+
+    #[test]
+    fn degenerate_topologies_are_rejected(k in 0usize..6, regions in 0usize..5, geo in any::<bool>()) {
+        let topo = if geo {
+            Topology::Geo { regions, k, inter: LatencyModel::Constant(1) }
+        } else {
+            Topology::Relay { k }
+        };
+        match NetConfig::builder().topology(topo).build() {
+            Ok(cfg) => {
+                prop_assert!(k >= 1);
+                prop_assert!(!geo || regions >= 1);
+                prop_assert_eq!(cfg.topology, topo);
+            }
+            Err(NetConfigError::ZeroRegions) => {
+                prop_assert!(geo);
+                prop_assert_eq!(regions, 0);
+            }
+            Err(NetConfigError::ZeroDegree) => prop_assert_eq!(k, 0),
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+        }
+    }
+
+    #[test]
+    fn partition_windows_reject_exactly_inversions(from_ns in 0u64..100, until_ns in 0u64..100) {
+        match NetConfig::builder().partition(from_ns, until_ns).build() {
+            Ok(cfg) => {
+                prop_assert!(until_ns >= from_ns);
+                prop_assert_eq!(cfg.partition, Some((from_ns, until_ns)));
+            }
+            Err(NetConfigError::InvertedPartition { from_ns: f, until_ns: u }) => {
+                prop_assert!(until_ns < from_ns);
+                prop_assert_eq!((f, u), (from_ns, until_ns));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+        }
+    }
+}

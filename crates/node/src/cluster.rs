@@ -30,7 +30,7 @@ use crate::api::{
 use crate::archive::Archive;
 use crate::mempool::{Mempool, MempoolConfig, MempoolError, PendingAppend};
 use am_mp::{MpError, MpSystem, Payload};
-use am_net::{NetProfile, SimNet};
+use am_net::{NetConfig, SimNet};
 
 /// How to build a cluster.
 #[derive(Clone, Copy, Debug)]
@@ -39,8 +39,8 @@ pub struct ClusterConfig {
     pub nodes: usize,
     /// Seed for the network and the protocol's delivery randomness.
     pub seed: u64,
-    /// Network behaviour (latency, drops, duplicates, partition window).
-    pub profile: NetProfile,
+    /// Network behaviour (topology, latency, faults, bandwidth).
+    pub net: NetConfig,
     /// Mempool limits.
     pub mempool: MempoolConfig,
 }
@@ -51,7 +51,7 @@ impl ClusterConfig {
         ClusterConfig {
             nodes,
             seed,
-            profile: NetProfile::ideal(am_net::LatencyModel::Constant(0)),
+            net: NetConfig::ideal(am_net::LatencyModel::Constant(0)),
             mempool: MempoolConfig::default(),
         }
     }
@@ -72,7 +72,7 @@ pub struct Cluster {
 impl Cluster {
     /// Builds and starts a cluster.
     pub fn new(cfg: ClusterConfig) -> Cluster {
-        let net = cfg.profile.build(cfg.nodes, cfg.seed);
+        let net = cfg.net.build_net(cfg.nodes, cfg.seed);
         Cluster {
             sys: MpSystem::with_transport(net, &[], cfg.seed),
             mempool: Mempool::new(cfg.mempool),

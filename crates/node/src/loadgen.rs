@@ -55,6 +55,20 @@ pub struct LoadgenConfig {
     pub pipeline: usize,
     /// Base seed; client `c` derives its stream from `seed ^ c`.
     pub seed: u64,
+    /// Gossip topology of the cluster network (`--topology
+    /// mesh|relay:k|geo:r`). Zero-latency links either way, so the
+    /// request numbers measure serving overhead, not simulated distance.
+    pub topology: am_net::Topology,
+}
+
+impl LoadgenConfig {
+    /// The validated network configuration of the cluster under load.
+    pub fn topology_config(&self) -> Result<am_net::NetConfig, am_net::NetConfigError> {
+        am_net::NetConfig::builder()
+            .latency(am_net::LatencyModel::Constant(0))
+            .topology(self.topology)
+            .build()
+    }
 }
 
 impl Default for LoadgenConfig {
@@ -69,6 +83,7 @@ impl Default for LoadgenConfig {
             authors: 64,
             pipeline: 1,
             seed: 0,
+            topology: am_net::Topology::FullMesh,
         }
     }
 }
@@ -302,7 +317,9 @@ pub fn run(cfg: LoadgenConfig) -> LoadgenRecord {
     let rt = NodeRuntime::spawn(ClusterConfig {
         nodes: cfg.nodes,
         seed: cfg.seed,
-        profile: am_net::NetProfile::ideal(am_net::LatencyModel::Constant(0)),
+        net: cfg
+            .topology_config()
+            .expect("loadgen topology config is valid"),
         mempool: MempoolConfig::default(),
     });
     let stop = Arc::new(StopState {

@@ -22,9 +22,10 @@ fn faulty_cluster(drop_prob: f64, seed: u64) -> Cluster {
     Cluster::new(ClusterConfig {
         nodes: N,
         seed,
-        profile: NetProfile::ideal(LatencyModel::Constant(1))
+        net: NetProfile::ideal(LatencyModel::Constant(1))
             .with_drop(drop_prob)
-            .with_partition(PARTITION_FROM, PARTITION_UNTIL),
+            .with_partition(PARTITION_FROM, PARTITION_UNTIL)
+            .into(),
         mempool: MempoolConfig::default(),
     })
 }

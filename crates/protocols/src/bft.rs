@@ -31,7 +31,7 @@
 use crate::params::Params;
 use am_bft::FinalityOracle;
 use am_core::{IncrementalDag, MsgId, Time, GENESIS};
-use am_net::{NetProfile, NetStats};
+use am_net::{NetConfig, NetStats};
 use am_poisson::{Grant, TokenAuthority};
 
 /// The Byzantine strategy of a BFT finality trial.
@@ -390,7 +390,7 @@ fn finish(
     }
 }
 
-/// Runs one networked BFT finality trial: blocks gossip over `profile`,
+/// Runs one networked BFT finality trial: blocks gossip over `cfg`,
 /// each node runs its *own* oracle over exactly the sub-DAG it admitted
 /// (in admission order), and the gate requires every correct node's
 /// finalized chain to reach `k`. Correct nodes pull-repair dangling
@@ -398,18 +398,18 @@ fn finish(
 /// dropped announcements delay finality instead of starving it forever.
 /// Returns the scalar summary and the network stats; see
 /// [`run_bft_net_full`] for per-node chains.
-pub fn run_bft_net(p: &Params, adv: BftAdversary, profile: &NetProfile) -> (BftTrial, NetStats) {
-    let run = run_bft_net_full(p, adv, profile);
+pub fn run_bft_net(p: &Params, adv: BftAdversary, cfg: &NetConfig) -> (BftTrial, NetStats) {
+    let run = run_bft_net_full(p, adv, cfg);
     (run.trial, run.stats)
 }
 
 /// [`run_bft_net`] with the per-node finality state exposed (gate /
 /// settled / healed chains) for the agreement property suites.
-pub fn run_bft_net_full(p: &Params, adv: BftAdversary, profile: &NetProfile) -> BftNetRun {
+pub fn run_bft_net_full(p: &Params, adv: BftAdversary, cfg: &NetConfig) -> BftNetRun {
     let _span = am_obs::span("protocols/bft_net");
     let mut prop = crate::propagation::Propagation::with_scratch(
         p.n,
-        profile,
+        cfg,
         p.seed ^ 0x6e57_c0de,
         crate::scratch::take_net(),
     );
@@ -613,10 +613,16 @@ pub fn run_bft_net_full(p: &Params, adv: BftAdversary, profile: &NetProfile) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use am_net::LatencyModel;
+    use am_net::{LatencyModel, NetProfile};
 
-    fn fast() -> NetProfile {
+    fn fast() -> NetConfig {
+        NetProfile::ideal(LatencyModel::Constant(10_000_000)).into()
+    }
+
+    fn fast_drop(prob: f64) -> NetConfig {
         NetProfile::ideal(LatencyModel::Constant(10_000_000))
+            .with_drop(prob)
+            .into()
     }
 
     /// Pairwise extension-order check over finalized chains.
@@ -735,7 +741,7 @@ mod tests {
         let mut ok = 0;
         for seed in 0..4 {
             let p = Params::new(7, 0, 0.5, 9, seed);
-            let run = run_bft_net_full(&p, BftAdversary::Absent, &fast().with_drop(0.2));
+            let run = run_bft_net_full(&p, BftAdversary::Absent, &fast_drop(0.2));
             assert!(
                 prefix_ordered(&run.chains_at_gate),
                 "seed {seed}: finalized chains must be extension-ordered"

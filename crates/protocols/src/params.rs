@@ -1,7 +1,7 @@
 //! Shared parameters of the Section 5 experiments.
 
 use am_core::NodeId;
-use am_net::NetProfile;
+use am_net::NetConfig;
 
 /// How a correct node's append-time view lags the true memory (both are
 /// admissible readings of "synchronous nodes with bound Δ"; ablation A5
@@ -50,10 +50,10 @@ pub struct Params {
     pub view_policy: ViewPolicy,
     /// Trial seed.
     pub seed: u64,
-    /// Optional network profile: when set, trials run with real block
-    /// propagation over an `am-net` simulator instead of the abstract
-    /// interval-snapshot views (see [`crate::propagation`]).
-    pub net: Option<NetProfile>,
+    /// Optional network configuration: when set, trials run with real
+    /// block propagation over an `am-net` simulator instead of the
+    /// abstract interval-snapshot views (see [`crate::propagation`]).
+    pub net: Option<NetConfig>,
 }
 
 /// Why a [`ParamsBuilder`] rejected its inputs.
@@ -103,7 +103,7 @@ pub struct ParamsBuilder {
     token_ttl: f64,
     view_policy: ViewPolicy,
     seed: u64,
-    net: Option<NetProfile>,
+    net: Option<NetConfig>,
 }
 
 impl ParamsBuilder {
@@ -163,10 +163,11 @@ impl ParamsBuilder {
         self
     }
 
-    /// Run trials over a faulty network profile.
+    /// Run trials over a faulty network. Accepts a [`NetConfig`] or a
+    /// legacy `NetProfile` (converted, trace on).
     #[must_use]
-    pub fn net(mut self, profile: NetProfile) -> Self {
-        self.net = Some(profile);
+    pub fn net(mut self, cfg: impl Into<NetConfig>) -> Self {
+        self.net = Some(cfg.into());
         self
     }
 
@@ -254,10 +255,12 @@ impl Params {
         self
     }
 
-    /// Same parameters with trials run over a faulty network (E14).
+    /// Same parameters with trials run over a faulty network (E14/E17/
+    /// E18). Accepts a [`NetConfig`] or a legacy `NetProfile`
+    /// (converted, trace on).
     #[must_use]
-    pub fn with_net(mut self, profile: NetProfile) -> Params {
-        self.net = Some(profile);
+    pub fn with_net(mut self, cfg: impl Into<NetConfig>) -> Params {
+        self.net = Some(cfg.into());
         self
     }
 

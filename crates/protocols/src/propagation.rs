@@ -22,7 +22,7 @@ use crate::chain::{ChainAdversary, ChainSim, ChainTrial, TieBreak};
 use crate::dag::{DagAdversary, DagRule, DagSim, DagTrial};
 use crate::params::Params;
 use am_core::{MsgId, Time, Value, GENESIS};
-use am_net::{Kinded, NetProfile, NetScratch, NetStats, SimNet, Transport};
+use am_net::{Kinded, NetConfig, NetScratch, NetStats, SimNet, Transport};
 use am_poisson::{Grant, TokenAuthority};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -55,7 +55,6 @@ fn ns(t: Time) -> u64 {
 /// always ancestor-closed sub-DAGs, as required by both protocols.
 pub struct Propagation {
     net: SimNet<BlockMsg>,
-    n: usize,
     /// Global block metadata, indexed by `MsgId::index()`.
     depth: Vec<u32>,
     parents: Vec<Vec<MsgId>>,
@@ -82,13 +81,28 @@ pub struct Propagation {
     admitted: Vec<Vec<MsgId>>,
     /// Reused buffer for [`Self::flush_pending`].
     ready_buf: Vec<MsgId>,
+    /// Gossip fanout cap per announcement hop (`None` = full degree).
+    fanout: usize,
+    /// Whether relay forwarding is on: non-mesh topologies and
+    /// fanout-limited meshes flood announcements hop by hop instead of
+    /// relying on the author reaching everyone directly. Off on the
+    /// legacy full-mesh path, which therefore stays bit-identical.
+    relay: bool,
+    /// `heard[node][id.index()]` — has the node seen this announcement
+    /// (relay mode only; gates forward-on-first-hear).
+    heard: Vec<Vec<bool>>,
+    /// Per-node rotating fanout cursor, seeded by node id so neighbour
+    /// choices decorrelate across nodes without drawing randomness.
+    rotor: Vec<usize>,
+    /// Reused buffer for the O(active) delivery drain.
+    active_buf: Vec<u32>,
     obs_announced: am_obs::Counter,
 }
 
 impl Propagation {
-    /// A propagation layer for `n` nodes over `profile`, seeded.
-    pub fn new(n: usize, profile: &NetProfile, seed: u64) -> Propagation {
-        Propagation::with_scratch(n, profile, seed, NetScratch::default())
+    /// A propagation layer for `n` nodes over `cfg`, seeded.
+    pub fn new(n: usize, cfg: &NetConfig, seed: u64) -> Propagation {
+        Propagation::with_scratch(n, cfg, seed, NetScratch::default())
     }
 
     /// Like [`Self::new`], but recycling pooled network storage (event-queue
@@ -96,13 +110,24 @@ impl Propagation {
     /// fresh build; only allocation behaviour differs.
     pub fn with_scratch(
         n: usize,
-        profile: &NetProfile,
+        cfg: &NetConfig,
         seed: u64,
         scratch: NetScratch<BlockMsg>,
     ) -> Propagation {
+        let net = cfg.build_net_with_scratch(n, seed, scratch);
+        let relay = cfg.fanout.is_some() || !net.topology().is_mesh();
+        let rotor = (0..n)
+            .map(|v| {
+                let deg = net.topology().degree(v);
+                if deg == 0 {
+                    0
+                } else {
+                    v % deg
+                }
+            })
+            .collect();
         Propagation {
-            net: profile.build_with_scratch(n, seed, scratch),
-            n,
+            net,
             depth: vec![0],
             parents: vec![Vec::new()],
             authors: vec![u32::MAX],
@@ -115,6 +140,15 @@ impl Propagation {
             track_admitted: false,
             admitted: vec![Vec::new(); n],
             ready_buf: Vec::new(),
+            fanout: cfg.fanout.unwrap_or(usize::MAX),
+            relay,
+            heard: if relay {
+                vec![vec![true]; n]
+            } else {
+                Vec::new()
+            },
+            rotor,
+            active_buf: Vec::new(),
             obs_announced: am_obs::counter("protocols.blocks_announced"),
         }
     }
@@ -147,21 +181,58 @@ impl Propagation {
             format!("block {idx} depth {d}")
         });
         self.mark_visible(author, id);
-        for to in 0..self.n {
-            if to != author {
-                self.net.send(author, to, BlockMsg { id });
+        if self.relay {
+            for h in &mut self.heard {
+                h.push(false);
+            }
+            self.heard[author][idx] = true;
+        }
+        // On the full-mesh default the announce below reproduces the
+        // legacy `for to in 0..n if to != author` loop exactly (mesh
+        // neighbour order is 0..n skipping self, fanout is unlimited).
+        self.announce_from(author, usize::MAX, id);
+    }
+
+    /// Gossips `id` from `node` to up to `fanout` of its topology
+    /// neighbours (skipping `skip`, the peer it was heard from). The
+    /// rotating per-node cursor spreads fanout-limited announcements
+    /// across the neighbourhood without consuming randomness, keeping
+    /// trials deterministic per seed.
+    fn announce_from(&mut self, node: usize, skip: usize, id: MsgId) {
+        let deg = self.net.topology().degree(node);
+        if self.fanout >= deg {
+            for i in 0..deg {
+                let to = self.net.topology().neighbor(node, i);
+                if to != skip {
+                    self.net.send(node, to, BlockMsg { id });
+                }
+            }
+        } else {
+            let start = self.rotor[node];
+            self.rotor[node] = (start + self.fanout) % deg;
+            let mut sent = 0;
+            let mut i = 0;
+            while sent < self.fanout && i < deg {
+                let to = self.net.topology().neighbor(node, (start + i) % deg);
+                i += 1;
+                if to == skip {
+                    continue;
+                }
+                self.net.send(node, to, BlockMsg { id });
+                sent += 1;
             }
         }
     }
 
     /// Delivers everything scheduled up to `at` and folds the arrivals
-    /// into per-node views.
+    /// into per-node views. Iterates only nodes that actually received
+    /// something (O(active), not O(n)); in relay mode, forwarded
+    /// announcements that land within the window are delivered too.
     pub fn advance_to(&mut self, at: Time) {
-        self.net.advance_until(ns(at));
-        for node in 0..self.n {
-            while let Some(env) = self.net.deliver(node) {
-                self.try_admit(node, env.payload.id);
-            }
+        let target = ns(at);
+        self.net.advance_until(target);
+        while self.drain_deliveries() {
+            self.net.advance_until(target);
         }
     }
 
@@ -169,16 +240,37 @@ impl Propagation {
     /// final common read in tests; the protocols decide on the shared log,
     /// so the runners themselves don't need it).
     pub fn settle(&mut self) {
+        self.drain_deliveries();
         while self.net.advance() {
-            for node in 0..self.n {
-                while let Some(env) = self.net.deliver(node) {
-                    self.try_admit(node, env.payload.id);
-                }
-            }
+            self.drain_deliveries();
         }
     }
 
-    fn try_admit(&mut self, node: usize, id: MsgId) {
+    /// Delivers every arrived message, visiting only nodes with fresh
+    /// arrivals (ascending, matching the legacy full `0..n` scan order on
+    /// the nodes it visits). Returns whether anything was delivered.
+    fn drain_deliveries(&mut self) -> bool {
+        let mut active = std::mem::take(&mut self.active_buf);
+        self.net.drain_arrived_nodes(&mut active);
+        let any = !active.is_empty();
+        for &node in active.iter() {
+            let node = node as usize;
+            while let Some(env) = self.net.deliver(node) {
+                self.try_admit(node, env.from, env.payload.id);
+            }
+        }
+        self.active_buf = active;
+        any
+    }
+
+    fn try_admit(&mut self, node: usize, from: usize, id: MsgId) {
+        if self.relay && !self.heard[node][id.index()] {
+            // First hear: forward to this node's own neighbourhood before
+            // the visibility check — gossip relays propagate
+            // announcements even while the block's parents are missing.
+            self.heard[node][id.index()] = true;
+            self.announce_from(node, from, id);
+        }
         if self.visible[node][id.index()] {
             return; // duplicate delivery
         }
@@ -373,7 +465,7 @@ impl Propagation {
     }
 }
 
-/// Runs one Algorithm 5 trial with block propagation over `profile`,
+/// Runs one Algorithm 5 trial with block propagation over `cfg`,
 /// returning the trial outcome and the network statistics.
 ///
 /// The adversary stays omniscient (it reads the shared log directly —
@@ -382,16 +474,12 @@ pub fn run_chain_net(
     p: &Params,
     tie: TieBreak,
     adv: ChainAdversary,
-    profile: &NetProfile,
+    cfg: &NetConfig,
 ) -> (ChainTrial, NetStats) {
     let _span = am_obs::span("protocols/chain_net");
     let mut sim = ChainSim::new(p);
-    let mut prop = Propagation::with_scratch(
-        p.n,
-        profile,
-        p.seed ^ 0x6e57_c0de,
-        crate::scratch::take_net(),
-    );
+    let mut prop =
+        Propagation::with_scratch(p.n, cfg, p.seed ^ 0x6e57_c0de, crate::scratch::take_net());
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(p.seed ^ 0x5eed5eed5eed5eed);
 
@@ -476,22 +564,18 @@ pub fn run_chain_net(
     (crate::chain::decide(p, &sim, correct_appends), stats)
 }
 
-/// Runs one Algorithm 6 trial with block propagation over `profile`,
+/// Runs one Algorithm 6 trial with block propagation over `cfg`,
 /// returning the trial outcome and the network statistics.
 pub fn run_dag_net(
     p: &Params,
     rule: DagRule,
     adv: DagAdversary,
-    profile: &NetProfile,
+    cfg: &NetConfig,
 ) -> (DagTrial, NetStats) {
     let _span = am_obs::span("protocols/dag_net");
     let mut sim = DagSim::new(p);
-    let mut prop = Propagation::with_scratch(
-        p.n,
-        profile,
-        p.seed ^ 0x6e57_c0de,
-        crate::scratch::take_net(),
-    );
+    let mut prop =
+        Propagation::with_scratch(p.n, cfg, p.seed ^ 0x6e57_c0de, crate::scratch::take_net());
     let mut auth = TokenAuthority::new(p.n, p.lambda, p.delta, &p.byz_nodes(), p.seed);
 
     let mut banked: Vec<Grant> = crate::scratch::take_banked();
@@ -568,7 +652,7 @@ pub fn run_dag_net(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use am_net::LatencyModel;
+    use am_net::{LatencyModel, NetProfile, Topology};
 
     /// 0.01 Δ constant latency — effectively the synchronous ideal.
     fn fast() -> NetProfile {
@@ -580,7 +664,7 @@ mod tests {
         // Child announced over a fast link, parent over a slow one: the
         // child must stay buffered until the parent arrives.
         let profile = NetProfile::ideal(LatencyModel::Constant(0));
-        let mut prop = Propagation::new(3, &profile, 1);
+        let mut prop = Propagation::new(3, &profile.into(), 1);
         prop.net
             .set_link_latency(0, 2, LatencyModel::Constant(1_000));
         prop.net.set_link_latency(1, 2, LatencyModel::Constant(10));
@@ -612,7 +696,7 @@ mod tests {
             .with_drop(0.25)
             .with_dup(0.15);
             let n = 5;
-            let mut prop = Propagation::new(n, &profile, seed);
+            let mut prop = Propagation::new(n, &profile.into(), seed);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut known: Vec<MsgId> = vec![GENESIS];
             for step in 1..=60u64 {
@@ -668,8 +752,12 @@ mod tests {
     fn fault_free_chain_decides_plus() {
         for seed in 0..5 {
             let p = Params::new(8, 2, 0.5, 15, seed);
-            let (out, stats) =
-                run_chain_net(&p, TieBreak::Randomized, ChainAdversary::Absent, &fast());
+            let (out, stats) = run_chain_net(
+                &p,
+                TieBreak::Randomized,
+                ChainAdversary::Absent,
+                &fast().into(),
+            );
             assert!(out.validity, "seed {seed}");
             assert!(out.chain_len >= p.k);
             assert!(stats.totals().sent > 0);
@@ -681,7 +769,12 @@ mod tests {
     fn fault_free_dag_decides_plus() {
         for seed in 0..5 {
             let p = Params::new(8, 2, 0.5, 15, seed);
-            let (out, _) = run_dag_net(&p, DagRule::LongestChain, DagAdversary::Absent, &fast());
+            let (out, _) = run_dag_net(
+                &p,
+                DagRule::LongestChain,
+                DagAdversary::Absent,
+                &fast().into(),
+            );
             assert!(out.validity, "seed {seed}");
             assert!(out.covered_values >= p.k);
         }
@@ -690,7 +783,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = Params::new(10, 3, 0.5, 21, 99);
-        let profile = fast().with_drop(0.1);
+        let profile = NetConfig::from(fast().with_drop(0.1));
         let (a, sa) = run_chain_net(
             &p,
             TieBreak::Randomized,
@@ -718,7 +811,7 @@ mod tests {
         let trials = 8;
         for seed in 0..trials {
             let p = Params::new(8, 0, 0.5, 15, seed);
-            let profile = fast().with_drop(0.4);
+            let profile = NetConfig::from(fast().with_drop(0.4));
             let (c, _) = run_chain_net(&p, TieBreak::Randomized, ChainAdversary::Absent, &profile);
             chain_orphans += c.orphaned_correct;
             chain_kept += c.chain_len as f64 / c.total_appends as f64;
@@ -742,9 +835,115 @@ mod tests {
         // A long partition makes the halves build privately; the DAG
         // still covers nearly everything once views merge.
         let p = Params::new(8, 0, 0.5, 15, 3);
-        let profile = fast().with_partition(0, 20_000_000_000); // 20 Δ
+        let profile = NetConfig::from(fast().with_partition(0, 20_000_000_000)); // 20 Δ
         let (d, stats) = run_dag_net(&p, DagRule::LongestChain, DagAdversary::Absent, &profile);
         assert!(stats.totals().dropped > 0, "the partition must cut traffic");
         assert!(d.validity, "an adversary-free DAG stays valid across heal");
+    }
+
+    #[test]
+    fn relay_topology_floods_via_forwarding() {
+        // On a degree-2 ring an announcement reaches non-neighbours only
+        // by relay forwarding — every node must still converge.
+        let n = 10;
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(10_000_000))
+            .topology(Topology::Relay { k: 2 })
+            .trace(true)
+            .build()
+            .unwrap();
+        let mut prop = Propagation::new(n, &cfg, 7);
+        prop.on_append(0, MsgId(1), &[GENESIS], Time::ZERO);
+        prop.settle();
+        for node in 0..n {
+            assert_eq!(prop.visible_count(node), 2, "node {node} missed the block");
+        }
+        // The author itself only reached its 2 ring neighbours; the rest
+        // of the coverage came from forwards (n-1 first-hears, each
+        // forwarding to ≤ 2 peers).
+        let sent = prop.stats().kind("block").sent;
+        assert!(sent >= (n as u64 - 1), "flood must fan out, sent {sent}");
+        assert!(
+            sent <= 2 * n as u64,
+            "degree-2 flood is bounded, sent {sent}"
+        );
+    }
+
+    #[test]
+    fn fanout_limited_mesh_still_converges() {
+        let n = 12;
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(10_000_000))
+            .fanout(4)
+            .trace(true)
+            .build()
+            .unwrap();
+        let mut prop = Propagation::new(n, &cfg, 3);
+        for step in 1..=5u64 {
+            let at = Time::new(step as f64 * 0.1);
+            prop.advance_to(at);
+            let author = (step as usize * 5) % n;
+            let parents: Vec<MsgId> = prop.visible_tips(author).to_vec();
+            prop.on_append(author, MsgId(step), &parents, at);
+        }
+        prop.settle();
+        for node in 0..n {
+            assert_eq!(
+                prop.visible_count(node),
+                6,
+                "node {node} missed blocks under fanout-limited gossip"
+            );
+        }
+        // Each node announces a block at most once (author or first
+        // hear), with at most `fanout` sends per announcement.
+        let sent = prop.stats().kind("block").sent;
+        assert!(
+            sent <= 5 * n as u64 * 4,
+            "fanout must cap per-hop sends, got {sent}"
+        );
+    }
+
+    #[test]
+    fn geo_topology_converges_and_marks_regions() {
+        let n = 24;
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(5_000_000))
+            .topology(Topology::Geo {
+                regions: 4,
+                k: 4,
+                inter: LatencyModel::Constant(80_000_000),
+            })
+            .build()
+            .unwrap();
+        let mut prop = Propagation::new(n, &cfg, 11);
+        prop.on_append(5, MsgId(1), &[GENESIS], Time::ZERO);
+        prop.settle();
+        for node in 0..n {
+            assert_eq!(prop.visible_count(node), 2);
+        }
+    }
+
+    #[test]
+    fn legacy_profile_and_mesh_config_trials_are_bit_identical() {
+        // The NetConfig path with explicit mesh/trace settings must
+        // reproduce the NetProfile path exactly — trace and outcome.
+        let p = Params::new(9, 2, 0.5, 18, 123);
+        let profile = fast().with_drop(0.2).with_dup(0.1);
+        let (a, sa) = run_chain_net(
+            &p,
+            TieBreak::Randomized,
+            ChainAdversary::ForkMaker,
+            &profile.into(),
+        );
+        let cfg = NetConfig::builder()
+            .latency(LatencyModel::Constant(10_000_000))
+            .drop(0.2)
+            .dup(0.1)
+            .trace(true)
+            .build()
+            .unwrap();
+        let (b, sb) = run_chain_net(&p, TieBreak::Randomized, ChainAdversary::ForkMaker, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa.trace(), sb.trace());
     }
 }

@@ -17,7 +17,7 @@
 //!    every correct node ends on the identical chain.
 
 use am_core::MsgId;
-use am_net::{LatencyModel, NetProfile};
+use am_net::{LatencyModel, NetConfig, NetProfile};
 use am_protocols::{run_bft_net_full, BftAdversary, Params};
 
 const DELTA_NS: u64 = 1_000_000_000;
@@ -38,7 +38,7 @@ fn is_prefix(short: &[MsgId], long: &[MsgId]) -> bool {
 
 /// Runs one fault family over `SEEDS` seeds; `equalizes` additionally
 /// demands identical healed chains across correct nodes.
-fn family(name: &str, p: &Params, adv: BftAdversary, profile: &NetProfile, equalizes: bool) {
+fn family(name: &str, p: &Params, adv: BftAdversary, profile: &NetConfig, equalizes: bool) {
     let correct = p.n - p.t;
     let mut finalized = 0u64;
     for s in 0..SEEDS {
@@ -91,7 +91,7 @@ fn agreement_under_drops() {
     let latency = LatencyModel::Constant(DELTA_NS / 20);
     let profile = NetProfile::ideal(latency).with_drop(0.2);
     let p = Params::new(5, 0, 0.5, 4, 0xa9);
-    family("drop 0.2", &p, BftAdversary::Absent, &profile, true);
+    family("drop 0.2", &p, BftAdversary::Absent, &profile.into(), true);
 }
 
 #[test]
@@ -99,7 +99,13 @@ fn agreement_under_dup_and_reorder() {
     let latency = LatencyModel::Constant(DELTA_NS / 20);
     let profile = NetProfile::ideal(latency).with_dup(0.25).with_reorder(0.25);
     let p = Params::new(5, 0, 0.5, 4, 0xa9d);
-    family("dup+reorder", &p, BftAdversary::Absent, &profile, true);
+    family(
+        "dup+reorder",
+        &p,
+        BftAdversary::Absent,
+        &profile.into(),
+        true,
+    );
 }
 
 #[test]
@@ -107,7 +113,13 @@ fn agreement_across_partition_heal() {
     let latency = LatencyModel::Constant(DELTA_NS / 20);
     let profile = NetProfile::ideal(latency).with_partition(0, 8 * DELTA_NS);
     let p = Params::new(5, 0, 0.5, 4, 0xa9e);
-    family("partition 8Δ", &p, BftAdversary::Absent, &profile, true);
+    family(
+        "partition 8Δ",
+        &p,
+        BftAdversary::Absent,
+        &profile.into(),
+        true,
+    );
 }
 
 #[test]
@@ -122,7 +134,7 @@ fn agreement_with_equivocator_on_lossy_wire() {
         "eq + drop 0.1",
         &p,
         BftAdversary::Equivocator,
-        &profile,
+        &profile.into(),
         false,
     );
 }

@@ -19,6 +19,7 @@
 //! | `--authors N` | author pool size [64] |
 //! | `--pipeline N` | outstanding requests per client [8] |
 //! | `--seed N` | base RNG seed [0] |
+//! | `--topology T` | cluster gossip topology: `mesh`, `relay:<k>`, `geo:<r>[:<k>]` [mesh] |
 //! | `--out-dir DIR` | also write `DIR/loadgen.json` |
 //! | `--record` | merge the record into BENCH_PR6.json |
 //!
@@ -36,7 +37,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: loadgen [--nodes N] [--clients N] [--requests N] [--duration MS] \
          [--mix F] [--skew F] [--authors N] [--pipeline N] [--seed N] \
-         [--out-dir DIR] [--record]"
+         [--topology mesh|relay:k|geo:r] [--out-dir DIR] [--record]"
     );
     std::process::exit(2);
 }
@@ -77,6 +78,7 @@ fn parse_args() -> Cli {
             "--authors" => cli.cfg.authors = parse(&flag, args.next()),
             "--pipeline" => cli.cfg.pipeline = parse(&flag, args.next()),
             "--seed" => cli.cfg.seed = parse(&flag, args.next()),
+            "--topology" => cli.cfg.topology = parse(&flag, args.next()),
             "--out-dir" => cli.out_dir = Some(parse(&flag, args.next())),
             "--record" => cli.record = true,
             "--help" | "-h" => usage("help"),
@@ -88,6 +90,9 @@ fn parse_args() -> Cli {
     }
     if cli.cfg.requests == 0 && cli.cfg.duration_ms == 0 {
         usage("set --requests and/or --duration to bound the run");
+    }
+    if let Err(e) = cli.cfg.topology_config() {
+        usage(&format!("--topology: {e}"));
     }
     cli
 }
