@@ -37,15 +37,21 @@ pub enum Preset {
     /// throughput with sparse per-link state vs the dense O(n²)
     /// statistics baseline, plus an E18-style divergence-probe record.
     Pr8,
+    /// PR9, the compact model-checker core (DESIGN.md §14): the reduced
+    /// search (interning + sleep sets + ample decide + symmetry) vs the
+    /// naive explorer, the dense round-lower-bound engine vs its HashMap
+    /// baseline, plus states/sec and feasibility-frontier records.
+    Pr9,
 }
 
 /// All presets, in PR order.
-pub const ALL: [Preset; 5] = [
+pub const ALL: [Preset; 6] = [
     Preset::Pr4,
     Preset::Pr5,
     Preset::Pr6,
     Preset::Pr7,
     Preset::Pr8,
+    Preset::Pr9,
 ];
 
 impl Preset {
@@ -57,6 +63,7 @@ impl Preset {
             Preset::Pr6 => "bench-pr6/1",
             Preset::Pr7 => "bench-pr7/1",
             Preset::Pr8 => "bench-pr8/1",
+            Preset::Pr9 => "bench-pr9/1",
         }
     }
 
@@ -68,6 +75,7 @@ impl Preset {
             Preset::Pr6 => "BENCH_PR6.json",
             Preset::Pr7 => "BENCH_PR7.json",
             Preset::Pr8 => "BENCH_PR8.json",
+            Preset::Pr9 => "BENCH_PR9.json",
         }
     }
 
@@ -79,6 +87,7 @@ impl Preset {
             Preset::Pr6 => "pr6",
             Preset::Pr7 => "pr7",
             Preset::Pr8 => "pr8",
+            Preset::Pr9 => "pr9",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! # am-experiments — the E1..E18 harness, as a library
+//! # am-experiments — the E1..E19 harness, as a library
 //!
 //! Every experiment module exposes `run(ctx: &RunCtx) -> Report`;
 //! [`REGISTRY`] is the single table of [`Experiment`] descriptors the
@@ -20,6 +20,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -35,7 +36,7 @@ use report::Report;
 use std::path::Path;
 
 /// Budget cap applied to every Monte-Carlo loop under `--fast`: enough
-/// trials to exercise the full pipeline, few enough that all eighteen
+/// trials to exercise the full pipeline, few enough that all nineteen
 /// experiments smoke-test in seconds.
 pub const FAST_BUDGET: u64 = 24;
 
@@ -233,6 +234,11 @@ pub static REGISTRY: &[Experiment] = &[
         describe: "Extension: divergence at planet scale (n up to 5000, geo latency)",
         run: e18::run,
     },
+    Experiment {
+        id: "e19",
+        describe: "Infrastructure: model-checker reduction stack, ablated and audited",
+        run: e19::run,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -355,7 +361,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(REGISTRY.len(), 18);
+        assert_eq!(REGISTRY.len(), 19);
         for (i, exp) in REGISTRY.iter().enumerate() {
             assert_eq!(exp.id, format!("e{}", i + 1), "presentation order");
             assert!(!exp.describe.is_empty(), "{} lacks a description", exp.id);

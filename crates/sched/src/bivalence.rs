@@ -10,6 +10,9 @@
 
 use crate::explore::{Config, Explorer, Valency};
 use crate::proto::AsyncProtocol;
+use crate::search::{
+    state_fingerprint, successors_compact, valency_fast, CState, LogArena, SearchOptions,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Lemma 2.2 (search form): scans all `2^n` input vectors and returns a
@@ -196,6 +199,156 @@ pub fn round_robin_witness(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fast variants on the compact search core
+// ---------------------------------------------------------------------------
+
+/// Lemma 2.2 on the compact core: like [`initial_bivalent`] but every
+/// valency query runs the reduced search with early exit on bivalence,
+/// so the scan reaches input vectors the naive explorer cannot.
+pub fn initial_bivalent_fast(
+    proto: &dyn AsyncProtocol,
+    opts: &SearchOptions,
+) -> Option<(Vec<u8>, Config)> {
+    let n = proto.n();
+    for mask in 0..(1u32 << n) {
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let c = Config::initial(&inputs);
+        if valency_fast(proto, &c, opts) == Valency::Bivalent {
+            return Some((inputs, c));
+        }
+    }
+    None
+}
+
+/// Lemma 2.3 on the compact core: BFS over fingerprinted compact states
+/// for a bivalent configuration reachable via at least one event of
+/// `node`. Valency queries are cached by state fingerprint.
+fn extend_through_node_fast(
+    proto: &dyn AsyncProtocol,
+    arena: &mut LogArena,
+    start: &CState,
+    node: usize,
+    valency_cache: &mut HashMap<u128, Valency>,
+    opts: &SearchOptions,
+    max_frontier: usize,
+) -> Option<(Vec<usize>, CState)> {
+    let n = proto.n();
+    let mut queue: VecDeque<(CState, bool, Vec<usize>)> = VecDeque::new();
+    let mut seen: HashMap<(u128, bool), ()> = HashMap::new();
+    queue.push_back((*start, false, Vec::new()));
+    seen.insert((state_fingerprint(start), false), ());
+    let mut visited = 0usize;
+
+    while let Some((cur, hit, path)) = queue.pop_front() {
+        visited += 1;
+        if visited > max_frontier {
+            return None;
+        }
+        if hit {
+            let fp = state_fingerprint(&cur);
+            let val = match valency_cache.get(&fp) {
+                Some(&v) => v,
+                None => {
+                    let v = valency_fast(proto, &cur.to_config(n, arena), opts);
+                    valency_cache.insert(fp, v);
+                    v
+                }
+            };
+            if val == Valency::Bivalent {
+                return Some((path, cur));
+            }
+        }
+        for (v, c2) in successors_compact(proto, &cur, arena) {
+            let hit2 = hit || v == node;
+            let key = (state_fingerprint(&c2), hit2);
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                e.insert(());
+                let mut p2 = path.clone();
+                p2.push(v);
+                queue.push_back((c2, hit2, p2));
+            }
+        }
+    }
+    None
+}
+
+/// Theorem 2.1 on the compact core: like [`round_robin_witness`] but
+/// with interned states, fingerprinted dedup, and reduced valency
+/// queries throughout — the witness construction that scales past the
+/// naive explorer's n.
+pub fn round_robin_witness_fast(
+    proto: &dyn AsyncProtocol,
+    target_steps: usize,
+    opts: &SearchOptions,
+) -> Witness {
+    let Some((inputs, start)) = initial_bivalent_fast(proto, opts) else {
+        return Witness {
+            inputs: Vec::new(),
+            schedule: Vec::new(),
+            null_steps: 0,
+            outcome: WitnessOutcome::NoBivalentStart,
+        };
+    };
+    let n = proto.n();
+    let mut arena = LogArena::new();
+    let mut cur = CState::from_config(&start, &mut arena);
+    let mut valency_cache: HashMap<u128, Valency> = HashMap::new();
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut null_steps = 0usize;
+    let mut rr = 0usize;
+
+    while schedule.len() < target_steps {
+        let node = rr % n;
+        rr += 1;
+        let succs = successors_compact(proto, &cur, &mut arena);
+        if !succs.iter().any(|(v, _)| *v == node) {
+            null_steps += 1;
+            if succs.is_empty() {
+                // Fully stuck: an infinite null-step computation —
+                // trivially non-deciding, the witness holds.
+                let remaining = target_steps - schedule.len();
+                return Witness {
+                    inputs,
+                    schedule,
+                    null_steps: null_steps + remaining,
+                    outcome: WitnessOutcome::KeptBivalent,
+                };
+            }
+            continue;
+        }
+        match extend_through_node_fast(
+            proto,
+            &mut arena,
+            &cur,
+            node,
+            &mut valency_cache,
+            opts,
+            200_000,
+        ) {
+            Some((path, c2)) => {
+                schedule.extend_from_slice(&path);
+                cur = c2;
+            }
+            None => {
+                let steps = schedule.len();
+                return Witness {
+                    inputs,
+                    schedule,
+                    null_steps,
+                    outcome: WitnessOutcome::StuckAt { node, steps },
+                };
+            }
+        }
+    }
+    Witness {
+        inputs,
+        schedule,
+        null_steps,
+        outcome: WitnessOutcome::KeptBivalent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +390,23 @@ mod tests {
         let p = QuorumVoteProtocol::new(3, 2, 0);
         let w = round_robin_witness(&p, 8, 300_000);
         assert_eq!(w.outcome, WitnessOutcome::KeptBivalent, "witness: {w:?}");
+    }
+
+    #[test]
+    fn fast_witness_matches_naive_outcome() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let naive = round_robin_witness(&p, 8, 300_000);
+        let fast = round_robin_witness_fast(&p, 8, &SearchOptions::reduced(300_000));
+        assert_eq!(naive.outcome, fast.outcome);
+        assert_eq!(naive.inputs, fast.inputs, "same bivalent start found");
+    }
+
+    #[test]
+    fn fast_initial_bivalent_matches_naive() {
+        let p = FirstSeenProtocol::new(3);
+        let naive = initial_bivalent(&p, 100_000).expect("must exist");
+        let fast = initial_bivalent_fast(&p, &SearchOptions::reduced(100_000)).expect("must exist");
+        assert_eq!(naive.0, fast.0, "mask scan order pins the same inputs");
     }
 
     #[test]

@@ -80,18 +80,28 @@ impl Config {
         self.logs.iter().map(Vec::len).sum()
     }
 
-    /// Set of decisions present in this configuration.
+    /// Bitmask of decisions present in this configuration: bit `v` is set
+    /// iff some node decided `v`. Allocation-free — this is the hot-path
+    /// form every search loop should use.
+    pub fn decision_bits(&self) -> u8 {
+        self.nodes
+            .iter()
+            .filter_map(|s| s.decided)
+            .fold(0u8, |m, d| m | (1 << d))
+    }
+
+    /// Set of decisions present in this configuration, sorted and deduped.
+    /// Convenience wrapper over [`Config::decision_bits`] for callers that
+    /// want a list; searches should use the bitmask directly.
     pub fn decisions(&self) -> Vec<u8> {
-        let mut d: Vec<u8> = self.nodes.iter().filter_map(|s| s.decided).collect();
-        d.sort_unstable();
-        d.dedup();
-        d
+        let bits = self.decision_bits();
+        (0..2).filter(|v| bits & (1 << v) != 0).collect()
     }
 
     /// Whether two nodes have decided on different values — an agreement
     /// violation witnessed directly by this configuration.
     pub fn violates_agreement(&self) -> bool {
-        self.decisions().len() > 1
+        self.decision_bits() == 0b11
     }
 
     /// Whether every node has decided.
@@ -123,7 +133,9 @@ pub enum Valency {
 }
 
 impl Valency {
-    fn from_bits(zero: bool, one: bool) -> Valency {
+    /// Builds a valency from "decision 0 reachable" / "decision 1
+    /// reachable" bits.
+    pub fn from_bits(zero: bool, one: bool) -> Valency {
         match (zero, one) {
             (true, true) => Valency::Bivalent,
             (true, false) => Valency::Zero,
@@ -178,12 +190,13 @@ impl<'p> Explorer<'p> {
             return None;
         }
         let fresh = (0..c.logs.len()).any(|a| c.logs[a].len() > st.view[a] as usize);
+        let slices: Vec<&[Entry]> = c.logs.iter().map(Vec::as_slice).collect();
         let op = self.proto.next_op(
             v,
             st.input,
             st.own as usize,
             &ViewRef {
-                logs: &c.logs,
+                logs: &slices,
                 counts: &st.view,
             },
             fresh,
@@ -313,13 +326,9 @@ impl<'p> Explorer<'p> {
         let mut zero = vec![false; m];
         let mut one = vec![false; m];
         for (i, c) in configs.iter().enumerate() {
-            for d in c.decisions() {
-                if d == 0 {
-                    zero[i] = true;
-                } else {
-                    one[i] = true;
-                }
-            }
+            let bits = c.decision_bits();
+            zero[i] = bits & 1 != 0;
+            one[i] = bits & 2 != 0;
         }
         let mut changed = true;
         while changed {
@@ -368,6 +377,26 @@ mod tests {
         assert!(c.decisions().is_empty());
         assert!(!c.violates_agreement());
         assert!(!c.all_decided());
+    }
+
+    #[test]
+    fn decision_bits_matches_decisions() {
+        // Regression for the allocation-free hot path: the bitmask form
+        // must agree with the list form at every decision census.
+        let mut c = Config::initial(&[0, 1, 1]);
+        assert_eq!(c.decision_bits(), 0);
+        assert!(c.decisions().is_empty());
+        c.nodes[0].decided = Some(1);
+        assert_eq!(c.decision_bits(), 0b10);
+        assert_eq!(c.decisions(), vec![1]);
+        assert!(!c.violates_agreement());
+        c.nodes[1].decided = Some(1);
+        assert_eq!(c.decision_bits(), 0b10, "same value twice: one bit");
+        assert!(!c.violates_agreement());
+        c.nodes[2].decided = Some(0);
+        assert_eq!(c.decision_bits(), 0b11);
+        assert_eq!(c.decisions(), vec![0, 1]);
+        assert!(c.violates_agreement());
     }
 
     #[test]

@@ -71,6 +71,25 @@ pub struct NonforkingReport {
     /// The first invariant violation found, if any — `None` is the
     /// theorem (over this bounded universe).
     pub violation: Option<String>,
+    /// Duplicate ordered histories pruned by the fingerprint cache
+    /// (distinct Byzantine prefix choices that manufactured the very
+    /// same block — the subtree is byte-identical, so it is cut). Zero
+    /// in the naive search.
+    pub fingerprint_hits: u64,
+    /// Oracle observations saved by carrying the finality oracle
+    /// incrementally down the DFS instead of replaying every history
+    /// from scratch. Zero in the naive search.
+    pub observes_saved: u64,
+}
+
+impl NonforkingReport {
+    /// Publishes the search and reduction counters as am-obs aggregates.
+    pub fn publish_obs(&self) {
+        am_obs::counter("sched.nonforking.states").add(self.states as u64);
+        am_obs::counter("sched.nonforking.finalizing_states").add(self.finalizing_states as u64);
+        am_obs::counter("sched.nonforking.fingerprint_hits").add(self.fingerprint_hits);
+        am_obs::counter("sched.nonforking.observes_saved").add(self.observes_saved);
+    }
 }
 
 struct Search {
@@ -78,10 +97,16 @@ struct Search {
     byz: Vec<bool>,
     max_blocks: usize,
     max_states: usize,
+    /// Reduced mode: incremental oracle + ordered-history dedup. Off =
+    /// the naive baseline (replay every visit, no pruning).
+    reduced: bool,
     report: NonforkingReport,
     /// Structural block-set key → finalized chains (as cid sequences)
     /// seen at states holding exactly that set.
     groups: HashMap<u64, Vec<Vec<u64>>>,
+    /// Fingerprints of *ordered* histories already visited (reduced
+    /// mode). Two lanes folded over the cid sequence.
+    seen: HashMap<u128, ()>,
 }
 
 /// The parent list an append on the prefix of the first `p` blocks
@@ -157,8 +182,27 @@ impl Search {
         }
     }
 
-    /// DFS from `blocks`, whose own replay produced `chain`.
-    fn explore(&mut self, blocks: &mut Vec<Block>, chain: &[MsgId]) {
+    /// Pushes a cid onto an ordered-history fingerprint (two independent
+    /// splitmix lanes — the hash-compaction key of the reduced search).
+    fn hist_push(fp: u128, cid: u64) -> u128 {
+        let hi = mix((fp >> 64) as u64, cid);
+        let lo = mix(
+            fp as u64 ^ 0x5deb_8c2a_91ff_7a31,
+            cid.wrapping_mul(0xff51_afd7_ed55_8ccd),
+        );
+        ((hi as u128) << 64) | lo as u128
+    }
+
+    /// DFS from `blocks`, whose own replay produced `chain`; `oracle` is
+    /// the finality oracle after observing exactly `blocks` (only used
+    /// in reduced mode), `hist_fp` the ordered-history fingerprint.
+    fn explore(
+        &mut self,
+        blocks: &mut Vec<Block>,
+        chain: &[MsgId],
+        oracle: &FinalityOracle,
+        hist_fp: u128,
+    ) {
         if self.report.violation.is_some() || blocks.len() >= self.max_blocks {
             return;
         }
@@ -216,13 +260,28 @@ impl Search {
                     twin += 1;
                     cid = mix(base, twin);
                 }
+                let child_fp = Search::hist_push(hist_fp, cid);
+                if self.reduced {
+                    // Identical ordered histories have identical oracle
+                    // states and identical subtrees — cut them. Under
+                    // the current move rule every move extends the
+                    // parent set with a fresh block, so this fires only
+                    // if a future universe (or a cid collision) ever
+                    // manufactures a duplicate; it is a guard whose
+                    // hit count *measures* that risk (DESIGN.md §14).
+                    if self.seen.contains_key(&child_fp) {
+                        self.report.fingerprint_hits += 1;
+                        continue;
+                    }
+                    self.seen.insert(child_fp, ());
+                }
                 blocks.push(Block {
                     author: node,
                     parents,
                     depth,
                     cid,
                 });
-                self.visit(blocks, chain);
+                self.visit(blocks, chain, oracle, child_fp);
                 blocks.pop();
                 if self.report.violation.is_some() {
                     return;
@@ -231,9 +290,32 @@ impl Search {
         }
     }
 
-    fn visit(&mut self, blocks: &mut Vec<Block>, parent_chain: &[MsgId]) {
+    fn visit(
+        &mut self,
+        blocks: &mut Vec<Block>,
+        parent_chain: &[MsgId],
+        parent_oracle: &FinalityOracle,
+        hist_fp: u128,
+    ) {
         self.report.states += 1;
-        let (chain, conflict, equivocators) = replay(self.n, blocks);
+        let mut incr_oracle = None;
+        let (chain, conflict, equivocators) = if self.reduced {
+            // Incremental: clone the parent's oracle and observe only
+            // the newest block instead of replaying the whole history.
+            let mut o = parent_oracle.clone();
+            let last = blocks.last().expect("visit is only called post-append");
+            o.observe(MsgId(blocks.len() as u64), last.author, &last.parents);
+            self.report.observes_saved += blocks.len() as u64 - 1;
+            let out = (
+                o.finalized_chain(),
+                o.conflict_detected(),
+                o.equivocator_count(),
+            );
+            incr_oracle = Some(o);
+            out
+        } else {
+            replay(self.n, blocks)
+        };
         if conflict {
             self.fail(format!(
                 "conflicting quorum certified after {} blocks",
@@ -270,20 +352,17 @@ impl Search {
             return;
         }
         peers.push(cids);
-        self.explore(blocks, &chain);
+        let oracle = incr_oracle.as_ref().unwrap_or(parent_oracle);
+        self.explore(blocks, &chain, oracle, hist_fp);
     }
 }
 
-/// Exhaustively explores every interleaving of up to `max_blocks`
-/// appends by `n` authors (those in `byz` using arbitrary stale-prefix
-/// views without self-parents) and checks the nonforking invariants at
-/// every reachable state. `max_states` bounds the search; hitting it
-/// sets [`NonforkingReport::truncated`] rather than failing.
-pub fn check_nonforking(
+fn run_search(
     n: usize,
     byz: &[usize],
     max_blocks: usize,
     max_states: usize,
+    reduced: bool,
 ) -> NonforkingReport {
     let mut byz_mask = vec![false; n];
     for &b in byz {
@@ -294,6 +373,7 @@ pub fn check_nonforking(
         byz: byz_mask,
         max_blocks,
         max_states,
+        reduced,
         report: NonforkingReport {
             states: 0,
             truncated: false,
@@ -301,13 +381,51 @@ pub fn check_nonforking(
             equivocating_states: 0,
             max_finalized: 0,
             violation: None,
+            fingerprint_hits: 0,
+            observes_saved: 0,
         },
         groups: HashMap::new(),
+        seen: HashMap::new(),
     };
     let mut blocks = Vec::new();
     let (chain, _, _) = replay(n, &blocks);
-    search.explore(&mut blocks, &chain);
+    let oracle = FinalityOracle::new(n);
+    search.explore(&mut blocks, &chain, &oracle, 0x006e_6f6e_666f_726b_u128);
     search.report
+}
+
+/// Exhaustively explores every interleaving of up to `max_blocks`
+/// appends by `n` authors (those in `byz` using arbitrary stale-prefix
+/// views without self-parents) and checks the nonforking invariants at
+/// every reachable state. `max_states` bounds the search; hitting it
+/// sets [`NonforkingReport::truncated`] rather than failing.
+///
+/// Runs the reduced search: incremental finality oracles and
+/// fingerprint-deduped ordered histories ([`check_nonforking_naive`] is
+/// the unreduced baseline it is pinned against). Reduction counters are
+/// published through am-obs.
+pub fn check_nonforking(
+    n: usize,
+    byz: &[usize],
+    max_blocks: usize,
+    max_states: usize,
+) -> NonforkingReport {
+    let rep = run_search(n, byz, max_blocks, max_states, true);
+    rep.publish_obs();
+    rep
+}
+
+/// The naive baseline: full oracle replay at every state, no history
+/// dedup — every interleaving of every stale-prefix choice is visited
+/// verbatim. Kept in-tree so the reduced search's verdicts (and its
+/// speedup) stay measurable against it.
+pub fn check_nonforking_naive(
+    n: usize,
+    byz: &[usize],
+    max_blocks: usize,
+    max_states: usize,
+) -> NonforkingReport {
+    run_search(n, byz, max_blocks, max_states, false)
 }
 
 #[cfg(test)]
@@ -344,6 +462,30 @@ mod tests {
         let rep = check_nonforking(3, &[1, 2], 4, 400_000);
         assert!(rep.violation.is_none(), "{:?}", rep.violation);
         assert!(!rep.truncated);
+    }
+
+    #[test]
+    fn reduced_search_is_a_drop_in_for_naive() {
+        // The incremental oracle must be *observationally identical* to
+        // replay-from-scratch: every counter and verdict equal. (The
+        // history fingerprint cache is a guard, not a reduction, under
+        // the current move rule — see DESIGN.md §14 — so state counts
+        // match exactly.)
+        for byz in [&[][..], &[2][..]] {
+            let naive = check_nonforking_naive(3, byz, 5, 400_000);
+            let fast = check_nonforking(3, byz, 5, 400_000);
+            assert!(!naive.truncated && !fast.truncated);
+            assert_eq!(naive.violation, fast.violation, "byz {byz:?}");
+            assert_eq!(naive.states, fast.states, "byz {byz:?}");
+            assert_eq!(naive.max_finalized, fast.max_finalized, "byz {byz:?}");
+            assert_eq!(naive.finalizing_states, fast.finalizing_states);
+            assert_eq!(naive.equivocating_states, fast.equivocating_states);
+            assert_eq!(naive.fingerprint_hits, 0, "naive search must not prune");
+            assert!(
+                fast.observes_saved > naive.states as u64,
+                "incremental oracles must save more than one observe per state"
+            );
+        }
     }
 
     #[test]

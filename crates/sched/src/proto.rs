@@ -10,9 +10,15 @@ use crate::explore::{Entry, Ref};
 
 /// What a node sees: the per-author prefixes it observed at its last read
 /// (plus its own appends, which it always knows).
+///
+/// The logs are borrowed as per-author *slices* so both the naive
+/// [`crate::explore::Explorer`] (which owns `Vec<Vec<Entry>>`) and the
+/// compact [`crate::search`] core (which decodes interned logs into
+/// per-worker scratch buffers) can serve the same protocol trait without
+/// materialising a nested allocation per call.
 pub struct ViewRef<'a> {
     /// Per-author logs of the *memory* (full).
-    pub logs: &'a [Vec<Entry>],
+    pub logs: &'a [&'a [Entry]],
     /// Per-author counts visible to this node.
     pub counts: &'a [u8],
 }
@@ -71,6 +77,16 @@ pub trait AsyncProtocol: Send + Sync {
 
     /// Protocol name for reports.
     fn name(&self) -> String;
+
+    /// Whether the protocol is equivariant under node-ID permutations:
+    /// `next_op` must not depend on the numeric node/author indices, only
+    /// on inputs, values, and counts. Opting in lets the compact search
+    /// core quotient the state space by input-preserving permutations
+    /// (DESIGN.md §14); protocols that break ties by author index (e.g.
+    /// [`FirstSeenProtocol`]) must leave this `false`.
+    fn symmetric(&self) -> bool {
+        false
+    }
 
     /// The node's next operation, as a pure function of its local state.
     ///
@@ -171,6 +187,12 @@ impl AsyncProtocol for QuorumVoteProtocol {
         )
     }
 
+    fn symmetric(&self) -> bool {
+        // Decisions depend only on value counts and the number of distinct
+        // authors — never on which author index said what.
+        true
+    }
+
     fn next_op(&self, _node: usize, input: u8, own: usize, view: &ViewRef<'_>, fresh: bool) -> Op {
         if own == 0 {
             return Op::Append {
@@ -200,8 +222,12 @@ impl AsyncProtocol for QuorumVoteProtocol {
 mod tests {
     use super::*;
 
-    fn view<'a>(logs: &'a [Vec<Entry>], counts: &'a [u8]) -> ViewRef<'a> {
+    fn view<'a>(logs: &'a [&'a [Entry]], counts: &'a [u8]) -> ViewRef<'a> {
         ViewRef { logs, counts }
+    }
+
+    fn slices(logs: &[Vec<Entry>]) -> Vec<&[Entry]> {
+        logs.iter().map(Vec::as_slice).collect()
     }
 
     fn e(v: u8) -> Entry {
@@ -214,6 +240,7 @@ mod tests {
     #[test]
     fn view_ref_accessors() {
         let logs = vec![vec![e(1), e(0)], vec![], vec![e(1)]];
+        let logs = slices(&logs);
         let counts = [1u8, 0, 1];
         let v = view(&logs, &counts);
         assert_eq!(v.of(0).len(), 1); // only first entry of author 0 visible
@@ -230,7 +257,7 @@ mod tests {
         let counts = [0u8, 0, 0];
         // First op: append own input.
         assert_eq!(
-            p.next_op(0, 1, 0, &view(&logs, &counts), false),
+            p.next_op(0, 1, 0, &view(&slices(&logs), &counts), false),
             Op::Append {
                 value: 1,
                 parents: vec![]
@@ -240,7 +267,7 @@ mod tests {
         let logs2 = vec![vec![], vec![e(0)], vec![e(1)]];
         let counts2 = [0u8, 1, 1];
         assert_eq!(
-            p.next_op(0, 1, 1, &view(&logs2, &counts2), false),
+            p.next_op(0, 1, 1, &view(&slices(&logs2), &counts2), false),
             Op::Decide(0)
         );
     }
@@ -250,8 +277,14 @@ mod tests {
         let p = FirstSeenProtocol::new(3);
         let logs = vec![vec![], vec![], vec![]];
         let counts = [0u8, 0, 0];
-        assert_eq!(p.next_op(0, 1, 1, &view(&logs, &counts), false), Op::Idle);
-        assert_eq!(p.next_op(0, 1, 1, &view(&logs, &counts), true), Op::Read);
+        assert_eq!(
+            p.next_op(0, 1, 1, &view(&slices(&logs), &counts), false),
+            Op::Idle
+        );
+        assert_eq!(
+            p.next_op(0, 1, 1, &view(&slices(&logs), &counts), true),
+            Op::Read
+        );
     }
 
     #[test]
@@ -260,12 +293,15 @@ mod tests {
         let logs = vec![vec![e(1)], vec![], vec![]];
         let counts = [1u8, 0, 0];
         // Quorum of 2 not met: read or idle.
-        assert_eq!(p.next_op(0, 1, 1, &view(&logs, &counts), true), Op::Read);
+        assert_eq!(
+            p.next_op(0, 1, 1, &view(&slices(&logs), &counts), true),
+            Op::Read
+        );
         // Quorum met: majority decision.
         let logs2 = vec![vec![e(1)], vec![e(1)], vec![e(0)]];
         let counts2 = [1u8, 1, 1];
         assert_eq!(
-            p.next_op(0, 1, 1, &view(&logs2, &counts2), false),
+            p.next_op(0, 1, 1, &view(&slices(&logs2), &counts2), false),
             Op::Decide(1)
         );
     }
@@ -276,12 +312,12 @@ mod tests {
         let logs = vec![vec![e(1)], vec![e(0)]];
         let counts = [1u8, 1];
         assert_eq!(
-            p.next_op(0, 1, 1, &view(&logs, &counts), false),
+            p.next_op(0, 1, 1, &view(&slices(&logs), &counts), false),
             Op::Decide(1)
         );
         let p0 = QuorumVoteProtocol::new(2, 2, 0);
         assert_eq!(
-            p0.next_op(0, 1, 1, &view(&logs, &counts), false),
+            p0.next_op(0, 1, 1, &view(&slices(&logs), &counts), false),
             Op::Decide(0)
         );
     }

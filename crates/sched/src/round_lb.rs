@@ -212,6 +212,190 @@ impl Execution {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dense execution engine (hot path)
+// ---------------------------------------------------------------------------
+
+/// Bounds of the dense engine: `rounds ≤ 3`, `n_correct ≤ 8`, `t ≤ 3`.
+const MAX_ROUNDS: usize = 3;
+/// Max authors (correct + Byzantine).
+const MAX_WIDTH: usize = 11;
+/// Max message slots (`MAX_ROUNDS × MAX_WIDTH ≤ 64`, so slot sets and
+/// reference lists fit in one `u64` bitmask each).
+const MAX_SLOTS: usize = MAX_ROUNDS * MAX_WIDTH;
+
+/// The same R-round execution as [`Execution::run`], on flat arrays: a
+/// message `(round, author)` is the slot `(round-1)·width + author`,
+/// presence and reference lists are `u64` bitmasks, visibility is a flat
+/// per-slot array — no allocation anywhere on the per-execution path.
+/// Pinned decision-identical to the naive engine by
+/// `tests/reduced_equivalence.rs` and the in-module tests.
+struct DenseExecution {
+    width: usize,
+    rounds: u32,
+    /// Bit per present slot.
+    present: u64,
+    /// Value appended in each slot.
+    value: [u8; MAX_SLOTS],
+    /// Referenced slots, as a bitmask.
+    refs: [u64; MAX_SLOTS],
+    /// `seen_at[slot][i]` = round at which correct node `i` sees it.
+    seen_at: [[u32; 8]; MAX_SLOTS],
+}
+
+impl DenseExecution {
+    fn slot(&self, r: u32, author: usize) -> usize {
+        (r as usize - 1) * self.width + author
+    }
+
+    /// Runs the protocol; mirrors [`Execution::run`] decision-for-decision.
+    fn run(inputs: &[u8], n_byz: usize, rounds: u32, strategy: &ByzStrategy, tie: u8) -> Vec<u8> {
+        let n_correct = inputs.len();
+        let width = n_correct + n_byz.max(1);
+        debug_assert!(width <= MAX_WIDTH && (rounds as usize) <= MAX_ROUNDS);
+        let mut ex = DenseExecution {
+            width,
+            rounds,
+            present: 0,
+            value: [0; MAX_SLOTS],
+            refs: [0; MAX_SLOTS],
+            seen_at: [[u32::MAX; 8]; MAX_SLOTS],
+        };
+
+        for r in 1..=rounds {
+            for (i, &input) in inputs.iter().enumerate() {
+                let refs = if r == 1 { 0 } else { ex.visible_mask(i, r - 1) };
+                let s = ex.slot(r, i);
+                ex.present |= 1 << s;
+                ex.value[s] = input;
+                ex.refs[s] = refs;
+                for vis in ex.seen_at[s].iter_mut().take(n_correct) {
+                    *vis = r;
+                }
+            }
+            if let Some(Some(a)) = strategy.get((r - 1) as usize) {
+                let refs = if r == 1 { 0 } else { ex.round_mask(r - 1) };
+                let s = ex.slot(r, n_correct + a.actor % n_byz.max(1));
+                ex.present |= 1 << s;
+                ex.value[s] = a.value;
+                ex.refs[s] = refs;
+                for (i, vis) in ex.seen_at[s].iter_mut().enumerate().take(n_correct) {
+                    *vis = if (a.visible_now >> i) & 1 == 1 {
+                        r
+                    } else {
+                        r + 1
+                    };
+                }
+            }
+        }
+
+        (0..n_correct).map(|i| ex.decide(i, tie)).collect()
+    }
+
+    /// Slots visible to correct node `i` by the end of round `r`.
+    fn visible_mask(&self, i: usize, r: u32) -> u64 {
+        let mut m = self.present;
+        let mut out = 0u64;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.seen_at[s][i] <= r {
+                out |= 1 << s;
+            }
+        }
+        out
+    }
+
+    /// Slots of round `r` (the Byzantine full-knowledge view).
+    fn round_mask(&self, r: u32) -> u64 {
+        let lo = (r as usize - 1) * self.width;
+        let band = ((1u64 << self.width) - 1) << lo;
+        self.present & band
+    }
+
+    /// Algorithm-1 acceptance: an `R`-chain of distinct authors from
+    /// `(1, v)` whose final link node `i` sees in time.
+    fn accepts(&self, i: usize, v: usize) -> bool {
+        let start = v; // slot of (1, v)
+        if self.present & (1 << start) == 0 {
+            return false;
+        }
+        if self.rounds == 1 {
+            return self.seen_at[start][i] <= 1;
+        }
+        let mut stack: [(usize, u64); MAX_SLOTS] = [(0, 0); MAX_SLOTS];
+        let mut top = 0usize;
+        stack[top] = (start, 1u64 << v);
+        top += 1;
+        while top > 0 {
+            top -= 1;
+            let (s, authors) = stack[top];
+            let r = (s / self.width) as u32 + 1;
+            if r == self.rounds {
+                if self.seen_at[s][i] <= self.rounds {
+                    return true;
+                }
+                continue;
+            }
+            let mut cand = self.round_mask(r + 1);
+            while cand != 0 {
+                let s2 = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let na = s2 % self.width;
+                if (authors >> na) & 1 == 0 && self.refs[s2] & (1 << s) != 0 {
+                    stack[top] = (s2, authors | (1u64 << na));
+                    top += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Majority over accepted round-1 values, ties to `tie`.
+    fn decide(&self, i: usize, tie: u8) -> u8 {
+        let mut ones = 0usize;
+        let mut zeros = 0usize;
+        for v in 0..self.width {
+            if self.present & (1 << v) != 0 && self.accepts(i, v) {
+                if self.value[v] == 1 {
+                    ones += 1;
+                } else {
+                    zeros += 1;
+                }
+            }
+        }
+        match ones.cmp(&zeros) {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => tie,
+        }
+    }
+}
+
+/// Simulates one round-based execution on the dense engine (the hot
+/// path of [`search_disagreement_t`]).
+pub fn simulate_execution(
+    inputs: &[u8],
+    n_byz: usize,
+    rounds: u32,
+    strategy: &ByzStrategy,
+    tie: u8,
+) -> Vec<u8> {
+    DenseExecution::run(inputs, n_byz, rounds, strategy, tie)
+}
+
+/// The naive `HashMap`-backed reference simulation, kept in-tree as the
+/// baseline the dense engine is pinned (and benchmarked) against.
+pub fn simulate_execution_naive(
+    inputs: &[u8],
+    n_byz: usize,
+    rounds: u32,
+    strategy: &ByzStrategy,
+    tie: u8,
+) -> Vec<u8> {
+    Execution::run(inputs, n_byz, rounds, strategy, tie)
+}
+
 /// Enumerates every Byzantine strategy for `rounds` rounds over
 /// `n_correct` correct nodes and `n_byz` Byzantine actors: silent, or
 /// (actor × value ∈ {0,1} × 2^n_correct visibility subsets) per round.
@@ -274,7 +458,7 @@ pub fn search_disagreement_t(
         let uniform = inputs.iter().all(|&b| b == inputs[0]);
         for s in &strats {
             executions += 1;
-            let decisions = Execution::run(&inputs, t_byz, rounds, s, tie);
+            let decisions = DenseExecution::run(&inputs, t_byz, rounds, s, tie);
             let split = decisions.iter().any(|&d| d != decisions[0]);
             if split && disagreement.is_none() {
                 disagreement = Some(Disagreement {
@@ -304,6 +488,95 @@ pub fn search_disagreement_t(
         executions,
         disagreement,
         validity_violation,
+    }
+}
+
+/// Exhaustive parallel variant of [`search_disagreement_t`]: the input
+/// masks are split into contiguous chunks, one scoped thread per chunk,
+/// each scanning masks × strategies on the dense engine. Unlike the
+/// sequential search it never early-exits, so `executions` is always the
+/// full product — and the outcome (witnesses included) is byte-identical
+/// for every `workers` count: each thread reports its first finds with
+/// their global `(mask, strategy)` enumeration index and the merge keeps
+/// the minimum, i.e. exactly the witness the sequential scan order picks.
+pub fn search_disagreement_t_parallel(
+    n_correct: usize,
+    t_byz: usize,
+    rounds: u32,
+    tie: u8,
+    workers: usize,
+) -> RoundLbOutcome {
+    assert!((2..=8).contains(&n_correct), "search is exponential in n");
+    assert!((1..=3).contains(&rounds), "search is exponential in rounds");
+    assert!((1..=3).contains(&t_byz), "search is exponential in t");
+    let strats = strategies(n_correct, t_byz, rounds);
+    let masks: Vec<u32> = (0..(1u32 << n_correct)).collect();
+    let workers = workers.clamp(1, masks.len());
+
+    /// A chunk's first witness: `(global enumeration index, witness)`.
+    type First = Option<(usize, Disagreement)>;
+
+    // Scans one mask chunk; firsts are tagged with their global index in
+    // the sequential (mask, strategy) enumeration order.
+    let scan = |chunk: &[u32]| {
+        let mut dis: First = None;
+        let mut val: First = None;
+        for &mask in chunk {
+            let inputs: Vec<u8> = (0..n_correct).map(|i| ((mask >> i) & 1) as u8).collect();
+            let uniform = inputs.iter().all(|&b| b == inputs[0]);
+            for (si, s) in strats.iter().enumerate() {
+                if dis.is_some() && (!uniform || val.is_some()) {
+                    break;
+                }
+                let decisions = DenseExecution::run(&inputs, t_byz, rounds, s, tie);
+                let idx = mask as usize * strats.len() + si;
+                let split = decisions.iter().any(|&d| d != decisions[0]);
+                if split && dis.is_none() {
+                    dis = Some((
+                        idx,
+                        Disagreement {
+                            inputs: inputs.clone(),
+                            strategy: s.clone(),
+                            decisions: decisions.clone(),
+                        },
+                    ));
+                }
+                if uniform && val.is_none() && decisions.iter().any(|&d| d != inputs[0]) {
+                    val = Some((
+                        idx,
+                        Disagreement {
+                            inputs: inputs.clone(),
+                            strategy: s.clone(),
+                            decisions,
+                        },
+                    ));
+                }
+            }
+        }
+        (dis, val)
+    };
+
+    let chunk = masks.len().div_ceil(workers);
+    let parts: Vec<(First, First)> = if workers <= 1 {
+        vec![scan(&masks)]
+    } else {
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = masks.chunks(chunk).map(|c| sc.spawn(|| scan(c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    let min_of = |pick: fn(&(First, First)) -> &First| {
+        parts
+            .iter()
+            .filter_map(|p| pick(p).as_ref())
+            .min_by_key(|(idx, _)| *idx)
+            .map(|(_, d)| d.clone())
+    };
+    RoundLbOutcome {
+        executions: masks.len() * strats.len(),
+        disagreement: min_of(|p| &p.0),
+        validity_violation: min_of(|p| &p.1),
     }
 }
 
@@ -392,6 +665,53 @@ mod tests {
             out.disagreement.is_some(),
             "R = 2 ≤ t = 2 must disagree somewhere"
         );
+    }
+
+    #[test]
+    fn dense_engine_matches_naive_on_every_execution() {
+        // Exhaustive decision-for-decision pin of the dense engine
+        // against the HashMap reference: every input × strategy at
+        // (n=3, t=1, R=2) and a straddled two-actor slice at R=2, t=2.
+        for (t, rounds) in [(1usize, 2u32), (2, 2)] {
+            let strats = strategies(3, t, rounds);
+            for mask in 0..8u32 {
+                let inputs: Vec<u8> = (0..3).map(|i| ((mask >> i) & 1) as u8).collect();
+                for s in &strats {
+                    for tie in [0u8, 1] {
+                        assert_eq!(
+                            DenseExecution::run(&inputs, t, rounds, s, tie),
+                            Execution::run(&inputs, t, rounds, s, tie),
+                            "inputs {inputs:?} strat {s:?} tie {tie}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic_and_agrees() {
+        for (t, rounds) in [(1usize, 1u32), (1, 2)] {
+            let seq = search_disagreement_t(3, t, rounds, 0);
+            let p1 = search_disagreement_t_parallel(3, t, rounds, 0, 1);
+            let p4 = search_disagreement_t_parallel(3, t, rounds, 0, 4);
+            // Identical across worker counts, witnesses included.
+            assert_eq!(p1.executions, p4.executions);
+            assert_eq!(
+                p1.disagreement.as_ref().map(|d| (&d.inputs, &d.decisions)),
+                p4.disagreement.as_ref().map(|d| (&d.inputs, &d.decisions))
+            );
+            assert_eq!(
+                p1.validity_violation.as_ref().map(|d| &d.inputs),
+                p4.validity_violation.as_ref().map(|d| &d.inputs)
+            );
+            // Same verdict as the sequential early-exit search, and the
+            // same first witness when one exists.
+            assert_eq!(seq.disagreement.is_some(), p4.disagreement.is_some());
+            if let (Some(a), Some(b)) = (&seq.disagreement, &p4.disagreement) {
+                assert_eq!((&a.inputs, &a.strategy), (&b.inputs, &b.strategy));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1169 @@
+//! Compact search core: interned states, hash-compacted visited sets,
+//! symmetry and partial-order reduction, and a level-synchronized
+//! parallel frontier (DESIGN.md §14).
+//!
+//! The naive [`crate::explore::Explorer`] clones whole [`Config`] values
+//! (nested `Vec`s) per transition and stores them verbatim in a
+//! `HashMap` visited set. This module replaces that hot path for every
+//! search in the crate:
+//!
+//! * **Interning** — per-author logs live once in a [`LogArena`]; a
+//!   state is a fixed-size, `Copy` [`CState`] of arena ids, counts and
+//!   incremental content hashes (≈150 bytes, no heap).
+//! * **Hash compaction** — the visited set keys 128-bit fingerprints
+//!   (two independent splitmix64 lanes over the canonical encoding).
+//!   `exact: true` keys full decoded configurations instead and counts
+//!   how many fingerprints would have collided, so the collision risk
+//!   of the compacted mode is *measured*, not assumed.
+//! * **Symmetry reduction** — for protocols that declare themselves
+//!   [`AsyncProtocol::symmetric`], states are canonicalized under the
+//!   node-ID permutations that fix the input vector (the stabilizer of
+//!   the initial configuration); one representative per orbit is
+//!   explored.
+//! * **Partial-order reduction** — sleep sets over the commutation
+//!   structure of the append memory (reads/appends/decides by distinct
+//!   nodes commute unless an append changes what the other node would
+//!   do), plus an ample-set rule that commits pending stable decisions
+//!   immediately. The soundness argument is in DESIGN.md §14 and the
+//!   reduced search is pinned to the naive one by
+//!   `tests/reduced_equivalence.rs`.
+//! * **Parallel frontier** — level-synchronized BFS: successor
+//!   generation is fanned out over `workers` threads against the
+//!   read-only arena, then merged sequentially in frontier order, so
+//!   every counter and witness is deterministic for any worker count.
+
+use crate::explore::{Config, Entry, LocalState, Valency};
+use crate::proto::{AsyncProtocol, Op, ViewRef};
+use std::collections::HashMap;
+
+/// Maximum node count the compact state representation supports.
+pub const MAX_N: usize = 8;
+
+/// Words in the canonical state encoding (see [`encode`]).
+const ENC_WORDS: usize = 2 * MAX_N + 4;
+
+/// Sentinel for "undecided" in [`CState::decided`].
+const UNDECIDED: u8 = 0xff;
+
+// ---------------------------------------------------------------------------
+// Hashing primitives
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer — the crate-wide cheap mixer (cf. `nonforking`).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Content hash of one log entry (value + parent refs, order-sensitive).
+fn entry_hash(e: &Entry) -> u64 {
+    let mut h = mix64(0x5ca1_ab1e ^ e.value as u64);
+    for r in &e.parents {
+        h = mix64(h ^ ((r.author as u64) << 8 | r.seq as u64));
+    }
+    h
+}
+
+/// Incremental log hash: hash of `log ++ [entry]` from hash of `log`.
+fn log_push_hash(log_hash: u64, eh: u64) -> u64 {
+    mix64(log_hash.wrapping_mul(0x100_0000_01b3) ^ eh)
+}
+
+/// Hash of the empty log.
+const EMPTY_LOG_HASH: u64 = 0x8422_2015_a5a5_a5a5;
+
+// ---------------------------------------------------------------------------
+// Log arena
+// ---------------------------------------------------------------------------
+
+/// Interner for per-author logs. Every distinct log (sequence of entries
+/// by one author) is stored once and named by a `u32` id; an append is an
+/// edge `(parent id, entry) → child id`, so the arena is a trie over
+/// entries and ids are a function of log *content* alone.
+pub struct LogArena {
+    logs: Vec<Vec<Entry>>,
+    children: HashMap<(u32, u64), Vec<u32>>,
+}
+
+/// Id of the empty log.
+pub const EMPTY_LOG: u32 = 0;
+
+impl LogArena {
+    /// Creates an arena holding only the empty log.
+    pub fn new() -> LogArena {
+        LogArena {
+            logs: vec![Vec::new()],
+            children: HashMap::new(),
+        }
+    }
+
+    /// The entries of log `id`.
+    pub fn get(&self, id: u32) -> &[Entry] {
+        &self.logs[id as usize]
+    }
+
+    /// Interns `parent ++ [entry]`, returning the child id.
+    pub fn push(&mut self, parent: u32, entry: Entry) -> u32 {
+        let eh = entry_hash(&entry);
+        if let Some(cands) = self.children.get(&(parent, eh)) {
+            for &c in cands {
+                if self.logs[c as usize].last() == Some(&entry) {
+                    return c;
+                }
+            }
+        }
+        let id = self.logs.len() as u32;
+        let mut log = self.logs[parent as usize].clone();
+        log.push(entry);
+        self.logs.push(log);
+        self.children.entry((parent, eh)).or_default().push(id);
+        id
+    }
+
+    /// Interns a full log, returning its id.
+    pub fn intern(&mut self, log: &[Entry]) -> u32 {
+        let mut id = EMPTY_LOG;
+        for e in log {
+            id = self.push(id, e.clone());
+        }
+        id
+    }
+
+    /// Number of distinct logs interned (including the empty log).
+    pub fn len(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Whether the arena holds only the empty log.
+    pub fn is_empty(&self) -> bool {
+        self.logs.len() == 1
+    }
+}
+
+impl Default for LogArena {
+    fn default() -> LogArena {
+        LogArena::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact state
+// ---------------------------------------------------------------------------
+
+/// A configuration in compact, fixed-size, `Copy` form. Logs are named by
+/// arena ids; `logh` carries an incremental content hash per author so
+/// canonical encodings never have to touch the arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CState {
+    /// Arena id of each author's log.
+    pub logs: [u32; MAX_N],
+    /// Length of each author's log.
+    pub loglen: [u8; MAX_N],
+    /// Incremental content hash of each author's log.
+    pub logh: [u64; MAX_N],
+    /// `view[v][a]` = how many of author `a`'s appends node `v` saw.
+    pub view: [[u8; MAX_N]; MAX_N],
+    /// Appends performed per node.
+    pub own: [u8; MAX_N],
+    /// Decision per node (`UNDECIDED` if none).
+    pub decided: [u8; MAX_N],
+    /// Binary input per node.
+    pub input: [u8; MAX_N],
+}
+
+impl CState {
+    /// Encodes a [`Config`] (interning its logs into `arena`).
+    pub fn from_config(c: &Config, arena: &mut LogArena) -> CState {
+        let n = c.logs.len();
+        assert!(n <= MAX_N, "compact search supports n <= {MAX_N}");
+        let mut s = CState {
+            logs: [EMPTY_LOG; MAX_N],
+            loglen: [0; MAX_N],
+            logh: [EMPTY_LOG_HASH; MAX_N],
+            view: [[0; MAX_N]; MAX_N],
+            own: [0; MAX_N],
+            decided: [UNDECIDED; MAX_N],
+            input: [0; MAX_N],
+        };
+        for a in 0..n {
+            s.logs[a] = arena.intern(&c.logs[a]);
+            s.loglen[a] = c.logs[a].len() as u8;
+            s.logh[a] = c.logs[a]
+                .iter()
+                .fold(EMPTY_LOG_HASH, |h, e| log_push_hash(h, entry_hash(e)));
+        }
+        for (v, st) in c.nodes.iter().enumerate() {
+            for a in 0..n {
+                s.view[v][a] = st.view[a];
+            }
+            s.own[v] = st.own;
+            s.decided[v] = st.decided.unwrap_or(UNDECIDED);
+            s.input[v] = st.input;
+        }
+        s
+    }
+
+    /// Decodes back to the naive representation.
+    pub fn to_config(&self, n: usize, arena: &LogArena) -> Config {
+        Config {
+            logs: (0..n).map(|a| arena.get(self.logs[a]).to_vec()).collect(),
+            nodes: (0..n)
+                .map(|v| LocalState {
+                    input: self.input[v],
+                    view: self.view[v][..n].to_vec(),
+                    own: self.own[v],
+                    decided: match self.decided[v] {
+                        UNDECIDED => None,
+                        d => Some(d),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Bitmask of decisions present (bit `v` set iff some node decided
+    /// `v`) — mirrors [`Config::decision_bits`].
+    pub fn decision_bits(&self, n: usize) -> u8 {
+        let mut m = 0u8;
+        for v in 0..n {
+            if self.decided[v] != UNDECIDED {
+                m |= 1 << self.decided[v];
+            }
+        }
+        m
+    }
+}
+
+/// Canonical fixed-width encoding of a state. Logs enter via their
+/// content hashes (`logh`) so the encoding is arena-independent: the
+/// same abstract configuration encodes identically no matter which
+/// arena (or discovery order) interned it.
+fn encode(s: &CState) -> [u64; ENC_WORDS] {
+    let mut w = [0u64; ENC_WORDS];
+    w[..MAX_N].copy_from_slice(&s.logh);
+    for v in 0..MAX_N {
+        w[MAX_N + v] = u64::from_le_bytes(s.view[v]);
+    }
+    w[2 * MAX_N] = u64::from_le_bytes(s.loglen);
+    w[2 * MAX_N + 1] = u64::from_le_bytes(s.own);
+    w[2 * MAX_N + 2] = u64::from_le_bytes(s.decided);
+    w[2 * MAX_N + 3] = u64::from_le_bytes(s.input);
+    w
+}
+
+/// 128-bit fingerprint of an encoding: two independent splitmix64 lanes.
+fn fingerprint(enc: &[u64; ENC_WORDS]) -> u128 {
+    let mut a = 0x243f_6a88_85a3_08d3u64;
+    let mut b = 0x1319_8a2e_0370_7344u64;
+    for (i, &w) in enc.iter().enumerate() {
+        a = mix64(a ^ w);
+        b = mix64(b.wrapping_add(w).wrapping_add((i as u64) << 56));
+    }
+    ((a as u128) << 64) | b as u128
+}
+
+/// Applies node-ID permutation `p` (node `v` ↦ `p[v]`) to a state.
+fn apply_perm(s: &CState, p: &[u8; MAX_N]) -> CState {
+    let mut t = *s;
+    for v in 0..MAX_N {
+        let pv = p[v] as usize;
+        t.logs[pv] = s.logs[v];
+        t.loglen[pv] = s.loglen[v];
+        t.logh[pv] = s.logh[v];
+        t.own[pv] = s.own[v];
+        t.decided[pv] = s.decided[v];
+        t.input[pv] = s.input[v];
+        for (a, &pa) in p.iter().enumerate() {
+            t.view[pv][pa as usize] = s.view[v][a];
+        }
+    }
+    t
+}
+
+/// Enumerates the stabilizer of the input vector: all permutations of
+/// `0..n` that map equal-input nodes to equal-input nodes (identity on
+/// `n..MAX_N`). The identity is always first.
+fn stabilizer_perms(inputs: &[u8]) -> Vec<[u8; MAX_N]> {
+    let n = inputs.len();
+    let mut id = [0u8; MAX_N];
+    for (v, slot) in id.iter_mut().enumerate() {
+        *slot = v as u8;
+    }
+    let zeros: Vec<usize> = (0..n).filter(|&v| inputs[v] == 0).collect();
+    let ones: Vec<usize> = (0..n).filter(|&v| inputs[v] == 1).collect();
+    let mut out = Vec::new();
+    let mut perm = id;
+    // Recursive product of the two class permutation groups.
+    fn rec(
+        classes: &[Vec<usize>],
+        ci: usize,
+        used: &mut u16,
+        perm: &mut [u8; MAX_N],
+        out: &mut Vec<[u8; MAX_N]>,
+    ) {
+        if ci == classes.len() {
+            out.push(*perm);
+            return;
+        }
+        let class = &classes[ci];
+        fn assign(
+            class: &[usize],
+            i: usize,
+            used: &mut u16,
+            perm: &mut [u8; MAX_N],
+            classes: &[Vec<usize>],
+            ci: usize,
+            out: &mut Vec<[u8; MAX_N]>,
+        ) {
+            if i == class.len() {
+                rec(classes, ci + 1, used, perm, out);
+                return;
+            }
+            for &target in class {
+                if *used & (1 << target) == 0 {
+                    *used |= 1 << target;
+                    perm[class[i]] = target as u8;
+                    assign(class, i + 1, used, perm, classes, ci, out);
+                    *used &= !(1 << target);
+                }
+            }
+        }
+        assign(class, 0, used, perm, classes, ci, out);
+    }
+    let classes = [zeros, ones];
+    let mut used = 0u16;
+    rec(&classes, 0, &mut used, &mut perm, &mut out);
+    // Identity first (deterministic tie handling in callers).
+    if let Some(pos) = out.iter().position(|p| *p == id) {
+        out.swap(0, pos);
+    }
+    out
+}
+
+/// Canonicalizes `s` under `perms`: returns the permuted state with the
+/// lexicographically smallest encoding, that encoding, and the
+/// permutation used. Deterministic: first minimal permutation wins.
+fn canonicalize(s: &CState, perms: &[[u8; MAX_N]]) -> (CState, [u64; ENC_WORDS], [u8; MAX_N]) {
+    let mut best_enc = encode(s);
+    let mut best_state = *s;
+    let mut best_perm = perms[0];
+    for p in &perms[1..] {
+        let t = apply_perm(s, p);
+        let e = encode(&t);
+        if e < best_enc {
+            best_enc = e;
+            best_state = t;
+            best_perm = *p;
+        }
+    }
+    (best_state, best_enc, best_perm)
+}
+
+/// Canonical key of a configuration under input-stabilizer symmetry —
+/// exposed so property tests can check the quotient is well defined:
+/// `canonical_key(perm(c)) == canonical_key(c)` for any permutation
+/// fixing the input vector. With `symmetric: false` the key is just the
+/// plain encoding (no folding).
+pub fn canonical_key(c: &Config, symmetric: bool) -> Vec<u64> {
+    let mut arena = LogArena::new();
+    let s = CState::from_config(c, &mut arena);
+    let inputs: Vec<u8> = c.nodes.iter().map(|st| st.input).collect();
+    if !symmetric {
+        return encode(&s).to_vec();
+    }
+    let perms = stabilizer_perms(&inputs);
+    let (_, enc, _) = canonicalize(&s, &perms);
+    enc.to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// Search options / report
+// ---------------------------------------------------------------------------
+
+/// What facts the search must establish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Everything the naive `Explorer::analyze` reports: valency,
+    /// agreement violations, v-free non-termination.
+    Full,
+    /// Valency only — exploration stops as soon as both decision values
+    /// have been seen (the state is then provably bivalent).
+    ValencyOnly,
+}
+
+/// Knobs of the compact search. `Default` enables every reduction with
+/// hash compaction and a single worker.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// State budget; exploration past it sets `truncated`.
+    pub max_states: usize,
+    /// Sleep-set partial-order reduction (prunes redundant transitions;
+    /// preserves the reachable state set exactly).
+    pub sleep_sets: bool,
+    /// Ample-set rule: commit pending fresh-insensitive decisions
+    /// immediately (prunes states; preserves valency / violation /
+    /// v-free facts — DESIGN.md §14).
+    pub ample_decide: bool,
+    /// Symmetry reduction for protocols that opt in via
+    /// [`AsyncProtocol::symmetric`].
+    pub symmetry: bool,
+    /// Key the visited set by full configurations instead of 128-bit
+    /// fingerprints, and count would-be fingerprint collisions.
+    pub exact: bool,
+    /// Worker threads for the frontier (1 = fully sequential).
+    pub workers: usize,
+    /// What to establish (full analysis vs valency-only early exit).
+    pub mode: SearchMode,
+}
+
+impl SearchOptions {
+    /// All reductions on, hash-compacted, sequential, full analysis.
+    pub fn reduced(max_states: usize) -> SearchOptions {
+        SearchOptions {
+            max_states,
+            sleep_sets: true,
+            ample_decide: true,
+            symmetry: true,
+            exact: false,
+            workers: 1,
+            mode: SearchMode::Full,
+        }
+    }
+
+    /// No reductions, exact visited set — the compact core degenerates
+    /// to the naive state graph (used by the equivalence suite).
+    pub fn unreduced(max_states: usize) -> SearchOptions {
+        SearchOptions {
+            max_states,
+            sleep_sets: false,
+            ample_decide: false,
+            symmetry: false,
+            exact: true,
+            workers: 1,
+            mode: SearchMode::Full,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> SearchOptions {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the search mode.
+    pub fn with_mode(mut self, mode: SearchMode) -> SearchOptions {
+        self.mode = mode;
+        self
+    }
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions::reduced(1_000_000)
+    }
+}
+
+/// Result of a compact search, superset of the naive
+/// [`crate::explore::Analysis`] facts plus reduction counters.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Distinct states visited (post-reduction).
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Whether the state budget was hit.
+    pub truncated: bool,
+    /// Valency of the root (union of decisions over explored states).
+    pub valency: Valency,
+    /// A reachable configuration where two nodes decided differently.
+    pub agreement_violation: Option<Config>,
+    /// `(crashed_node, stuck_config)` — a v-free non-termination
+    /// witness, as in the naive analysis (only hunted in
+    /// [`SearchMode::Full`]).
+    pub vfree_nontermination: Option<(usize, Config)>,
+    /// Enabled transitions skipped by sleep sets.
+    pub por_sleep_skipped: u64,
+    /// States where the ample rule committed a pending decision (and
+    /// pruned every other enabled move).
+    pub ample_commits: u64,
+    /// Successor states folded onto a different orbit representative.
+    pub symmetry_folds: u64,
+    /// Successor states already present in the visited set.
+    pub fingerprint_hits: u64,
+    /// Distinct states sharing a fingerprint (only measurable — and
+    /// only counted — in `exact` mode).
+    pub collisions: u64,
+}
+
+impl SearchReport {
+    /// Publishes the reduction counters as am-obs aggregates.
+    pub fn publish_obs(&self, prefix: &str) {
+        am_obs::counter(&format!("{prefix}.states")).add(self.states as u64);
+        am_obs::counter(&format!("{prefix}.transitions")).add(self.transitions);
+        am_obs::counter(&format!("{prefix}.por_sleep_skipped")).add(self.por_sleep_skipped);
+        am_obs::counter(&format!("{prefix}.ample_commits")).add(self.ample_commits);
+        am_obs::counter(&format!("{prefix}.symmetry_folds")).add(self.symmetry_folds);
+        am_obs::counter(&format!("{prefix}.fingerprint_hits")).add(self.fingerprint_hits);
+        am_obs::counter(&format!("{prefix}.collisions")).add(self.collisions);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Move computation
+// ---------------------------------------------------------------------------
+
+/// One enabled move of a node, pre-applied where possible.
+#[derive(Clone, Debug)]
+enum Move {
+    Read,
+    Append(Entry),
+    Decide(u8),
+}
+
+/// Per-node move analysis at one state.
+struct NodeMoves {
+    /// The enabled move, if any (None = passive: decided, idle, or a
+    /// rule-(b) self-loop read).
+    mv: [Option<Move>; MAX_N],
+    /// Whether the node's pending op is insensitive to the `fresh` flag
+    /// (so a concurrent append cannot change what it does next).
+    stable: [bool; MAX_N],
+    /// Whether anything unseen exists for the node.
+    fresh: [bool; MAX_N],
+}
+
+/// Computes every node's enabled move at `s`, reading logs from the
+/// arena (immutable — safe to run from worker threads).
+fn node_moves(proto: &dyn AsyncProtocol, s: &CState, arena: &LogArena, n: usize) -> NodeMoves {
+    let mut slices: [&[Entry]; MAX_N] = [&[]; MAX_N];
+    for (a, slot) in slices.iter_mut().enumerate().take(n) {
+        *slot = arena.get(s.logs[a]);
+    }
+    let mut out = NodeMoves {
+        mv: Default::default(),
+        stable: [true; MAX_N],
+        fresh: [false; MAX_N],
+    };
+    for v in 0..n {
+        if s.decided[v] != UNDECIDED {
+            continue; // halted: no move, trivially stable
+        }
+        let fresh = (0..n).any(|a| s.loglen[a] > s.view[v][a]);
+        out.fresh[v] = fresh;
+        let view = ViewRef {
+            logs: &slices[..n],
+            counts: &s.view[v][..n],
+        };
+        let op = proto.next_op(v, s.input[v], s.own[v] as usize, &view, fresh);
+        // Stability: would the op differ under the flipped fresh flag?
+        // (Only meaningful when nothing is fresh — once fresh, appends
+        // keep it fresh; we still record it for the dependence rule.)
+        let flipped = proto.next_op(v, s.input[v], s.own[v] as usize, &view, !fresh);
+        out.stable[v] = op == flipped;
+        out.mv[v] = match op {
+            Op::Idle => None,
+            Op::Read => {
+                if fresh {
+                    Some(Move::Read)
+                } else {
+                    None // rule (b): e_v(C) = C
+                }
+            }
+            Op::Append { value, parents } => Some(Move::Append(Entry { value, parents })),
+            Op::Decide(d) => Some(Move::Decide(d)),
+        };
+    }
+    out
+}
+
+/// Conditional independence of the enabled moves of nodes `x` and `y`
+/// at the state `moves` was computed for: they commute and neither
+/// changes what the other does next. Reads and decides touch only the
+/// acting node's state; an append by `x` affects `y` iff `y` is about
+/// to read (the read result changes) or `y`'s pending op flips with the
+/// fresh flag.
+fn independent(moves: &NodeMoves, x: usize, y: usize) -> bool {
+    let affects = |a: usize, b: usize| -> bool {
+        match moves.mv[a] {
+            Some(Move::Append(_)) => match moves.mv[b] {
+                Some(Move::Read) => true,
+                _ => !moves.fresh[b] && !moves.stable[b],
+            },
+            _ => false, // reads/decides touch only the acting node
+        }
+    };
+    !affects(x, y) && !affects(y, x)
+}
+
+/// Applies a move to the compact state. Appends return the entry to be
+/// interned (the arena id is patched in by the sequential merge phase).
+fn apply_move(s: &CState, v: usize, mv: &Move, n: usize) -> (CState, Option<Entry>) {
+    let mut t = *s;
+    match mv {
+        Move::Read => {
+            for a in 0..n {
+                t.view[v][a] = t.loglen[a];
+            }
+            (t, None)
+        }
+        Move::Append(e) => {
+            t.logh[v] = log_push_hash(t.logh[v], entry_hash(e));
+            t.loglen[v] += 1;
+            t.own[v] += 1;
+            t.view[v][v] = t.view[v][v].max(t.loglen[v]);
+            // t.logs[v] patched by the merge phase after interning.
+            (t, Some(e.clone()))
+        }
+        Move::Decide(d) => {
+            t.decided[v] = *d;
+            (t, None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The search proper
+// ---------------------------------------------------------------------------
+
+/// A successor produced by the generation phase, before interning.
+struct SuccProto {
+    state: CState,
+    /// Sleep mask for the successor (bit v = node v's move sleeps).
+    sleep: u8,
+    /// Author + entry to intern (appends only).
+    intern: Option<(usize, Entry)>,
+}
+
+/// Facts and successors produced for one frontier state.
+struct GenOut {
+    decision_bits: u8,
+    violation: bool,
+    /// Crashed-node index of a v-free non-termination witness.
+    vfree: Option<usize>,
+    succs: Vec<SuccProto>,
+    sleep_skipped: u64,
+    ample: bool,
+    transitions: u64,
+}
+
+/// Expands one frontier state: facts, POR-filtered moves, successors.
+fn expand(
+    proto: &dyn AsyncProtocol,
+    s: &CState,
+    sleep: u8,
+    arena: &LogArena,
+    n: usize,
+    opts: &SearchOptions,
+) -> GenOut {
+    let moves = node_moves(proto, s, arena, n);
+    let bits = s.decision_bits(n);
+    let violation = bits == 0b11;
+    // v-free non-termination: some v with every other node passive and
+    // at least one other node undecided (passivity is permanent unless
+    // an active node appends; if all others are passive, nobody ever
+    // appends again).
+    let mut vfree = None;
+    if opts.mode == SearchMode::Full {
+        for v in 0..n {
+            let others_passive = (0..n).filter(|&u| u != v).all(|u| moves.mv[u].is_none());
+            let someone_stuck = (0..n)
+                .filter(|&u| u != v)
+                .any(|u| s.decided[u] == UNDECIDED);
+            if others_passive && someone_stuck {
+                vfree = Some(v);
+                break;
+            }
+        }
+    }
+
+    let mut out = GenOut {
+        decision_bits: bits,
+        violation,
+        vfree,
+        succs: Vec::new(),
+        sleep_skipped: 0,
+        ample: false,
+        transitions: 0,
+    };
+
+    // Ample rule: a pending decision whose op is fresh-insensitive
+    // commutes with every other move and can never be disabled — commit
+    // the lowest-index one immediately and prune all other moves.
+    if opts.ample_decide {
+        let ample_v =
+            (0..n).find(|&v| matches!(moves.mv[v], Some(Move::Decide(_))) && moves.stable[v]);
+        if let Some(v) = ample_v {
+            out.ample = true;
+            if sleep & (1 << v) == 0 {
+                let (t, intern) = apply_move(s, v, moves.mv[v].as_ref().unwrap(), n);
+                out.transitions = 1;
+                out.succs.push(SuccProto {
+                    state: t,
+                    sleep: 0,
+                    intern: intern.map(|e| (v, e)),
+                });
+            }
+            return out;
+        }
+    }
+
+    // Sleep-set expansion (or plain expansion when POR is off).
+    let mut explored_mask = 0u8;
+    for v in 0..n {
+        let Some(mv) = &moves.mv[v] else { continue };
+        if opts.sleep_sets && sleep & (1 << v) != 0 {
+            out.sleep_skipped += 1;
+            continue;
+        }
+        let mut succ_sleep = 0u8;
+        if opts.sleep_sets {
+            let candidates = sleep | explored_mask;
+            for u in 0..n {
+                if candidates & (1 << u) != 0 && moves.mv[u].is_some() && independent(&moves, u, v)
+                {
+                    succ_sleep |= 1 << u;
+                }
+            }
+        }
+        let (t, intern) = apply_move(s, v, mv, n);
+        out.transitions += 1;
+        out.succs.push(SuccProto {
+            state: t,
+            sleep: succ_sleep,
+            intern: intern.map(|e| (v, e)),
+        });
+        explored_mask |= 1 << v;
+    }
+    out
+}
+
+/// Visited-set key: fingerprint (compact) or full configuration (exact).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Fp(u128),
+    Exact(Config),
+}
+
+/// Runs the compact search from `init`.
+pub fn search(proto: &dyn AsyncProtocol, init: &Config, opts: &SearchOptions) -> SearchReport {
+    let n = proto.n();
+    assert!(n <= MAX_N, "compact search supports n <= {MAX_N}");
+    assert_eq!(init.logs.len(), n);
+
+    let mut arena = LogArena::new();
+    let root_raw = CState::from_config(init, &mut arena);
+    let inputs: Vec<u8> = init.nodes.iter().map(|s| s.input).collect();
+
+    // Symmetry applies only to protocols that declare equivariance, and
+    // only while logs stay parent-free (permuting authors would
+    // otherwise have to rewrite refs inside entries).
+    let perms = if opts.symmetry && proto.symmetric() {
+        stabilizer_perms(&inputs)
+    } else {
+        Vec::new()
+    };
+    let use_sym = perms.len() > 1;
+
+    let mut report = SearchReport {
+        states: 0,
+        transitions: 0,
+        truncated: false,
+        valency: Valency::NoDecision,
+        agreement_violation: None,
+        vfree_nontermination: None,
+        por_sleep_skipped: 0,
+        ample_commits: 0,
+        symmetry_folds: 0,
+        fingerprint_hits: 0,
+        collisions: 0,
+    };
+
+    let root = if use_sym {
+        canonicalize(&root_raw, &perms).0
+    } else {
+        root_raw
+    };
+
+    // visited: key → sleep mask the state was explored with. A revisit
+    // whose mask is not a superset must be re-explored with the
+    // intersection (strictly smaller → terminates).
+    let mut visited: HashMap<Key, u8> = HashMap::new();
+    // Fingerprint audit map for exact mode: fp → representative index.
+    let mut fp_audit: HashMap<u128, Config> = HashMap::new();
+
+    let key_of = |s: &CState, arena: &LogArena, exact: bool| -> (Key, u128) {
+        let fp = fingerprint(&encode(s));
+        if exact {
+            (Key::Exact(s.to_config(n, arena)), fp)
+        } else {
+            (Key::Fp(fp), fp)
+        }
+    };
+
+    let (root_key, root_fp) = key_of(&root, &arena, opts.exact);
+    if opts.exact {
+        fp_audit.insert(root_fp, root.to_config(n, &arena));
+    }
+    visited.insert(root_key, 0);
+    report.states = 1;
+
+    let mut frontier: Vec<(CState, u8)> = vec![(root, 0)];
+    let mut seen_bits = 0u8;
+
+    'levels: while !frontier.is_empty() {
+        // --- Generation phase: parallel over the frontier, arena
+        // read-only, output in frontier order. ---
+        let outs: Vec<GenOut> = if opts.workers <= 1 || frontier.len() < 2 {
+            frontier
+                .iter()
+                .map(|(s, sl)| expand(proto, s, *sl, &arena, n, opts))
+                .collect()
+        } else {
+            let workers = opts.workers.min(frontier.len());
+            let chunk = frontier.len().div_ceil(workers);
+            let arena_ref = &arena;
+            let frontier_ref = &frontier;
+            let mut chunks: Vec<Vec<GenOut>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(frontier_ref.len());
+                        scope.spawn(move || {
+                            frontier_ref[lo..hi]
+                                .iter()
+                                .map(|(s, sl)| expand(proto, s, *sl, arena_ref, n, opts))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    chunks.push(h.join().expect("search worker panicked"));
+                }
+            });
+            chunks.into_iter().flatten().collect()
+        };
+
+        // --- Merge phase: sequential, deterministic in frontier order. ---
+        let mut next: Vec<(CState, u8)> = Vec::new();
+        for (fi, out) in outs.into_iter().enumerate() {
+            seen_bits |= out.decision_bits;
+            report.por_sleep_skipped += out.sleep_skipped;
+            report.transitions += out.transitions;
+            if out.ample {
+                report.ample_commits += 1;
+            }
+            if out.violation && report.agreement_violation.is_none() {
+                report.agreement_violation = Some(frontier[fi].0.to_config(n, &arena));
+            }
+            if let Some(v) = out.vfree {
+                if report.vfree_nontermination.is_none() {
+                    report.vfree_nontermination = Some((v, frontier[fi].0.to_config(n, &arena)));
+                }
+            }
+            if opts.mode == SearchMode::ValencyOnly && seen_bits == 0b11 {
+                break 'levels;
+            }
+            for mut sp in out.succs {
+                if let Some((author, entry)) = sp.intern.take() {
+                    sp.state.logs[author] = arena.push(sp.state.logs[author], entry);
+                }
+                let (canon, mut sleep) = if use_sym {
+                    let (c, _, p) = canonicalize(&sp.state, &perms);
+                    if c != sp.state {
+                        report.symmetry_folds += 1;
+                    }
+                    // Sleep masks name node indices: permute along.
+                    let mut m = 0u8;
+                    for (v, &pv) in p.iter().enumerate().take(n) {
+                        if sp.sleep & (1 << v) != 0 {
+                            m |= 1 << pv;
+                        }
+                    }
+                    (c, m)
+                } else {
+                    (sp.state, sp.sleep)
+                };
+                if !opts.sleep_sets {
+                    sleep = 0;
+                }
+                let (key, fp) = key_of(&canon, &arena, opts.exact);
+                if opts.exact {
+                    match fp_audit.get(&fp) {
+                        None => {
+                            fp_audit.insert(fp, canon.to_config(n, &arena));
+                        }
+                        Some(rep) => {
+                            if *rep != canon.to_config(n, &arena) {
+                                report.collisions += 1;
+                            }
+                        }
+                    }
+                }
+                match visited.get_mut(&key) {
+                    None => {
+                        visited.insert(key, sleep);
+                        report.states += 1;
+                        if report.states > opts.max_states {
+                            report.truncated = true;
+                            break 'levels;
+                        }
+                        next.push((canon, sleep));
+                    }
+                    Some(stored) => {
+                        report.fingerprint_hits += 1;
+                        // Already explored with mask `stored`: only a
+                        // strictly smaller sleep set warrants re-entry.
+                        if sleep & *stored != *stored {
+                            let inter = sleep & *stored;
+                            *stored = inter;
+                            next.push((canon, inter));
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    report.valency = Valency::from_bits(seen_bits & 1 != 0, seen_bits & 2 != 0);
+    report
+}
+
+/// Valency of `init` with early exit on bivalence — the fast primitive
+/// behind the witness searches.
+pub fn valency_fast(proto: &dyn AsyncProtocol, init: &Config, opts: &SearchOptions) -> Valency {
+    search(proto, init, &opts.with_mode(SearchMode::ValencyOnly)).valency
+}
+
+/// Enabled successor states of `s` in node order, interning appends into
+/// `arena` — the unreduced building block for path-level searches (the
+/// bivalence extension walk) that must see every individual event.
+pub fn successors_compact(
+    proto: &dyn AsyncProtocol,
+    s: &CState,
+    arena: &mut LogArena,
+) -> Vec<(usize, CState)> {
+    let n = proto.n();
+    let moves = node_moves(proto, s, arena, n);
+    let mut out = Vec::new();
+    for v in 0..n {
+        if let Some(mv) = &moves.mv[v] {
+            let (mut t, intern) = apply_move(s, v, mv, n);
+            if let Some(e) = intern {
+                t.logs[v] = arena.push(t.logs[v], e);
+            }
+            out.push((v, t));
+        }
+    }
+    out
+}
+
+/// 128-bit fingerprint of a compact state (hash-compaction key).
+pub fn state_fingerprint(s: &CState) -> u128 {
+    fingerprint(&encode(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use crate::proto::{FirstSeenProtocol, QuorumVoteProtocol};
+    use crate::zoo_ext::EchoVoteProtocol;
+
+    #[test]
+    fn arena_interns_by_content() {
+        let mut a = LogArena::new();
+        let e1 = Entry {
+            value: 1,
+            parents: Vec::new(),
+        };
+        let e0 = Entry {
+            value: 0,
+            parents: Vec::new(),
+        };
+        let l1 = a.intern(&[e1.clone(), e0.clone()]);
+        let l2 = a.intern(&[e1.clone(), e0.clone()]);
+        assert_eq!(l1, l2, "same content, same id");
+        let l3 = a.intern(&[e0, e1]);
+        assert_ne!(l1, l3, "order matters");
+        assert_eq!(a.len(), 5); // empty, [1], [1,0], [0], [0,1]
+    }
+
+    #[test]
+    fn cstate_round_trips_through_config() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let ex = Explorer::new(&p, 10_000);
+        let mut c = Config::initial(&[0, 1, 1]);
+        for v in [0usize, 1, 0, 2, 1] {
+            if let Some((_, c2)) = ex.apply(&c, v) {
+                c = c2;
+            }
+        }
+        let mut arena = LogArena::new();
+        let s = CState::from_config(&c, &mut arena);
+        assert_eq!(s.to_config(3, &arena), c);
+    }
+
+    #[test]
+    fn stabilizer_size_matches_class_factorials() {
+        assert_eq!(stabilizer_perms(&[0, 1, 1]).len(), 2); // 1! * 2!
+        assert_eq!(stabilizer_perms(&[0, 0, 1, 1]).len(), 4); // 2! * 2!
+        assert_eq!(stabilizer_perms(&[1, 1, 1]).len(), 6); // 3!
+        assert_eq!(stabilizer_perms(&[0, 1])[0], {
+            let mut id = [0u8; MAX_N];
+            for (v, s) in id.iter_mut().enumerate() {
+                *s = v as u8;
+            }
+            id
+        });
+    }
+
+    #[test]
+    fn canonical_key_is_permutation_invariant() {
+        // Build a state, permute two same-input nodes, check equal keys.
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let ex = Explorer::new(&p, 10_000);
+        let c0 = Config::initial(&[0, 1, 1]);
+        let (_, c1) = ex.apply(&c0, 1).unwrap(); // node 1 appends
+                                                 // Mirror image: node 2 appends instead (nodes 1 and 2 share input).
+        let (_, c2) = ex.apply(&c0, 2).unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(canonical_key(&c1, true), canonical_key(&c2, true));
+        assert_ne!(canonical_key(&c1, false), canonical_key(&c2, false));
+    }
+
+    #[test]
+    fn unreduced_search_matches_naive_counts_and_facts() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let init = Config::initial(&[0, 1, 1]);
+        let naive = Explorer::new(&p, 500_000).analyze(&init);
+        let rep = search(&p, &init, &SearchOptions::unreduced(500_000));
+        assert!(!rep.truncated);
+        assert_eq!(rep.states, naive.configs);
+        assert_eq!(rep.valency, naive.valency);
+        assert_eq!(
+            rep.agreement_violation.is_some(),
+            naive.agreement_violation.is_some()
+        );
+        assert_eq!(
+            rep.collisions, 0,
+            "128-bit fingerprints must not collide here"
+        );
+    }
+
+    #[test]
+    fn sleep_sets_preserve_the_state_set() {
+        // Sleep sets prune transitions, never states.
+        for inputs in [[0u8, 1, 1], [0, 0, 1], [1, 1, 1]] {
+            let p = QuorumVoteProtocol::new(3, 2, 0);
+            let naive = Explorer::new(&p, 500_000).analyze(&Config::initial(&inputs));
+            let mut opts = SearchOptions::unreduced(500_000);
+            opts.sleep_sets = true;
+            let rep = search(&p, &Config::initial(&inputs), &opts);
+            assert_eq!(rep.states, naive.configs, "inputs {inputs:?}");
+            assert!(rep.por_sleep_skipped > 0 || rep.transitions <= naive.configs as u64 * 3);
+            assert!(
+                rep.transitions < naive.configs as u64 * 3,
+                "sleep sets must cut transitions below the n-per-state ceiling"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_search_agrees_on_verdicts() {
+        let p = FirstSeenProtocol::new(3);
+        let init = Config::initial(&[0, 1, 1]);
+        let naive = Explorer::new(&p, 500_000).analyze(&init);
+        let rep = search(&p, &init, &SearchOptions::reduced(500_000));
+        assert!(!rep.truncated);
+        assert_eq!(rep.valency, naive.valency);
+        assert_eq!(
+            rep.agreement_violation.is_some(),
+            naive.agreement_violation.is_some()
+        );
+        if let Some(w) = &rep.agreement_violation {
+            assert!(w.violates_agreement());
+        }
+    }
+
+    #[test]
+    fn symmetry_folds_orbit_states() {
+        let p = QuorumVoteProtocol::new(4, 3, 0);
+        let init = Config::initial(&[0, 0, 1, 1]);
+        let mut no_sym = SearchOptions::reduced(2_000_000);
+        no_sym.symmetry = false;
+        let base = search(&p, &init, &no_sym);
+        let folded = search(&p, &init, &SearchOptions::reduced(2_000_000));
+        assert!(folded.symmetry_folds > 0);
+        assert!(
+            folded.states < base.states,
+            "orbit folding must shrink the state count ({} vs {})",
+            folded.states,
+            base.states
+        );
+        assert_eq!(folded.valency, base.valency);
+        assert_eq!(
+            folded.vfree_nontermination.is_some(),
+            base.vfree_nontermination.is_some()
+        );
+    }
+
+    #[test]
+    fn vfree_detection_matches_naive() {
+        let p = QuorumVoteProtocol::new(3, 3, 0);
+        let init = Config::initial(&[0, 1, 0]);
+        let naive = Explorer::new(&p, 500_000).analyze(&init);
+        let rep = search(&p, &init, &SearchOptions::reduced(500_000));
+        assert!(naive.vfree_nontermination.is_some());
+        let (crashed, stuck) = rep
+            .vfree_nontermination
+            .expect("reduced search must also find the stuck computation");
+        assert!(crashed < 3);
+        assert!(!stuck.all_decided());
+    }
+
+    #[test]
+    fn parallel_frontier_is_deterministic() {
+        let p = EchoVoteProtocol::new(3, 2, 0);
+        let init = Config::initial(&[0, 1, 1]);
+        let seq = search(&p, &init, &SearchOptions::reduced(500_000));
+        let par = search(&p, &init, &SearchOptions::reduced(500_000).with_workers(4));
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.transitions, par.transitions);
+        assert_eq!(seq.valency, par.valency);
+        assert_eq!(seq.symmetry_folds, par.symmetry_folds);
+        assert_eq!(seq.fingerprint_hits, par.fingerprint_hits);
+        assert_eq!(
+            seq.agreement_violation, par.agreement_violation,
+            "witness configs must be byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn valency_only_mode_early_exits() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let init = Config::initial(&[0, 1, 1]);
+        let full = search(&p, &init, &SearchOptions::reduced(500_000));
+        let fast = search(
+            &p,
+            &init,
+            &SearchOptions::reduced(500_000).with_mode(SearchMode::ValencyOnly),
+        );
+        assert_eq!(full.valency, fast.valency);
+        assert!(fast.states <= full.states);
+        assert_eq!(
+            valency_fast(&p, &init, &SearchOptions::reduced(500_000)),
+            full.valency
+        );
+    }
+
+    #[test]
+    fn truncation_fires_on_tiny_budget() {
+        let p = QuorumVoteProtocol::new(3, 2, 0);
+        let rep = search(&p, &Config::initial(&[0, 1, 0]), &SearchOptions::reduced(3));
+        assert!(rep.truncated);
+    }
+}

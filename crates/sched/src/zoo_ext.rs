@@ -67,6 +67,12 @@ impl AsyncProtocol for EchoVoteProtocol {
         )
     }
 
+    fn symmetric(&self) -> bool {
+        // Both phases aggregate per-author values by count only; no
+        // author-index tie-breaks.
+        true
+    }
+
     fn next_op(&self, _node: usize, input: u8, own: usize, view: &ViewRef<'_>, fresh: bool) -> Op {
         match own {
             0 => Op::Append {
@@ -148,10 +154,11 @@ mod tests {
             value: v,
             parents: Vec::new(),
         };
-        let logs = vec![vec![e(1)], vec![e(0)], vec![]];
+        let logs = [vec![e(1)], vec![e(0)], vec![]];
+        let slices: Vec<&[Entry]> = logs.iter().map(Vec::as_slice).collect();
         let counts = [1u8, 1, 0];
         let view = ViewRef {
-            logs: &logs,
+            logs: &slices,
             counts: &counts,
         };
         // Tie at quorum: tie value wins.
@@ -159,7 +166,7 @@ mod tests {
         // Below quorum: none.
         let counts1 = [1u8, 0, 0];
         let view1 = ViewRef {
-            logs: &logs,
+            logs: &slices,
             counts: &counts1,
         };
         assert_eq!(p.phase_majority(&view1, 0), None);

@@ -1,0 +1,220 @@
+//! Reduced-vs-naive equivalence suite: the compact search core of
+//! `am_sched::search` (interning + fingerprinting + sleep sets + ample
+//! decide + symmetry folding) must be a *verdict-preserving* drop-in for
+//! the naive [`Explorer`] on every protocol in the zoo — same valency for
+//! every input vector, an agreement/v-free witness iff the naive search
+//! finds one, and (with sleep sets alone) the exact same reachable state
+//! count. The nonforking DAG search gets the same treatment against its
+//! replay-everything baseline. These are the soundness pins behind the
+//! BENCH_PR9 speedup claims (DESIGN.md §14).
+
+use am_sched::{
+    check_nonforking, check_nonforking_naive, initial_bivalent, initial_bivalent_fast,
+    round_robin_witness, round_robin_witness_fast, search, AsyncProtocol, Config, EchoVoteProtocol,
+    Explorer, FirstSeenProtocol, QuorumVoteProtocol, SearchOptions,
+};
+use proptest::prelude::*;
+
+const BUDGET: usize = 500_000;
+
+/// The protocol zoo at `n` nodes: one asymmetric member (FirstSeen
+/// tie-breaks on author index) and two symmetric ones.
+fn zoo(n: usize) -> Vec<(&'static str, Box<dyn AsyncProtocol>)> {
+    vec![
+        (
+            "first-seen",
+            Box::new(FirstSeenProtocol::new(n)) as Box<dyn AsyncProtocol>,
+        ),
+        (
+            "quorum-vote",
+            Box::new(QuorumVoteProtocol::new(n, n / 2 + 1, 0)),
+        ),
+        (
+            "quorum-vote-unanimous",
+            Box::new(QuorumVoteProtocol::new(n, n, 1)),
+        ),
+        (
+            "echo-vote",
+            Box::new(EchoVoteProtocol::new(n, n / 2 + 1, 0)),
+        ),
+    ]
+}
+
+/// Every input vector of length `n`, as `Config`s.
+fn all_initials(n: usize) -> impl Iterator<Item = Config> {
+    (0..(1u32 << n)).map(move |mask| {
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        Config::initial(&inputs)
+    })
+}
+
+#[test]
+fn reduced_search_matches_naive_valency_on_every_input_vector() {
+    for (name, proto) in zoo(3) {
+        let ex = Explorer::new(proto.as_ref(), BUDGET);
+        for c in all_initials(3) {
+            let naive = ex.analyze(&c);
+            assert!(!naive.truncated, "{name}: naive budget too small");
+            let rep = search(proto.as_ref(), &c, &SearchOptions::reduced(BUDGET));
+            assert!(!rep.truncated, "{name}: reduced budget too small");
+            assert_eq!(rep.valency, naive.valency, "{name} at {:?}", c);
+            assert_eq!(
+                rep.agreement_violation.is_some(),
+                naive.agreement_violation.is_some(),
+                "{name}: agreement witness must exist iff naive finds one"
+            );
+            assert_eq!(
+                rep.vfree_nontermination.is_some(),
+                naive.vfree_nontermination.is_some(),
+                "{name}: v-free witness must exist iff naive finds one"
+            );
+        }
+    }
+}
+
+#[test]
+fn sleep_sets_alone_preserve_the_exact_state_count() {
+    // Sleep sets prune *transitions*, never states: with every other
+    // reduction off and exact keys on, the visited count must equal the
+    // naive explorer's distinct-configuration count, protocol by
+    // protocol, input vector by input vector.
+    for (name, proto) in zoo(3) {
+        let ex = Explorer::new(proto.as_ref(), BUDGET);
+        let mut opts = SearchOptions::unreduced(BUDGET);
+        opts.sleep_sets = true;
+        for c in all_initials(3) {
+            let naive = ex.analyze(&c);
+            let rep = search(proto.as_ref(), &c, &opts);
+            assert_eq!(
+                rep.states, naive.configs,
+                "{name} at {:?}: sleep sets must preserve the state set",
+                c
+            );
+            assert_eq!(rep.collisions, 0, "{name}: exact mode saw an fp collision");
+        }
+    }
+}
+
+#[test]
+fn fast_witness_pipeline_agrees_with_naive_for_every_zoo_protocol() {
+    let opts = SearchOptions::reduced(BUDGET);
+    for (name, proto) in zoo(3) {
+        let naive_start = initial_bivalent(proto.as_ref(), BUDGET);
+        let fast_start = initial_bivalent_fast(proto.as_ref(), &opts);
+        assert_eq!(
+            naive_start.as_ref().map(|(i, _)| i),
+            fast_start.as_ref().map(|(i, _)| i),
+            "{name}: bivalent start must match"
+        );
+
+        let naive = round_robin_witness(proto.as_ref(), 6, BUDGET);
+        let fast = round_robin_witness_fast(proto.as_ref(), 6, &opts);
+        assert_eq!(naive.outcome, fast.outcome, "{name}: witness outcome");
+        assert_eq!(naive.inputs, fast.inputs, "{name}: witness inputs");
+    }
+}
+
+#[test]
+fn nonforking_reduced_verdicts_match_naive() {
+    for byz in [&[][..], &[1][..]] {
+        let fast = check_nonforking(3, byz, 5, 200_000);
+        let naive = check_nonforking_naive(3, byz, 5, 200_000);
+        assert_eq!(fast.violation, naive.violation, "byz {byz:?}");
+        assert_eq!(fast.states, naive.states, "byz {byz:?}");
+        assert_eq!(fast.max_finalized, naive.max_finalized, "byz {byz:?}");
+        assert_eq!(
+            fast.finalizing_states, naive.finalizing_states,
+            "byz {byz:?}"
+        );
+        assert_eq!(
+            fast.equivocating_states, naive.equivocating_states,
+            "byz {byz:?}"
+        );
+        assert_eq!(naive.observes_saved, 0);
+        assert!(fast.observes_saved > 0, "reduction must actually fire");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry canonicalization property
+// ---------------------------------------------------------------------------
+
+/// Builds a permutation of `0..n` that fixes the input vector (only nodes
+/// with equal inputs are swapped), from an arbitrary shuffled order: the
+/// members of each input class are re-mapped to the class members in the
+/// order the shuffle lists them.
+fn class_fixing_perm(inputs: &[u8], order: &[usize]) -> Vec<usize> {
+    let n = inputs.len();
+    let mut perm = vec![0usize; n];
+    for class in [0u8, 1] {
+        let members: Vec<usize> = (0..n).filter(|&i| inputs[i] == class).collect();
+        let shuffled: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| inputs[i] == class)
+            .collect();
+        for (m, s) in members.iter().zip(shuffled.iter()) {
+            perm[*m] = *s;
+        }
+    }
+    perm
+}
+
+/// Runs a schedule (list of node indices; passive steps are skipped) from
+/// the all-inputs initial configuration.
+fn run_schedule(proto: &dyn AsyncProtocol, inputs: &[u8], schedule: &[usize]) -> Config {
+    let ex = Explorer::new(proto, BUDGET);
+    let mut c = Config::initial(inputs);
+    for &v in schedule {
+        if let Some((_, next)) = ex.apply(&c, v) {
+            c = next;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `canon(perm(s)) == canon(s)`: for a symmetric protocol, running a
+    /// schedule and running its node-permuted image (under any
+    /// permutation that fixes the input vector) must land in the same
+    /// symmetry orbit — i.e. produce the identical canonical key.
+    #[test]
+    fn canonical_key_is_invariant_under_input_fixing_permutations(
+        quorumish in 0u8..2,
+        n in 3usize..5,
+        mask in 0u32..32,
+        schedule in proptest::collection::vec(0usize..5, 0..8),
+        keys in proptest::collection::vec(0u32..1000, 5),
+    ) {
+        let proto: Box<dyn AsyncProtocol> = if quorumish == 0 {
+            Box::new(QuorumVoteProtocol::new(n, n / 2 + 1, 0))
+        } else {
+            Box::new(EchoVoteProtocol::new(n, n / 2 + 1, 0))
+        };
+        prop_assume!(proto.symmetric());
+        let inputs: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let schedule: Vec<usize> = schedule.into_iter().map(|v| v % n).collect();
+        // A shuffle of 0..n derived from random sort keys (index tiebreak
+        // keeps it a permutation even with duplicate keys).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+        let perm = class_fixing_perm(&inputs, &order);
+
+        // perm fixes the input vector by construction.
+        for i in 0..n {
+            prop_assert_eq!(inputs[perm[i]], inputs[i]);
+        }
+
+        let a = run_schedule(proto.as_ref(), &inputs, &schedule);
+        let permuted: Vec<usize> = schedule.iter().map(|&v| perm[v]).collect();
+        let b = run_schedule(proto.as_ref(), &inputs, &permuted);
+
+        prop_assert_eq!(
+            am_sched::canonical_key(&a, true),
+            am_sched::canonical_key(&b, true),
+            "orbit-mates must share a canonical key"
+        );
+    }
+}
