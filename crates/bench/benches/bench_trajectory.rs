@@ -1,0 +1,28 @@
+//! Consolidates the per-PR `BENCH_PR*.json` headline numbers into
+//! `BENCH_TRAJECTORY.json` and seeds the CI wall-clock budgets.
+//!
+//! Unlike the other bench targets this one measures nothing itself — it
+//! folds the numbers the others already recorded (plus the sweep
+//! throughput records the experiments harness writes at merge time) so
+//! one tracked file carries the whole perf story. Rerun after any
+//! per-PR trajectory file is regenerated:
+//!
+//! ```text
+//! cargo bench -p am-bench --bench bench_trajectory
+//! ```
+
+use am_bench::trajectory::{ensure_budgets, fold_headlines};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn consolidate(_c: &mut Criterion) {
+    let folded = fold_headlines();
+    ensure_budgets();
+    println!("trajectory: folded {folded} headline ops");
+    assert!(
+        folded > 0,
+        "no headline ops found — are the BENCH_PR*.json files present?"
+    );
+}
+
+criterion_group!(benches, consolidate);
+criterion_main!(benches);

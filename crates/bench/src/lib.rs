@@ -13,6 +13,7 @@ use rand_chacha::ChaCha8Rng;
 
 pub mod presets;
 pub mod recorder;
+pub mod trajectory;
 
 /// Builds a linear chain of `len` blocks authored round-robin by `n` nodes.
 pub fn chain_history(n: usize, len: usize) -> AppendMemory {

@@ -42,10 +42,27 @@ pub enum Preset {
     /// naive explorer, the dense round-lower-bound engine vs its HashMap
     /// baseline, plus states/sec and feasibility-frontier records.
     Pr9,
+    /// The consolidated trajectory (DESIGN.md §15): every historic
+    /// preset's headline speedups folded into one file, per-experiment
+    /// sweep throughput (trials/sec at each shard count, recorded at
+    /// merge time), and the wall-clock budgets CI perf-smoke asserts.
+    Trajectory,
 }
 
-/// All presets, in PR order.
-pub const ALL: [Preset; 6] = [
+/// All presets, in PR order, with the consolidated trajectory last.
+pub const ALL: [Preset; 7] = [
+    Preset::Pr4,
+    Preset::Pr5,
+    Preset::Pr6,
+    Preset::Pr7,
+    Preset::Pr8,
+    Preset::Pr9,
+    Preset::Trajectory,
+];
+
+/// The per-PR presets the consolidated [`Preset::Trajectory`] folds —
+/// [`ALL`] minus the trajectory itself.
+pub const HEADLINE: [Preset; 6] = [
     Preset::Pr4,
     Preset::Pr5,
     Preset::Pr6,
@@ -64,6 +81,7 @@ impl Preset {
             Preset::Pr7 => "bench-pr7/1",
             Preset::Pr8 => "bench-pr8/1",
             Preset::Pr9 => "bench-pr9/1",
+            Preset::Trajectory => "bench-trajectory-consolidated/1",
         }
     }
 
@@ -76,6 +94,7 @@ impl Preset {
             Preset::Pr7 => "BENCH_PR7.json",
             Preset::Pr8 => "BENCH_PR8.json",
             Preset::Pr9 => "BENCH_PR9.json",
+            Preset::Trajectory => "BENCH_TRAJECTORY.json",
         }
     }
 
@@ -88,6 +107,7 @@ impl Preset {
             Preset::Pr7 => "pr7",
             Preset::Pr8 => "pr8",
             Preset::Pr9 => "pr9",
+            Preset::Trajectory => "traj",
         }
     }
 }

@@ -169,12 +169,23 @@ impl Recorder {
                 }
             }
         }
-        let doc = Value::Object(vec![
+        let mut doc = vec![
             ("schema".to_string(), Value::String(self.schema.to_string())),
             ("format".to_string(), Value::String(FORMAT.to_string())),
             ("ops".to_string(), Value::Object(ops)),
             ("speedups".to_string(), Value::Object(speedups)),
-        ]);
+        ];
+        // Carry over any other top-level sections of a matching document
+        // (e.g. the consolidated trajectory's hand-maintained `budgets`
+        // map) so a recorder run never strips them.
+        if let Some(Value::Object(entries)) = existing.as_ref() {
+            for (k, v) in entries {
+                if !doc.iter().any(|(dk, _)| dk == k) {
+                    doc.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        let doc = Value::Object(doc);
         std::fs::write(&path, doc.render(true) + "\n")
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         println!("{}: wrote {}", self.tag, path.display());

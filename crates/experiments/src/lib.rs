@@ -31,7 +31,9 @@ pub mod e8;
 pub mod e9;
 pub mod report;
 
-use am_protocols::{CheckpointStore, SweepConfig, SweepRunner};
+use am_protocols::{
+    CheckpointStore, ShardCheckpointStore, ShardMergeSource, ShardSpec, SweepConfig, SweepRunner,
+};
 use report::Report;
 use std::path::Path;
 
@@ -51,11 +53,19 @@ pub struct RunCtx {
     pub sweep: SweepConfig,
     /// `--fast`: shrink every trial budget to [`FAST_BUDGET`].
     pub fast: bool,
+    /// `--trials-scale`: multiply every sweep trial budget (ignored
+    /// under `--fast`, which caps after scaling). Scaled runs produce
+    /// *different* results than the historic tables — the knob exists
+    /// for throughput measurement (CI's sharded-speedup lane needs a
+    /// sweep-dominated workload), not for golden comparisons.
+    pub trials_scale: u64,
     /// `--topology`: override the network topology of experiments that
     /// honour it (E18's planet-scale sweep); `None` keeps each
     /// experiment's own default.
     pub topology: Option<am_net::Topology>,
     checkpoint: Option<CheckpointStore>,
+    shard_store: Option<ShardCheckpointStore>,
+    merge: Option<ShardMergeSource>,
 }
 
 impl RunCtx {
@@ -66,19 +76,19 @@ impl RunCtx {
             seed,
             sweep: SweepConfig::fixed(),
             fast: false,
+            trials_scale: 1,
             topology: None,
             checkpoint: None,
+            shard_store: None,
+            merge: None,
         }
     }
 
     /// A context with an explicit sweep configuration.
     pub fn with_sweep(seed: u64, sweep: SweepConfig) -> RunCtx {
         RunCtx {
-            seed,
             sweep,
-            fast: false,
-            topology: None,
-            checkpoint: None,
+            ..RunCtx::fixed(seed)
         }
     }
 
@@ -91,9 +101,36 @@ impl RunCtx {
         self
     }
 
+    /// Turns the context into one shard of a multi-process run: only the
+    /// store's residue class of trial indices executes, with per-window
+    /// tallies persisted to `store`. Reports produced under a shard
+    /// context hold shard-local tallies — progress, not estimates — and
+    /// must not be saved as final results.
+    #[must_use]
+    pub fn with_shard_store(mut self, store: ShardCheckpointStore) -> RunCtx {
+        self.shard_store = Some(store);
+        self
+    }
+
+    /// Turns the context into the merge step: every sweep point replays
+    /// the unsharded batch loop over `source`'s shard tallies (plus
+    /// inline top-ups for unrecorded windows), producing final results
+    /// byte-identical to an unsharded run.
+    #[must_use]
+    pub fn with_merge_source(mut self, source: ShardMergeSource) -> RunCtx {
+        self.merge = Some(source);
+        self
+    }
+
     /// The sweep engine for this run; experiment code funnels every
     /// Monte-Carlo point through it.
     pub fn runner(&self) -> SweepRunner<'_> {
+        if let Some(store) = &self.shard_store {
+            return SweepRunner::sharded(self.sweep, store);
+        }
+        if let Some(source) = &self.merge {
+            return SweepRunner::merging(self.sweep, source, self.checkpoint.as_ref());
+        }
         match &self.checkpoint {
             Some(store) => SweepRunner::with_checkpoints(self.sweep, store),
             None => SweepRunner::new(self.sweep),
@@ -103,10 +140,11 @@ impl RunCtx {
     /// A per-point trial budget: the experiment's historic default,
     /// capped at [`FAST_BUDGET`] under `--fast`.
     pub fn budget(&self, default: u64) -> u64 {
+        let scaled = default.saturating_mul(self.trials_scale.max(1));
         if self.fast {
-            default.min(FAST_BUDGET)
+            scaled.min(FAST_BUDGET)
         } else {
-            default
+            scaled
         }
     }
 
@@ -118,16 +156,31 @@ impl RunCtx {
 
     /// False when an engine point was halted mid-budget (the
     /// `--max-batches` interruption lane): the report's tallies are
-    /// partial and must not be saved as final results.
+    /// partial and must not be saved as final results. A shard context
+    /// is complete once every point has proven global coverage.
     pub fn complete(&self) -> bool {
         self.checkpoint
             .as_ref()
             .is_none_or(CheckpointStore::all_done)
+            && self
+                .shard_store
+                .as_ref()
+                .is_none_or(ShardCheckpointStore::all_done)
     }
 
     /// The attached checkpoint store, if any.
     pub fn checkpoint(&self) -> Option<&CheckpointStore> {
         self.checkpoint.as_ref()
+    }
+
+    /// The attached shard checkpoint store, if this is a shard context.
+    pub fn shard_store(&self) -> Option<&ShardCheckpointStore> {
+        self.shard_store.as_ref()
+    }
+
+    /// The attached merge source, if this is a merge context.
+    pub fn merge_source(&self) -> Option<&ShardMergeSource> {
+        self.merge.as_ref()
     }
 }
 
@@ -272,6 +325,8 @@ pub struct HarnessOpts {
     pub sweep: SweepConfig,
     /// Shrink trial budgets to [`FAST_BUDGET`].
     pub fast: bool,
+    /// Multiply every sweep trial budget (see [`RunCtx::trials_scale`]).
+    pub trials_scale: u64,
     /// Resume interrupted sweeps from their checkpoints.
     pub resume: bool,
     /// Write per-experiment checkpoint files (`<out-dir>/<id>.checkpoint.json`).
@@ -279,6 +334,16 @@ pub struct HarnessOpts {
     /// Topology override for experiments that honour it (see
     /// [`RunCtx::topology`]).
     pub topology: Option<am_net::Topology>,
+    /// Run as one shard of a multi-process sweep: execute only this
+    /// residue class of trial indices and write
+    /// `<out-dir>/<id>.shard-<i>-of-<m>.checkpoint.json` instead of
+    /// final results. Takes precedence over `merge_shards`.
+    pub shard: Option<ShardSpec>,
+    /// Merge this many shard checkpoint files from `out_dir` into final
+    /// results byte-identical to an unsharded run (re-running any trials
+    /// missing from the shard files); the shard files are deleted once
+    /// the merged JSON is written.
+    pub merge_shards: Option<u32>,
 }
 
 impl HarnessOpts {
@@ -290,9 +355,12 @@ impl HarnessOpts {
             out_dir: out_dir.to_string(),
             sweep: SweepConfig::fixed(),
             fast: false,
+            trials_scale: 1,
             resume: false,
             checkpoints: true,
             topology: None,
+            shard: None,
+            merge_shards: None,
         }
     }
 }
@@ -311,29 +379,93 @@ pub fn execute(id: &str, opts: &HarnessOpts) -> Option<am_obs::ExperimentRecord>
         seed: opts.seed,
         sweep: opts.sweep,
         fast: opts.fast,
+        trials_scale: opts.trials_scale,
         topology: opts.topology,
         checkpoint: None,
+        shard_store: None,
+        merge: None,
     };
-    if opts.checkpoints {
-        // Checkpoints are written during the run, so the directory must
-        // exist before the first batch.
+    if let Some(spec) = opts.shard {
+        // Shard lane: run one residue class, persist per-window tallies,
+        // never write final results.
         let _ = std::fs::create_dir_all(&opts.out_dir);
-        let path = Path::new(&opts.out_dir).join(format!("{id}.checkpoint.json"));
+        let path = Path::new(&opts.out_dir).join(spec.file_name(id));
         let store = if opts.resume {
-            CheckpointStore::resume(path, opts.seed)
+            ShardCheckpointStore::resume(path, opts.seed, spec, &opts.sweep)
         } else {
-            CheckpointStore::create(path, opts.seed)
+            ShardCheckpointStore::create(path, opts.seed, spec, &opts.sweep)
         };
-        ctx = ctx.with_checkpoint(store);
+        ctx.shard_store = Some(store);
+    } else {
+        if let Some(count) = opts.merge_shards {
+            let (source, warnings) =
+                ShardMergeSource::load(Path::new(&opts.out_dir), id, count, opts.seed, &opts.sweep);
+            for w in &warnings {
+                eprintln!("[shard] {w}");
+            }
+            ctx.merge = Some(source);
+        }
+        // The merge lane replays recorded tallies — cheap to redo from the
+        // shard files after a kill — so it skips the per-window checkpoint
+        // store whose whole-file rewrites would cost O(windows²) I/O.
+        if opts.checkpoints && ctx.merge.is_none() {
+            // Checkpoints are written during the run, so the directory must
+            // exist before the first batch.
+            let _ = std::fs::create_dir_all(&opts.out_dir);
+            let path = Path::new(&opts.out_dir).join(format!("{id}.checkpoint.json"));
+            let store = if opts.resume {
+                CheckpointStore::resume(path, opts.seed)
+            } else {
+                CheckpointStore::create(path, opts.seed)
+            };
+            ctx = ctx.with_checkpoint(store);
+        }
     }
     let started = std::time::Instant::now();
     let rep = run_with(id, &ctx)?;
     let duration_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let Some(store) = ctx.shard_store() {
+        // A shard's report holds its residue class's tallies only —
+        // progress, not estimates — so neither the rendered report nor
+        // the final JSON is emitted here; the merge step produces both.
+        let spec = store.spec();
+        return Some(if ctx.complete() {
+            println!(
+                "[shard {spec}] {id} finished in {duration_ms:.0} ms; \
+                 tallies at {}",
+                store.path().display()
+            );
+            am_obs::ExperimentRecord {
+                id: id.to_string(),
+                duration_ms,
+                output: Some(store.path().display().to_string()),
+            }
+        } else {
+            println!(
+                "[shard {spec}] {id} interrupted by the batch cap after {duration_ms:.0} ms; \
+                 checkpoint kept at {} — rerun with --resume to finish",
+                store.path().display()
+            );
+            am_obs::ExperimentRecord {
+                id: id.to_string(),
+                duration_ms,
+                output: None,
+            }
+        });
+    }
     println!("{}", rep.render());
     let saved = if ctx.complete() {
         let saved = rep.save_in(&opts.out_dir);
         if let Some(store) = ctx.checkpoint() {
             store.discard();
+        }
+        if let Some(source) = ctx.merge_source() {
+            // The merged final results are on disk; the shard files have
+            // served their purpose (a stale shard file would shadow the
+            // next run's tallies exactly like a stale checkpoint).
+            if saved.is_some() {
+                source.discard_files();
+            }
         }
         println!("[obs] {id} finished in {duration_ms:.0} ms");
         saved

@@ -15,6 +15,11 @@
 //! am-experiments --trace t.json e14 # export a chrome://tracing trace
 //! am-experiments --no-obs e4      # skip spans/counters/manifest
 //! am-experiments --topology relay:8 e18 # override the gossip topology
+//! am-experiments --shard 0/4 e8   # run one interleaved trial slice
+//! am-experiments --merge-shards 4 e8 # fold shard tallies to final JSON
+//! am-experiments --workers 4 e8   # spawn 4 shard processes and merge
+//! am-experiments --workers 4 --record e8 # + publish trials/sec
+//! am-experiments --trials-scale 8 e6 # 8× trial budgets (throughput runs)
 //! am-experiments --list           # list experiments
 //! ```
 //!
@@ -27,9 +32,10 @@
 //! surplus trials at easy sweep points for speed, recording the trials
 //! actually used and the achieved 95% CI per point in the JSON.
 
-use am_experiments::{execute, HarnessOpts, REGISTRY};
+use am_bench::trajectory::{record_sweep, SweepThroughput};
+use am_experiments::{execute, report::Report, HarnessOpts, REGISTRY};
 use am_obs::RunManifest;
-use am_protocols::SweepConfig;
+use am_protocols::{ShardSpec, SweepConfig};
 
 struct Cli {
     seed: u64,
@@ -42,6 +48,12 @@ struct Cli {
     resume: bool,
     max_batches: Option<u64>,
     topology: Option<am_net::Topology>,
+    topology_raw: Option<String>,
+    shard: Option<ShardSpec>,
+    merge_shards: Option<u32>,
+    workers: Option<u32>,
+    record: bool,
+    trials_scale: u64,
     ids: Vec<String>,
 }
 
@@ -57,6 +69,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         resume: false,
         max_batches: None,
         topology: None,
+        topology_raw: None,
+        shard: None,
+        merge_shards: None,
+        workers: None,
+        record: false,
+        trials_scale: 1,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -86,6 +104,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.ci_width = Some(w);
             }
             "--fast" | "-f" => cli.fast = true,
+            "--trials-scale" => {
+                let v = it.next().ok_or("--trials-scale needs a multiplier")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--trials-scale needs a u64, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--trials-scale must be ≥ 1".into());
+                }
+                cli.trials_scale = n;
+            }
             "--resume" | "-r" => cli.resume = true,
             "--max-batches" => {
                 let v = it.next().ok_or("--max-batches needs a value")?;
@@ -102,13 +130,47 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .ok_or("--topology needs mesh|relay:<k>|geo:<r>[:<k>]")?;
                 cli.topology = Some(v.parse().map_err(|e| format!("--topology: {e}"))?);
+                cli.topology_raw = Some(v.clone());
             }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs i/m (e.g. 0/4)")?;
+                cli.shard = Some(v.parse().map_err(|e| format!("--shard: {e}"))?);
+            }
+            "--merge-shards" => {
+                let v = it.next().ok_or("--merge-shards needs a shard count")?;
+                let m: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--merge-shards needs a u32, got '{v}'"))?;
+                if m == 0 {
+                    return Err("--merge-shards must be ≥ 1".into());
+                }
+                cli.merge_shards = Some(m);
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a process count")?;
+                let w: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--workers needs a u32, got '{v}'"))?;
+                if !(1..=256).contains(&w) {
+                    return Err(format!("--workers must be in 1..=256, got {w}"));
+                }
+                cli.workers = Some(w);
+            }
+            "--record" => cli.record = true,
             "--no-obs" => cli.obs = false,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'"));
             }
             id => cli.ids.push(id.to_lowercase()),
         }
+    }
+    if cli.shard.is_some() && (cli.workers.is_some() || cli.merge_shards.is_some()) {
+        return Err(
+            "--shard runs one slice; it cannot combine with --workers or --merge-shards".into(),
+        );
+    }
+    if cli.workers.is_some() && cli.merge_shards.is_some() {
+        return Err("--workers merges on completion; drop --merge-shards".into());
     }
     Ok(cli)
 }
@@ -129,6 +191,192 @@ fn sweep_config(cli: &Cli) -> SweepConfig {
     }
     sweep.max_batches_per_run = cli.max_batches;
     sweep
+}
+
+/// Argv for a shard child process: the parent's sweep-shaping flags plus
+/// `--shard i/m`, with obs off (children's manifests would trample the
+/// coordinator's) and stdout silenced by the spawner.
+fn shard_child_args(cli: &Cli, id: &str, index: u32, workers: u32, resume: bool) -> Vec<String> {
+    let mut args = vec![
+        "--shard".to_string(),
+        format!("{index}/{workers}"),
+        "--seed".to_string(),
+        cli.seed.to_string(),
+        "--out-dir".to_string(),
+        cli.out_dir.clone(),
+        "--no-obs".to_string(),
+    ];
+    if cli.adaptive {
+        args.push("--adaptive".to_string());
+    }
+    if let Some(w) = cli.ci_width {
+        args.push("--ci-width".to_string());
+        args.push(w.to_string());
+    }
+    if cli.fast {
+        args.push("--fast".to_string());
+    }
+    if cli.trials_scale > 1 {
+        args.push("--trials-scale".to_string());
+        args.push(cli.trials_scale.to_string());
+    }
+    if let Some(n) = cli.max_batches {
+        args.push("--max-batches".to_string());
+        args.push(n.to_string());
+    }
+    if let Some(t) = &cli.topology_raw {
+        args.push("--topology".to_string());
+        args.push(t.clone());
+    }
+    if resume {
+        args.push("--resume".to_string());
+    }
+    args.push(id.to_string());
+    args
+}
+
+/// The in-repo coordinator: per experiment, spawns `--workers` shard
+/// child processes (this same binary with `--shard i/w`), monitors them,
+/// restarts failures from their checkpoints (`--resume`, bounded
+/// retries), then merges the shard tallies into final results
+/// byte-identical to an unsharded run. With `--record`, publishes the
+/// end-to-end trials/sec into BENCH_TRAJECTORY.json. Returns false if
+/// any experiment failed to produce merged results.
+fn run_coordinator(
+    cli: &Cli,
+    opts: &HarnessOpts,
+    ids: &[String],
+    manifest: &mut RunManifest,
+) -> bool {
+    const MAX_RETRIES: u32 = 2;
+    let workers = cli.workers.unwrap_or(1);
+    let exe = match std::env::current_exe() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("[coordinator] cannot locate own binary: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for id in ids {
+        if am_experiments::find(id).is_none() {
+            eprintln!("unknown experiment '{id}' (try --list)");
+            ok = false;
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let spawn = |index: u32, resume: bool| {
+            std::process::Command::new(&exe)
+                .args(shard_child_args(cli, id, index, workers, resume))
+                .stdout(std::process::Stdio::null())
+                .spawn()
+        };
+        struct Slot {
+            index: u32,
+            child: Option<std::process::Child>,
+            retries: u32,
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        for index in 0..workers {
+            match spawn(index, cli.resume) {
+                Ok(child) => slots.push(Slot {
+                    index,
+                    child: Some(child),
+                    retries: 0,
+                }),
+                Err(e) => {
+                    // The merge tops up missing shards, so a failed spawn
+                    // degrades throughput, not correctness.
+                    eprintln!("[coordinator] {id} shard {index}/{workers} failed to spawn: {e}");
+                    slots.push(Slot {
+                        index,
+                        child: None,
+                        retries: MAX_RETRIES,
+                    });
+                }
+            }
+        }
+        println!("[coordinator] {id}: {workers} shard processes launched");
+        loop {
+            let mut running = 0usize;
+            for slot in &mut slots {
+                let Some(child) = &mut slot.child else {
+                    continue;
+                };
+                match child.try_wait() {
+                    Ok(None) => running += 1,
+                    Ok(Some(status)) if status.success() => slot.child = None,
+                    Ok(Some(status)) => {
+                        slot.child = None;
+                        if slot.retries < MAX_RETRIES {
+                            slot.retries += 1;
+                            eprintln!(
+                                "[coordinator] {id} shard {}/{workers} exited with {status}; \
+                                 restarting from its checkpoint (retry {}/{MAX_RETRIES})",
+                                slot.index, slot.retries
+                            );
+                            match spawn(slot.index, true) {
+                                Ok(c) => {
+                                    slot.child = Some(c);
+                                    running += 1;
+                                }
+                                Err(e) => eprintln!(
+                                    "[coordinator] {id} shard {}/{workers} respawn failed: {e}",
+                                    slot.index
+                                ),
+                            }
+                        } else {
+                            eprintln!(
+                                "[coordinator] {id} shard {}/{workers} gave up after \
+                                 {MAX_RETRIES} retries; the merge will re-run its trials",
+                                slot.index
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[coordinator] {id} shard {}/{workers} wait failed: {e}",
+                            slot.index
+                        );
+                        slot.child = None;
+                    }
+                }
+            }
+            if running == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        let mut mopts = opts.clone();
+        mopts.shard = None;
+        mopts.merge_shards = Some(workers);
+        // --max-batches is the children's interruption knob (the chaos /
+        // resume lanes); the merge step itself must run to completion or
+        // no final results would ever be written.
+        mopts.sweep.max_batches_per_run = None;
+        match execute(id, &mopts) {
+            Some(rec) => {
+                if cli.record && rec.output.is_some() {
+                    let wall_s = started.elapsed().as_secs_f64();
+                    let trials = Report::load_from(&cli.out_dir, id)
+                        .map(|r| r.total_sweep_trials())
+                        .unwrap_or(0);
+                    record_sweep(&SweepThroughput {
+                        experiment: id.clone(),
+                        shards: workers,
+                        trials,
+                        wall_s,
+                    });
+                }
+                if rec.output.is_none() {
+                    ok = false;
+                }
+                manifest.record(rec);
+            }
+            None => ok = false,
+        }
+    }
+    ok
 }
 
 fn main() {
@@ -163,18 +411,56 @@ fn main() {
         out_dir: cli.out_dir.clone(),
         sweep: sweep_config(&cli),
         fast: cli.fast,
+        trials_scale: cli.trials_scale,
         resume: cli.resume,
         checkpoints: true,
         topology: cli.topology,
+        shard: cli.shard,
+        merge_shards: cli.merge_shards,
     };
     let mut manifest = RunManifest::new(cli.seed, cli.out_dir.clone());
     let mut failed = false;
-    for id in &selected {
-        match execute(id, &opts) {
-            Some(rec) => manifest.record(rec),
-            None => {
-                eprintln!("unknown experiment '{id}' (try --list)");
-                failed = true;
+    let mut shard_incomplete = false;
+    if cli.workers.is_some() {
+        if !run_coordinator(&cli, &opts, &selected, &mut manifest) {
+            failed = true;
+        }
+    } else {
+        for id in &selected {
+            match execute(id, &opts) {
+                Some(rec) => {
+                    if cli.shard.is_some() && rec.output.is_none() {
+                        shard_incomplete = true;
+                    }
+                    if cli.record && cli.shard.is_none() && rec.output.is_some() {
+                        if cli.merge_shards.is_some() {
+                            // A standalone merge's wall clock covers only the
+                            // merge step, not the shard runs — recording it
+                            // would fabricate throughput. The coordinator
+                            // (--workers) records the honest end-to-end rate.
+                            println!(
+                                "[record] skipping trials/sec for {id}: standalone \
+                                 --merge-shards has no end-to-end wall clock \
+                                 (use --workers to record sharded throughput)"
+                            );
+                        } else {
+                            let trials = Report::load_from(&cli.out_dir, id)
+                                .map(|r| r.total_sweep_trials())
+                                .unwrap_or(0);
+                            record_sweep(&SweepThroughput {
+                                experiment: id.clone(),
+                                shards: 1,
+                                trials,
+                                wall_s: rec.duration_ms / 1e3,
+                            });
+                        }
+                    }
+                    manifest.record(rec);
+                }
+                None => {
+                    eprintln!("unknown experiment '{id}' (try --list)");
+                    failed = true;
+                }
             }
         }
     }
@@ -198,5 +484,10 @@ fn main() {
     }
     if failed {
         std::process::exit(2);
+    }
+    if shard_incomplete {
+        // Distinguishable from flag errors: the coordinator (and sweepd)
+        // treat it as "restart me with --resume".
+        std::process::exit(3);
     }
 }

@@ -18,9 +18,12 @@ fn opts(out_dir: &Path, max_batches: Option<u64>, resume: bool) -> HarnessOpts {
         out_dir: out_dir.to_string_lossy().into_owned(),
         sweep,
         fast: true,
+        trials_scale: 1,
         resume,
         checkpoints: true,
         topology: None,
+        shard: None,
+        merge_shards: None,
     }
 }
 

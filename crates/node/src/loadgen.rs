@@ -142,6 +142,11 @@ pub struct LoadgenRecord {
     pub elapsed_ms: u64,
     /// Completed requests per second.
     pub requests_per_sec: f64,
+    /// Request round-trips per second counting typed-error responses too
+    /// — the loadgen's analogue of the sweep engine's trials/sec, so the
+    /// consolidated BENCH_TRAJECTORY.json fold picks throughput up from
+    /// recorded runs automatically.
+    pub trials_per_sec: f64,
     /// Append-call latency.
     pub append: OpStats,
     /// Quorum-read-call latency.
@@ -362,6 +367,7 @@ pub fn run(cfg: LoadgenConfig) -> LoadgenRecord {
         errors,
         elapsed_ms: elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
         requests_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        trials_per_sec: (completed + errors) as f64 / elapsed.as_secs_f64().max(1e-9),
         append: OpStats::from_hist(&am_obs::histogram("node.lat.append")),
         read: OpStats::from_hist(&am_obs::histogram("node.lat.read")),
         query: OpStats::from_hist(&am_obs::histogram("node.lat.query")),
@@ -389,6 +395,10 @@ mod tests {
         assert_eq!(rec.completed, 2_000, "the whole budget is consumed");
         assert_eq!(rec.errors, 0, "an ideal network decides everything");
         assert!(rec.requests_per_sec > 0.0);
+        assert!(
+            rec.trials_per_sec >= rec.requests_per_sec,
+            "trials count errored round-trips too"
+        );
         assert!(
             rec.append.count > 0 && rec.query.count > 0 && rec.finality.count > 0,
             "append, query, and finality op classes all ran: {rec:?}"

@@ -25,6 +25,10 @@
 //! * [`sweep`] — the adaptive sweep engine: batched trials with Wilson
 //!   early stopping ([`am_stats::StopRule`]), per-point budgets, and
 //!   crash-safe checkpoint/resume.
+//! * [`shard`] — multi-process sweep sharding: interleaved trial slices,
+//!   per-shard checkpoints, and the byte-identical merge the sweep
+//!   engine's [`SweepRunner::sharded`]/[`SweepRunner::merging`] modes
+//!   build on.
 //!
 //! ## Modelling notes (see DESIGN.md)
 //!
@@ -49,6 +53,7 @@ pub mod params;
 pub mod propagation;
 pub mod runner;
 pub(crate) mod scratch;
+pub mod shard;
 pub mod sweep;
 pub mod timestamp;
 pub mod weak;
@@ -59,6 +64,7 @@ pub use dag::{run_dag, DagAdversary, DagRule, DagTrial};
 pub use params::{ParamError, Params, ParamsBuilder, ViewPolicy};
 pub use propagation::{run_chain_net, run_dag_net, BlockMsg, Propagation};
 pub use runner::{measure_failure_rate, resilience_threshold, trial_seed, TrialKind};
+pub use shard::{ShardCheckpointStore, ShardMergeSource, ShardPointCheckpoint, ShardSpec};
 pub use sweep::{
     CheckpointStore, PointCheckpoint, PointResult, SweepConfig, SweepMode, SweepRunner,
 };

@@ -1,0 +1,661 @@
+//! Multi-process sweep sharding: deterministic interleaved trial slices,
+//! per-shard checkpoints, and the byte-identical merge.
+//!
+//! The sweep engine's tallies are pure functions of `(seed, trial
+//! index)`, so a sweep point can be split across OS processes by residue
+//! class: shard `i` of `m` runs exactly the trial indices `≡ i (mod m)`.
+//! Because the unsharded engine consults its stopping rule only at batch
+//! boundaries, a shard records its *per-window* hit counts (window `b` =
+//! the index range the unsharded run would cover in batch `b`), and the
+//! merge step replays the unsharded batch loop with each window's hits
+//! reassembled as the sum over shards — reproducing the unsharded
+//! tallies, batch counts, and stop decisions bit for bit, adaptive early
+//! stops included.
+//!
+//! Three pieces live here:
+//!
+//! * [`ShardSpec`] — which residue class a process owns, plus the
+//!   closed-form index arithmetic.
+//! * [`ShardCheckpointStore`] — the per-shard checkpoint file
+//!   (`<id>.shard-<i>-of-<m>.checkpoint.json`), written with the same
+//!   atomic tmp+rename discipline as the unsharded store and stamped
+//!   with seed, schema, shard identity, batch size, and sweep mode so a
+//!   mismatched file is ignored rather than merged.
+//! * [`ShardMergeSource`] — the merge-side loader: reads the `m` shard
+//!   files and serves per-window hit counts back to the engine. Windows
+//!   a shard never recorded (killed mid-run, or a shard that stopped a
+//!   grid point earlier than its peers) are simply re-run by the merge
+//!   process — the "top-up" lane — so the merged output is byte-identical
+//!   to the unsharded run even when shards die or diverge on
+//!   data-dependent grids.
+//!
+//! **Why shards can stop early at all.** A shard alone cannot evaluate
+//! the global Wilson stopping rule — it sees only its residue class's
+//! hits. But it *can* bound the global tally: at batch boundary `T` the
+//! global hit count lies in `[own_hits, own_hits + (T − own_trials)]`,
+//! and the Wilson half-width is unimodal in the hit count (widest at
+//! `T/2`). When every tally in that interval satisfies the rule, the
+//! unsharded run has provably stopped at or before `T`, so the shard has
+//! recorded every window the merge can ever ask for and may stop too
+//! ([`surely_stopped`]). Fixed-mode rules only fire at the budget, so
+//! fixed shards run their full slice — exactly the unsharded behaviour.
+
+use crate::sweep::{SweepConfig, SweepMode};
+use am_stats::{Proportion, StopRule};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version stamp of the shard checkpoint JSON document.
+pub const SHARD_CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Which interleaved slice of the trial-index range a process owns:
+/// shard `index` of `count` runs the indices `≡ index (mod count)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 0-based shard index.
+    pub index: u32,
+    /// Total shard count (≥ 1).
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// A validated spec; `index` must be below `count`.
+    pub fn new(index: u32, count: u32) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be ≥ 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range (must be < {count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The checkpoint file name this shard writes for experiment `id`.
+    pub fn file_name(&self, id: &str) -> String {
+        format!(
+            "{id}.shard-{}-of-{}.checkpoint.json",
+            self.index, self.count
+        )
+    }
+
+    /// Whether this shard runs trial index `idx`.
+    pub fn owns(&self, idx: u64) -> bool {
+        idx % u64::from(self.count) == u64::from(self.index)
+    }
+
+    /// How many indices in `[lo, hi)` belong to this shard.
+    pub fn trials_in(&self, lo: u64, hi: u64) -> u64 {
+        let below = |x: u64| {
+            let (i, m) = (u64::from(self.index), u64::from(self.count));
+            if x > i {
+                (x - i).div_ceil(m)
+            } else {
+                0
+            }
+        };
+        below(hi.max(lo)) - below(lo)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    /// Parses the CLI grammar `i/m` (0-based index, e.g. `"2/4"`).
+    fn from_str(s: &str) -> Result<ShardSpec, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/m (e.g. 0/4), got '{s}'"))?;
+        let index: u32 = i.parse().map_err(|_| format!("bad shard index '{i}'"))?;
+        let count: u32 = m.parse().map_err(|_| format!("bad shard count '{m}'"))?;
+        ShardSpec::new(index, count)
+    }
+}
+
+/// Monotone counter making concurrent tmp files unique *within* a
+/// process; the PID makes them unique across processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The tmp path a checkpoint write under `path` uses for process `pid`
+/// and write sequence number `seq` — pure so the uniqueness property is
+/// directly testable.
+pub fn tmp_path_for(path: &Path, pid: u32, seq: u64) -> PathBuf {
+    path.with_extension(format!("tmp.{pid}.{seq}"))
+}
+
+/// Writes `body` to `path` atomically: a PID-and-sequence-unique tmp
+/// file plus a rename, so two processes (or stores) checkpointing into
+/// the same path can never tear each other's tmp file — the last rename
+/// wins and readers always see a complete document.
+pub(crate) fn write_atomic(path: &Path, body: &str) -> io::Result<()> {
+    let tmp = tmp_path_for(
+        path,
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One sweep point's per-shard state: this shard's hit count inside each
+/// global batch window it has run, in window order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardPointCheckpoint {
+    /// `batch_hits[b]` = failures among this shard's indices inside the
+    /// unsharded run's batch window `b`.
+    pub batch_hits: Vec<u64>,
+    /// Whether this shard has proven the unsharded run stops within the
+    /// recorded windows (or has exhausted the budget).
+    pub done: bool,
+}
+
+/// The identity stamp a shard checkpoint carries beyond seed + schema:
+/// window geometry (batch size) and stopping mode, both of which the
+/// merge must share for the per-window hits to line up.
+fn mode_label(cfg: &SweepConfig) -> String {
+    match cfg.mode {
+        SweepMode::Fixed => "fixed".to_string(),
+        SweepMode::Adaptive { target_half_width } => format!("adaptive:{target_half_width}"),
+    }
+}
+
+/// The on-disk per-shard checkpoint: schema, seed, shard identity, sweep
+/// geometry, and per-point window tallies, written atomically after
+/// every window.
+#[derive(Debug)]
+pub struct ShardCheckpointStore {
+    path: PathBuf,
+    seed: u64,
+    spec: ShardSpec,
+    batch: u64,
+    mode: String,
+    points: Mutex<BTreeMap<String, ShardPointCheckpoint>>,
+}
+
+impl ShardCheckpointStore {
+    /// A fresh store writing to `path`; any existing file is overwritten
+    /// at the first window.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        seed: u64,
+        spec: ShardSpec,
+        cfg: &SweepConfig,
+    ) -> ShardCheckpointStore {
+        ShardCheckpointStore {
+            path: path.into(),
+            seed,
+            spec,
+            batch: cfg.batch,
+            mode: mode_label(cfg),
+            points: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Resumes from `path` if it holds a checkpoint for the same seed,
+    /// shard identity, and sweep geometry; otherwise starts fresh.
+    pub fn resume(
+        path: impl Into<PathBuf>,
+        seed: u64,
+        spec: ShardSpec,
+        cfg: &SweepConfig,
+    ) -> ShardCheckpointStore {
+        let path = path.into();
+        let points = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|body| parse_shard_file(&body, seed, spec, cfg))
+            .unwrap_or_default();
+        ShardCheckpointStore {
+            path,
+            seed,
+            spec,
+            batch: cfg.batch,
+            mode: mode_label(cfg),
+            points: Mutex::new(points),
+        }
+    }
+
+    /// The file this store writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shard identity this store records.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The recorded state of a point, if any.
+    pub fn lookup(&self, key: &str) -> Option<ShardPointCheckpoint> {
+        self.points.lock().unwrap().get(key).cloned()
+    }
+
+    /// Records a point's state and rewrites the checkpoint file.
+    pub fn update(&self, key: &str, cp: ShardPointCheckpoint) -> io::Result<()> {
+        let body = {
+            let mut points = self.points.lock().unwrap();
+            points.insert(key.to_string(), cp);
+            self.render(&points)
+        };
+        write_atomic(&self.path, &body)
+    }
+
+    /// Records a point's state in memory only — no disk write. Rewriting
+    /// the whole file every batch window is O(windows²) I/O on long
+    /// sweeps, so the engine stages most windows and [`flush`es]
+    /// periodically plus at every durability boundary (point done,
+    /// interruption return).
+    ///
+    /// [`flush`es]: ShardCheckpointStore::flush
+    pub fn stage(&self, key: &str, cp: ShardPointCheckpoint) {
+        self.points.lock().unwrap().insert(key.to_string(), cp);
+    }
+
+    /// Writes the current in-memory state to the checkpoint file.
+    pub fn flush(&self) -> io::Result<()> {
+        let body = {
+            let points = self.points.lock().unwrap();
+            self.render(&points)
+        };
+        write_atomic(&self.path, &body)
+    }
+
+    fn render(&self, points: &BTreeMap<String, ShardPointCheckpoint>) -> String {
+        let doc = Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                SHARD_CHECKPOINT_SCHEMA_VERSION.to_value(),
+            ),
+            ("seed".to_string(), self.seed.to_value()),
+            ("shard_index".to_string(), self.spec.index.to_value()),
+            ("shard_count".to_string(), self.spec.count.to_value()),
+            ("batch".to_string(), self.batch.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            (
+                "points".to_string(),
+                Value::Object(
+                    points
+                        .iter()
+                        .map(|(k, cp)| (k.clone(), cp.to_value()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Whether every recorded point has proven global coverage — false
+    /// after a `max_batches_per_run` halt or a mid-sweep kill.
+    pub fn all_done(&self) -> bool {
+        self.points.lock().unwrap().values().all(|cp| cp.done)
+    }
+
+    /// Deletes the checkpoint file.
+    pub fn discard(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn parse_shard_file(
+    body: &str,
+    seed: u64,
+    spec: ShardSpec,
+    cfg: &SweepConfig,
+) -> Option<BTreeMap<String, ShardPointCheckpoint>> {
+    let v: Value = serde_json::from_str(body).ok()?;
+    if v.get("schema_version")?.as_u64()? != u64::from(SHARD_CHECKPOINT_SCHEMA_VERSION)
+        || v.get("seed")?.as_u64()? != seed
+        || v.get("shard_index")?.as_u64()? != u64::from(spec.index)
+        || v.get("shard_count")?.as_u64()? != u64::from(spec.count)
+        || v.get("batch")?.as_u64()? != cfg.batch
+        || *v.get("mode")? != Value::String(mode_label(cfg))
+    {
+        return None;
+    }
+    let Value::Object(entries) = v.get("points")? else {
+        return None;
+    };
+    let mut points = BTreeMap::new();
+    for (key, val) in entries {
+        points.insert(key.clone(), ShardPointCheckpoint::from_value(val).ok()?);
+    }
+    Some(points)
+}
+
+/// The merge-side view of `m` shard checkpoint files: per-point,
+/// per-shard window tallies, plus the source paths for post-merge
+/// cleanup.
+#[derive(Debug)]
+pub struct ShardMergeSource {
+    count: u32,
+    paths: Vec<PathBuf>,
+    points: BTreeMap<String, Vec<Option<ShardPointCheckpoint>>>,
+}
+
+impl ShardMergeSource {
+    /// Loads the `count` shard files for experiment `id` under `dir`.
+    /// Missing or mismatched (seed / schema / geometry) files degrade to
+    /// absent shards — their trials are re-run by the merge — and each
+    /// degradation is reported as a warning string.
+    pub fn load(
+        dir: &Path,
+        id: &str,
+        count: u32,
+        seed: u64,
+        cfg: &SweepConfig,
+    ) -> (ShardMergeSource, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut paths = Vec::new();
+        let mut per_shard: Vec<Option<BTreeMap<String, ShardPointCheckpoint>>> = Vec::new();
+        for index in 0..count {
+            let spec = ShardSpec { index, count };
+            let path = dir.join(spec.file_name(id));
+            let parsed = match std::fs::read_to_string(&path) {
+                Ok(body) => {
+                    let parsed = parse_shard_file(&body, seed, spec, cfg);
+                    if parsed.is_none() {
+                        warnings.push(format!(
+                            "shard file {} ignored (schema/seed/geometry mismatch); \
+                             its trials will be re-run",
+                            path.display()
+                        ));
+                    }
+                    parsed
+                }
+                Err(_) => {
+                    warnings.push(format!(
+                        "shard file {} missing; its trials will be re-run",
+                        path.display()
+                    ));
+                    None
+                }
+            };
+            paths.push(path);
+            per_shard.push(parsed);
+        }
+        let mut points: BTreeMap<String, Vec<Option<ShardPointCheckpoint>>> = BTreeMap::new();
+        for (index, shard_points) in per_shard.into_iter().enumerate() {
+            let Some(shard_points) = shard_points else {
+                continue;
+            };
+            for (key, cp) in shard_points {
+                points
+                    .entry(key)
+                    .or_insert_with(|| vec![None; count as usize])[index] = Some(cp);
+            }
+        }
+        (
+            ShardMergeSource {
+                count,
+                paths,
+                points,
+            },
+            warnings,
+        )
+    }
+
+    /// The shard count this source merges.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Shard `shard`'s recorded hits inside window `window` of point
+    /// `key`, if it got that far.
+    pub fn hits(&self, key: &str, shard: u32, window: u64) -> Option<u64> {
+        self.points
+            .get(key)?
+            .get(shard as usize)?
+            .as_ref()?
+            .batch_hits
+            .get(usize::try_from(window).ok()?)
+            .copied()
+    }
+
+    /// Deletes the shard checkpoint files (call after the merged final
+    /// results are safely written).
+    pub fn discard_files(&self) {
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Whether the *unsharded* run has provably stopped at or before
+/// `trials` global trials, given that this shard observed `own_hits`
+/// failures over its `own_trials` indices below that boundary. The
+/// global hit count lies in `[own_hits, own_hits + (trials −
+/// own_trials)]`; the Wilson half-width is unimodal in the hit count
+/// (maximal near `trials/2`), so checking the interval's endpoints plus
+/// the clamped midpoint bounds the width over every consistent tally.
+pub(crate) fn surely_stopped(rule: &StopRule, own_hits: u64, own_trials: u64, trials: u64) -> bool {
+    debug_assert!(own_trials <= trials && own_hits <= own_trials);
+    if trials >= rule.max_trials {
+        return true;
+    }
+    if trials < rule.min_trials {
+        return false;
+    }
+    let lo = own_hits;
+    let hi = own_hits + (trials - own_trials);
+    let mid = (trials / 2).clamp(lo, hi);
+    [lo, mid, hi]
+        .iter()
+        .all(|&h| rule.half_width(&Proportion::from_counts(h, trials)) <= rule.target_half_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parse_and_validate() {
+        let s: ShardSpec = "2/4".parse().unwrap();
+        assert_eq!(s, ShardSpec { index: 2, count: 4 });
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!(s.file_name("e8"), "e8.shard-2-of-4.checkpoint.json");
+        assert!("4/4".parse::<ShardSpec>().is_err(), "index must be < count");
+        assert!("0/0".parse::<ShardSpec>().is_err(), "count must be ≥ 1");
+        assert!("nope".parse::<ShardSpec>().is_err());
+        assert!("1".parse::<ShardSpec>().is_err());
+    }
+
+    #[test]
+    fn trials_in_matches_enumeration() {
+        for count in 1..=5u32 {
+            for index in 0..count {
+                let spec = ShardSpec { index, count };
+                for lo in 0..40u64 {
+                    for hi in lo..40 {
+                        let expect = (lo..hi).filter(|&i| spec.owns(i)).count() as u64;
+                        assert_eq!(
+                            spec.trials_in(lo, hi),
+                            expect,
+                            "shard {spec} over [{lo}, {hi})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_every_index() {
+        let count = 3u32;
+        for idx in 0..100u64 {
+            let owners = (0..count)
+                .filter(|&i| ShardSpec { index: i, count }.owns(idx))
+                .count();
+            assert_eq!(owners, 1, "index {idx} must have exactly one owner");
+        }
+    }
+
+    #[test]
+    fn tmp_paths_are_unique_per_pid_and_seq() {
+        let path = Path::new("/tmp/x/e8.checkpoint.json");
+        let a = tmp_path_for(path, 100, 0);
+        let b = tmp_path_for(path, 100, 1);
+        let c = tmp_path_for(path, 101, 0);
+        assert_ne!(a, b, "writes within a process must not share a tmp file");
+        assert_ne!(a, c, "processes must not share a tmp file");
+        assert!(a.to_string_lossy().contains("100"));
+        // The tmp file stays inside the checkpoint's directory.
+        assert_eq!(a.parent(), path.parent());
+    }
+
+    #[test]
+    fn concurrent_stores_never_tear_the_file() {
+        // Two stores aimed at one path (the two-process hazard, simulated
+        // in-process: each store's writes use distinct tmp names via the
+        // global sequence) hammer updates while a reader keeps parsing.
+        // Every observed file must be a complete JSON document.
+        let dir = std::env::temp_dir().join(format!("am_shard_race_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cp.checkpoint.json");
+        let cfg = SweepConfig::fixed();
+        let spec = ShardSpec { index: 0, count: 1 };
+        let a = ShardCheckpointStore::create(&path, 7, spec, &cfg);
+        let b = ShardCheckpointStore::create(&path, 7, spec, &cfg);
+        std::thread::scope(|sc| {
+            for store in [&a, &b] {
+                sc.spawn(move || {
+                    for i in 0..60u64 {
+                        let cp = ShardPointCheckpoint {
+                            batch_hits: vec![i; 8],
+                            done: false,
+                        };
+                        store.update("pt", cp).unwrap();
+                    }
+                });
+            }
+            sc.spawn(|| {
+                for _ in 0..120 {
+                    if let Ok(body) = std::fs::read_to_string(&path) {
+                        let v: Value = serde_json::from_str(&body)
+                            .unwrap_or_else(|e| panic!("torn checkpoint read: {e}\n{body}"));
+                        assert!(v.get("points").is_some());
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_store_resume_validates_identity() {
+        let dir = std::env::temp_dir().join(format!("am_shard_ident_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let cfg = SweepConfig::adaptive(0.05);
+        let spec = ShardSpec { index: 1, count: 4 };
+        let path = dir.join(spec.file_name("e8"));
+        let store = ShardCheckpointStore::create(&path, 3, spec, &cfg);
+        store
+            .update(
+                "k",
+                ShardPointCheckpoint {
+                    batch_hits: vec![1, 0, 2],
+                    done: true,
+                },
+            )
+            .unwrap();
+
+        let same = ShardCheckpointStore::resume(&path, 3, spec, &cfg);
+        assert_eq!(same.lookup("k").unwrap().batch_hits, vec![1, 0, 2]);
+        assert!(same.all_done());
+
+        // Any identity mismatch must start fresh, not merge foreign data.
+        let other_seed = ShardCheckpointStore::resume(&path, 4, spec, &cfg);
+        assert!(other_seed.lookup("k").is_none(), "seed mismatch");
+        let other_spec =
+            ShardCheckpointStore::resume(&path, 3, ShardSpec { index: 2, count: 4 }, &cfg);
+        assert!(other_spec.lookup("k").is_none(), "shard identity mismatch");
+        let mut other_batch = cfg;
+        other_batch.batch = 8;
+        let other = ShardCheckpointStore::resume(&path, 3, spec, &other_batch);
+        assert!(other.lookup("k").is_none(), "batch geometry mismatch");
+        let other_mode = ShardCheckpointStore::resume(&path, 3, spec, &SweepConfig::fixed());
+        assert!(other_mode.lookup("k").is_none(), "mode mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_source_reports_missing_shards() {
+        let dir = std::env::temp_dir().join(format!("am_shard_merge_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let cfg = SweepConfig::fixed();
+        for index in [0u32, 2] {
+            let spec = ShardSpec { index, count: 3 };
+            let store = ShardCheckpointStore::create(dir.join(spec.file_name("e6")), 0, spec, &cfg);
+            store
+                .update(
+                    "pt",
+                    ShardPointCheckpoint {
+                        batch_hits: vec![u64::from(index)],
+                        done: true,
+                    },
+                )
+                .unwrap();
+        }
+        let (src, warnings) = ShardMergeSource::load(&dir, "e6", 3, 0, &cfg);
+        assert_eq!(
+            warnings.len(),
+            1,
+            "exactly shard 1 is missing: {warnings:?}"
+        );
+        assert!(warnings[0].contains("shard-1-of-3"));
+        assert_eq!(src.hits("pt", 0, 0), Some(0));
+        assert_eq!(src.hits("pt", 1, 0), None, "missing shard has no data");
+        assert_eq!(src.hits("pt", 2, 0), Some(2));
+        assert_eq!(src.hits("pt", 0, 1), None, "beyond recorded windows");
+        assert_eq!(src.hits("nope", 0, 0), None, "unknown point");
+        src.discard_files();
+        assert!(!dir.join("e6.shard-0-of-3.checkpoint.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn surely_stopped_is_sound_against_every_consistent_tally() {
+        // Whenever the conservative check fires, the actual rule must
+        // fire for every global tally consistent with the shard's view.
+        let rule = StopRule::wilson95(0.05, 10_000);
+        for trials in [0u64, 32, 64, 96, 200, 400, 800] {
+            for own_trials in [0, trials / 4, trials / 2, trials] {
+                for own_hits in [0, own_trials / 3, own_trials] {
+                    if surely_stopped(&rule, own_hits, own_trials, trials) {
+                        for h in own_hits..=own_hits + (trials - own_trials) {
+                            assert!(
+                                rule.check(&Proportion::from_counts(h, trials)).is_some(),
+                                "claimed stop at {trials} but h={h} keeps sampling"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // And it must eventually fire: full knowledge at an easy point.
+        assert!(surely_stopped(&rule, 0, 200, 200));
+        // Budget exhaustion always fires.
+        let tight = StopRule::wilson95(0.001, 64);
+        assert!(surely_stopped(&tight, 10, 32, 64));
+    }
+
+    #[test]
+    fn fixed_mode_shards_run_the_full_slice() {
+        let cfg = SweepConfig::fixed();
+        let rule = cfg.rule(100);
+        assert!(!surely_stopped(&rule, 0, 25, 96), "fixed never stops early");
+        assert!(surely_stopped(&rule, 0, 25, 100), "fixed stops at budget");
+    }
+}

@@ -30,9 +30,24 @@
 //!
 //! Observability: `sweep.batches`, `sweep.trials`, and
 //! `sweep.trials_saved` counters, plus a `sweep/<key>` span per point.
+//! Sharded and merging engines add `sweep.shard.trials`,
+//! `sweep.merge.windows_reused`, and `sweep.merge.topup_trials`.
+//!
+//! **Multi-process sharding.** Because tallies are pure functions of
+//! `(seed, trial index)`, a sweep can be split across OS processes by
+//! residue class (see [`crate::shard`]): [`SweepRunner::sharded`] runs
+//! one interleaved slice and records per-window hits to a
+//! [`ShardCheckpointStore`]; [`SweepRunner::merging`] replays the
+//! unsharded batch loop with each window's hits summed over shard files,
+//! re-running any window a shard never recorded, and produces results
+//! bit-identical to the single-process engine — adaptive early stops
+//! included.
 
 use crate::params::Params;
 use crate::runner::{trial_seed, TrialKind};
+use crate::shard::{
+    surely_stopped, write_atomic, ShardCheckpointStore, ShardMergeSource, ShardPointCheckpoint,
+};
 use am_stats::{Proportion, StopReason, StopRule, WilsonInterval};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
@@ -182,6 +197,13 @@ pub struct CheckpointStore {
 /// Version stamp of the checkpoint JSON document.
 pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
 
+/// How many batch windows a shard runs between checkpoint flushes. The
+/// in-memory tally is always current; only the file lags. A mid-flush
+/// kill therefore costs at most this many windows of one shard's work
+/// (the merge re-runs whatever the file is missing), while the sweep
+/// avoids rewriting the whole checkpoint after every window.
+const SHARD_FLUSH_WINDOWS: usize = 256;
+
 impl CheckpointStore {
     /// A fresh store writing to `path`; any existing file is ignored and
     /// will be overwritten at the first batch.
@@ -243,9 +265,7 @@ impl CheckpointStore {
             points.insert(key.to_string(), cp);
             self.render(&points)
         };
-        let tmp = self.path.with_extension("json.tmp");
-        std::fs::write(&tmp, body)?;
-        std::fs::rename(&tmp, &self.path)
+        write_atomic(&self.path, &body)
     }
 
     fn render(&self, points: &BTreeMap<String, PointCheckpoint>) -> String {
@@ -295,6 +315,16 @@ impl CheckpointStore {
 pub struct SweepRunner<'a> {
     cfg: SweepConfig,
     checkpoint: Option<&'a CheckpointStore>,
+    exec: Exec<'a>,
+}
+
+/// How the engine executes trials: locally (the historic single-process
+/// path), as one shard of a multi-process run, or as the merge step
+/// reassembling shard tallies.
+enum Exec<'a> {
+    Local,
+    Shard(&'a ShardCheckpointStore),
+    Merge(&'a ShardMergeSource),
 }
 
 impl<'a> SweepRunner<'a> {
@@ -303,6 +333,7 @@ impl<'a> SweepRunner<'a> {
         SweepRunner {
             cfg,
             checkpoint: None,
+            exec: Exec::Local,
         }
     }
 
@@ -311,6 +342,39 @@ impl<'a> SweepRunner<'a> {
         SweepRunner {
             cfg,
             checkpoint: Some(store),
+            exec: Exec::Local,
+        }
+    }
+
+    /// An engine running one interleaved slice of every point: only trial
+    /// indices owned by `store`'s [`ShardSpec`](crate::shard::ShardSpec)
+    /// run, and per-window hit counts are persisted to `store` for a
+    /// later [`SweepRunner::merging`] pass. The returned tallies cover
+    /// this shard's indices only — they are progress reports, not the
+    /// sweep's estimates.
+    pub fn sharded(cfg: SweepConfig, store: &'a ShardCheckpointStore) -> SweepRunner<'a> {
+        SweepRunner {
+            cfg,
+            checkpoint: None,
+            exec: Exec::Shard(store),
+        }
+    }
+
+    /// An engine replaying the unsharded batch loop with each window's
+    /// hits reassembled from `source`'s shard files; windows no shard
+    /// recorded are re-run inline ("top-up"), so the results are
+    /// bit-identical to a single-process run regardless of shard deaths
+    /// or divergence. An optional `store` checkpoints the merged state
+    /// exactly like an unsharded run.
+    pub fn merging(
+        cfg: SweepConfig,
+        source: &'a ShardMergeSource,
+        store: Option<&'a CheckpointStore>,
+    ) -> SweepRunner<'a> {
+        SweepRunner {
+            cfg,
+            checkpoint: store,
+            exec: Exec::Merge(source),
         }
     }
 
@@ -332,6 +396,52 @@ impl<'a> SweepRunner<'a> {
     pub fn estimate<F>(&self, key: &str, budget: u64, trial: F) -> PointResult
     where
         F: Fn(u64) -> bool + Sync,
+    {
+        match self.exec {
+            Exec::Local => self.estimate_with(key, budget, |_window, lo, n| {
+                (lo..lo + n).into_par_iter().filter(|&i| trial(i)).count() as u64
+            }),
+            Exec::Merge(source) => {
+                let shards = u64::from(source.count());
+                self.estimate_with(key, budget, |window, lo, n| {
+                    // Reassemble this window's hits shard by shard; any
+                    // residue class without a recorded tally (killed
+                    // shard, or a shard whose local view stopped this
+                    // point earlier) is topped up by running its trial
+                    // indices right here.
+                    let mut hits = 0u64;
+                    for r in 0..shards {
+                        match source.hits(key, r as u32, window) {
+                            Some(h) => {
+                                hits += h;
+                                am_obs::counter("sweep.merge.windows_reused").inc();
+                            }
+                            None => {
+                                hits += (lo..lo + n)
+                                    .into_par_iter()
+                                    .filter(|&i| i % shards == r)
+                                    .filter(|&i| trial(i))
+                                    .count() as u64;
+                                am_obs::counter("sweep.merge.topup_trials").add(n.div_ceil(shards));
+                            }
+                        }
+                    }
+                    hits
+                })
+            }
+            Exec::Shard(store) => self.estimate_shard(store, key, budget, &trial),
+        }
+    }
+
+    /// The unsharded batch loop, generic over where a window's hit count
+    /// comes from: `window_hits(window, lo, n)` must return the failure
+    /// count over global trial indices `[lo, lo + n)` — by running them
+    /// ([`Exec::Local`]) or by summing shard tallies ([`Exec::Merge`]).
+    /// Stopping decisions, checkpoint writes, and counters are identical
+    /// either way, which is what makes the merge bit-exact.
+    fn estimate_with<W>(&self, key: &str, budget: u64, mut window_hits: W) -> PointResult
+    where
+        W: FnMut(u64, u64, u64) -> u64,
     {
         let _span = am_obs::span(format!("sweep/{key}"));
         let rule = self.cfg.rule(budget);
@@ -369,10 +479,7 @@ impl<'a> SweepRunner<'a> {
             }
             let n = rule.next_batch(cp.trials, self.cfg.batch);
             debug_assert!(n > 0, "rule must stop before an empty batch");
-            let hits = (cp.trials..cp.trials + n)
-                .into_par_iter()
-                .filter(|&i| trial(i))
-                .count() as u64;
+            let hits = window_hits(cp.batches, cp.trials, n);
             cp.hits += hits;
             cp.trials += n;
             cp.batches += 1;
@@ -380,6 +487,108 @@ impl<'a> SweepRunner<'a> {
             am_obs::counter("sweep.batches").inc();
             am_obs::counter("sweep.trials").add(n);
             self.save(key, cp);
+        }
+    }
+
+    /// One shard's slice of a point: runs only the trial indices its
+    /// residue class owns inside each global batch window, records the
+    /// per-window hits, and stops once the *global* rule has provably
+    /// fired ([`surely_stopped`]) — the conservative bound means a shard
+    /// may run a few windows past where the merged run will stop, never
+    /// fewer. The returned tally covers this shard's indices only.
+    fn estimate_shard<F>(
+        &self,
+        store: &ShardCheckpointStore,
+        key: &str,
+        budget: u64,
+        trial: &F,
+    ) -> PointResult
+    where
+        F: Fn(u64) -> bool + Sync,
+    {
+        let _span = am_obs::span(format!("sweep/{key}"));
+        let rule = self.cfg.rule(budget);
+        let spec = store.spec();
+        let mut cp = store.lookup(key).unwrap_or_default();
+        // The global trial boundary after the recorded windows; window
+        // sizes are deterministic, so it is reconstructible from the
+        // window count alone.
+        let mut bound = (cp.batch_hits.len() as u64 * self.cfg.batch).min(budget);
+        let mut own_hits: u64 = cp.batch_hits.iter().sum();
+        let mut own_trials = spec.trials_in(0, bound);
+        let mut batches_this_run = 0u64;
+        loop {
+            if !cp.done && surely_stopped(&rule, own_hits, own_trials, bound) {
+                cp.done = true;
+                self.save_shard(store, key, &cp);
+            }
+            if cp.done {
+                let stop = if bound >= budget {
+                    StopReason::Budget
+                } else {
+                    StopReason::HalfWidth
+                };
+                return self.finish(
+                    budget,
+                    PointCheckpoint {
+                        hits: own_hits,
+                        trials: own_trials,
+                        batches: cp.batch_hits.len() as u64,
+                        done: true,
+                    },
+                    stop,
+                );
+            }
+            if self
+                .cfg
+                .max_batches_per_run
+                .is_some_and(|cap| batches_this_run >= cap)
+            {
+                // Durability boundary: persist any staged windows before
+                // handing control back for the resume.
+                self.save_shard(store, key, &cp);
+                return PointResult {
+                    tally: Proportion::from_counts(own_hits, own_trials),
+                    budget,
+                    batches: cp.batch_hits.len() as u64,
+                    stop: StopReason::Budget,
+                    complete: false,
+                };
+            }
+            let n = rule.next_batch(bound, self.cfg.batch);
+            debug_assert!(n > 0, "surely_stopped must fire at the budget");
+            let hits = (bound..bound + n)
+                .into_par_iter()
+                .filter(|&i| spec.owns(i))
+                .filter(|&i| trial(i))
+                .count() as u64;
+            let own_n = spec.trials_in(bound, bound + n);
+            cp.batch_hits.push(hits);
+            own_hits += hits;
+            own_trials += own_n;
+            bound += n;
+            batches_this_run += 1;
+            am_obs::counter("sweep.batches").inc();
+            am_obs::counter("sweep.shard.trials").add(own_n);
+            // Rewriting the file every window is O(windows²) I/O on
+            // scaled sweeps; stage in memory and flush every
+            // SHARD_FLUSH_WINDOWS (a kill loses at most that many
+            // windows of one shard's work — the merge re-runs them).
+            if cp.batch_hits.len().is_multiple_of(SHARD_FLUSH_WINDOWS) {
+                self.save_shard(store, key, &cp);
+            } else {
+                store.stage(key, cp.clone());
+            }
+        }
+    }
+
+    fn save_shard(&self, store: &ShardCheckpointStore, key: &str, cp: &ShardPointCheckpoint) {
+        store.stage(key, cp.clone());
+        if let Err(e) = store.flush() {
+            eprintln!(
+                "[sweep] shard checkpoint write to {} failed: {e}",
+                store.path().display()
+            );
         }
     }
 
@@ -553,6 +762,156 @@ mod tests {
             CheckpointStore::resume(&path, 2).lookup("k").is_none(),
             "a different seed's tallies must not be continued"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn shard_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("am_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    fn run_sharded_and_merge(
+        cfg: SweepConfig,
+        shards: u32,
+        budget: u64,
+        tag: &str,
+        kill_shard: Option<u32>,
+    ) -> PointResult {
+        use crate::shard::{ShardCheckpointStore, ShardMergeSource, ShardSpec};
+        let dir = shard_dir(tag);
+        for index in 0..shards {
+            let spec = ShardSpec::new(index, shards).unwrap();
+            let path = dir.join(spec.file_name("pt"));
+            if kill_shard == Some(index) {
+                // Simulate a kill mid-run: one window per process, one
+                // process — the shard file ends incomplete.
+                let mut halted = cfg;
+                halted.max_batches_per_run = Some(1);
+                let store = ShardCheckpointStore::create(&path, 9, spec, &halted);
+                let r = SweepRunner::sharded(halted, &store).estimate("pt", budget, coin);
+                assert!(!r.complete || budget <= halted.batch);
+            } else {
+                let store = ShardCheckpointStore::create(&path, 9, spec, &cfg);
+                let r = SweepRunner::sharded(cfg, &store).estimate("pt", budget, coin);
+                assert!(r.complete);
+                assert!(store.all_done());
+            }
+        }
+        let (source, warnings) = ShardMergeSource::load(&dir, "pt", shards, 9, &cfg);
+        assert!(warnings.is_empty(), "all shard files present: {warnings:?}");
+        let merged = SweepRunner::merging(cfg, &source, None).estimate("pt", budget, coin);
+        source.discard_files();
+        let _ = std::fs::remove_dir_all(&dir);
+        merged
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded_fixed() {
+        let cfg = SweepConfig::fixed();
+        let full = SweepRunner::new(cfg).estimate("pt", 500, coin);
+        for shards in [1, 2, 4, 7] {
+            let merged = run_sharded_and_merge(cfg, shards, 500, "fx", None);
+            assert_eq!(merged, full, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded_adaptive() {
+        // Adaptive early stop: the merged run must stop at the same batch
+        // with the same tally even though each shard saw a different
+        // slice of the evidence.
+        let cfg = SweepConfig::adaptive(0.04);
+        let full = SweepRunner::new(cfg).estimate("pt", 4000, coin);
+        assert_eq!(full.stop, StopReason::HalfWidth, "test wants an early stop");
+        for shards in [1, 2, 4] {
+            let merged = run_sharded_and_merge(cfg, shards, 4000, "ad", None);
+            assert_eq!(merged, full, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn merge_tops_up_a_killed_shard() {
+        // Shard 1 of 3 dies after one window; the merge re-runs its
+        // residue class inline and still reproduces the unsharded run.
+        let cfg = SweepConfig::adaptive(0.04);
+        let full = SweepRunner::new(cfg).estimate("pt", 4000, coin);
+        let merged = run_sharded_and_merge(cfg, 3, 4000, "kill", Some(1));
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn merge_with_no_shard_files_degrades_to_local() {
+        // All shards missing: the merge runs every trial itself.
+        use crate::shard::ShardMergeSource;
+        let dir = shard_dir("empty");
+        let cfg = SweepConfig::adaptive(0.04);
+        let (source, warnings) = ShardMergeSource::load(&dir, "pt", 4, 9, &cfg);
+        assert_eq!(warnings.len(), 4);
+        let merged = SweepRunner::merging(cfg, &source, None).estimate("pt", 4000, coin);
+        let full = SweepRunner::new(cfg).estimate("pt", 4000, coin);
+        assert_eq!(merged, full);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_shard_resumes_from_its_checkpoint() {
+        use crate::shard::{ShardCheckpointStore, ShardSpec};
+        let cfg = SweepConfig::adaptive(0.03);
+        let budget = 4000;
+        let dir = shard_dir("resume");
+        let spec = ShardSpec::new(1, 4).unwrap();
+        let path = dir.join(spec.file_name("pt"));
+
+        // Reference: the shard run uninterrupted.
+        let clean_store = ShardCheckpointStore::create(&path, 9, spec, &cfg);
+        let clean = SweepRunner::sharded(cfg, &clean_store).estimate("pt", budget, coin);
+        let clean_cp = clean_store.lookup("pt").unwrap();
+        clean_store.discard();
+
+        // One window per process, resumed until done.
+        let mut halted = cfg;
+        halted.max_batches_per_run = Some(1);
+        let store = ShardCheckpointStore::create(&path, 9, spec, &halted);
+        let first = SweepRunner::sharded(halted, &store).estimate("pt", budget, coin);
+        assert!(!first.complete);
+        let mut resumed = first;
+        for _ in 0..400 {
+            let store = ShardCheckpointStore::resume(&path, 9, spec, &halted);
+            resumed = SweepRunner::sharded(halted, &store).estimate("pt", budget, coin);
+            if resumed.complete {
+                assert_eq!(store.lookup("pt").unwrap(), clean_cp);
+                break;
+            }
+        }
+        assert!(resumed.complete, "resume loop never finished");
+        assert_eq!(resumed, clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_overrun_is_bounded_and_sufficient() {
+        // A shard stops at or after the global stop point (never before),
+        // so the merge never asks for an unrecorded window of a healthy
+        // shard — pin that containment directly.
+        use crate::shard::{ShardCheckpointStore, ShardSpec};
+        let cfg = SweepConfig::adaptive(0.04);
+        let budget = 4000;
+        let full = SweepRunner::new(cfg).estimate("pt", budget, coin);
+        let dir = shard_dir("overrun");
+        for index in 0..3u32 {
+            let spec = ShardSpec::new(index, 3).unwrap();
+            let store = ShardCheckpointStore::create(dir.join(spec.file_name("pt")), 9, spec, &cfg);
+            SweepRunner::sharded(cfg, &store).estimate("pt", budget, coin);
+            let cp = store.lookup("pt").unwrap();
+            assert!(
+                cp.batch_hits.len() as u64 >= full.batches,
+                "shard {index} recorded {} windows < global {}",
+                cp.batch_hits.len(),
+                full.batches
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -51,8 +51,9 @@ pub use explore::{Analysis, Config, Entry, Event, Explorer, LocalState, Ref, Val
 pub use nonforking::{check_nonforking, check_nonforking_naive, NonforkingReport};
 pub use proto::{AsyncProtocol, FirstSeenProtocol, Op, QuorumVoteProtocol, ViewRef};
 pub use round_lb::{
-    search_disagreement, search_disagreement_t, search_disagreement_t_parallel, simulate_execution,
-    simulate_execution_naive, RoundLbOutcome,
+    merge_round_lb_shards, search_disagreement, search_disagreement_t,
+    search_disagreement_t_parallel, search_disagreement_t_shard, simulate_execution,
+    simulate_execution_naive, Disagreement, RoundLbOutcome, RoundLbShard,
 };
 pub use search::{canonical_key, search, valency_fast, SearchMode, SearchOptions, SearchReport};
 pub use zoo_ext::EchoVoteProtocol;

@@ -37,7 +37,7 @@ pub struct ByzAction {
 pub type ByzStrategy = Vec<Option<ByzAction>>;
 
 /// A found disagreement: the inputs, the strategy, and the decisions.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Disagreement {
     /// Correct nodes' inputs.
     pub inputs: Vec<u8>,
@@ -48,7 +48,7 @@ pub struct Disagreement {
 }
 
 /// Outcome of the exhaustive search.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundLbOutcome {
     /// Number of (input, strategy) pairs simulated.
     pub executions: usize,
@@ -506,12 +506,71 @@ pub fn search_disagreement_t_parallel(
     tie: u8,
     workers: usize,
 ) -> RoundLbOutcome {
+    let shard = search_disagreement_t_shard(n_correct, t_byz, rounds, tie, 0, 1, workers);
+    merge_round_lb_shards(std::slice::from_ref(&shard))
+}
+
+/// One process's slice of the parallel search, ready to merge: firsts
+/// carry their global `(mask, strategy)` enumeration index so
+/// [`merge_round_lb_shards`] can reduce shards from any partition back
+/// to the exact sequential-scan witness.
+#[derive(Clone, Debug)]
+pub struct RoundLbShard {
+    /// Executions this shard simulated (its masks × all strategies).
+    pub executions: usize,
+    /// This shard's first disagreement, tagged with its global index.
+    pub disagreement: Option<(usize, Disagreement)>,
+    /// This shard's first validity violation, tagged likewise.
+    pub validity_violation: Option<(usize, Disagreement)>,
+}
+
+/// Folds per-process shards back into the outcome the unsharded
+/// parallel search produces: executions summed, witnesses min-reduced by
+/// global enumeration index. Order of `shards` does not matter.
+pub fn merge_round_lb_shards(shards: &[RoundLbShard]) -> RoundLbOutcome {
+    let min_of = |pick: fn(&RoundLbShard) -> &Option<(usize, Disagreement)>| {
+        shards
+            .iter()
+            .filter_map(|s| pick(s).as_ref())
+            .min_by_key(|(idx, _)| *idx)
+            .map(|(_, d)| d.clone())
+    };
+    RoundLbOutcome {
+        executions: shards.iter().map(|s| s.executions).sum(),
+        disagreement: min_of(|s| &s.disagreement),
+        validity_violation: min_of(|s| &s.validity_violation),
+    }
+}
+
+/// The multi-process form of [`search_disagreement_t_parallel`]: shard
+/// `shard_index` of `shard_count` scans only the input masks in its
+/// residue class (`mask % shard_count == shard_index`), each still
+/// against every Byzantine strategy, splitting its masks over `workers`
+/// threads. Merging every shard's result with [`merge_round_lb_shards`]
+/// is byte-identical to the single-process search for any
+/// `(shard_count, workers)` split, because witnesses carry their global
+/// enumeration index.
+pub fn search_disagreement_t_shard(
+    n_correct: usize,
+    t_byz: usize,
+    rounds: u32,
+    tie: u8,
+    shard_index: u32,
+    shard_count: u32,
+    workers: usize,
+) -> RoundLbShard {
     assert!((2..=8).contains(&n_correct), "search is exponential in n");
     assert!((1..=3).contains(&rounds), "search is exponential in rounds");
     assert!((1..=3).contains(&t_byz), "search is exponential in t");
+    assert!(
+        shard_count >= 1 && shard_index < shard_count,
+        "shard index {shard_index} out of range (count {shard_count})"
+    );
     let strats = strategies(n_correct, t_byz, rounds);
-    let masks: Vec<u32> = (0..(1u32 << n_correct)).collect();
-    let workers = workers.clamp(1, masks.len());
+    let masks: Vec<u32> = (0..(1u32 << n_correct))
+        .filter(|m| m % shard_count == shard_index)
+        .collect();
+    let workers = workers.clamp(1, masks.len().max(1));
 
     /// A chunk's first witness: `(global enumeration index, witness)`.
     type First = Option<(usize, Disagreement)>;
@@ -556,8 +615,8 @@ pub fn search_disagreement_t_parallel(
         (dis, val)
     };
 
-    let chunk = masks.len().div_ceil(workers);
-    let parts: Vec<(First, First)> = if workers <= 1 {
+    let chunk = masks.len().div_ceil(workers).max(1);
+    let parts: Vec<(First, First)> = if workers <= 1 || masks.len() <= 1 {
         vec![scan(&masks)]
     } else {
         std::thread::scope(|sc| {
@@ -571,9 +630,9 @@ pub fn search_disagreement_t_parallel(
             .iter()
             .filter_map(|p| pick(p).as_ref())
             .min_by_key(|(idx, _)| *idx)
-            .map(|(_, d)| d.clone())
+            .cloned()
     };
-    RoundLbOutcome {
+    RoundLbShard {
         executions: masks.len() * strats.len(),
         disagreement: min_of(|p| &p.0),
         validity_violation: min_of(|p| &p.1),
@@ -712,6 +771,33 @@ mod tests {
                 assert_eq!((&a.inputs, &a.strategy), (&b.inputs, &b.strategy));
             }
         }
+    }
+
+    #[test]
+    fn sharded_search_merges_to_the_parallel_outcome() {
+        // Any shard-count partition of the mask space, merged, must be
+        // byte-identical to the single-process parallel search —
+        // executions, witnesses, and all.
+        for (t, rounds) in [(1usize, 1u32), (1, 2)] {
+            let whole = search_disagreement_t_parallel(3, t, rounds, 0, 2);
+            for count in [1u32, 2, 3, 5] {
+                let shards: Vec<RoundLbShard> = (0..count)
+                    .map(|i| search_disagreement_t_shard(3, t, rounds, 0, i, count, 2))
+                    .collect();
+                let merged = merge_round_lb_shards(&shards);
+                assert_eq!(merged, whole, "{count} shards at t={t} R={rounds}");
+                // Merge order must not matter.
+                let mut reversed = shards.clone();
+                reversed.reverse();
+                assert_eq!(merge_round_lb_shards(&reversed), whole);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let _ = search_disagreement_t_shard(3, 1, 1, 0, 4, 4, 1);
     }
 
     #[test]

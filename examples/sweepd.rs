@@ -1,0 +1,243 @@
+//! `sweepd`: a minimal multi-process sweep supervisor built directly on
+//! the `am-experiments` library (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run --release --example sweepd -- e8 --workers 4 --fast --out-dir out
+//! ```
+//!
+//! The supervisor re-executes itself once per shard (a hidden
+//! `--worker i/m` mode), monitors the children, restarts any that die —
+//! resuming from the shard checkpoint the dead worker left behind — and
+//! merges the shard tallies into final results byte-identical to an
+//! unsharded run. The experiments CLI's `--workers` flag does the same
+//! thing; this example is the library-level recipe for embedding the
+//! pattern in other binaries.
+//!
+//! Flags (defaults in brackets):
+//!
+//! | flag | meaning |
+//! |---|---|
+//! | `<id>` | experiment id to sweep, e.g. `e8` (required) |
+//! | `--workers N` | shard/worker processes [2] |
+//! | `--seed N` | base RNG seed [0] |
+//! | `--out-dir DIR` | results + shard checkpoints [out-sweepd] |
+//! | `--fast` | shrunken trial budgets |
+//! | `--adaptive W` | adaptive stopping at CI half-width W |
+//! | `--chaos-kill I` | worker I dies after one batch on its first attempt |
+//!
+//! `--chaos-kill` is the demo's point: the killed worker's partial shard
+//! checkpoint survives, the supervisor restarts it with `--resume`, and
+//! the merged output still matches the unsharded run byte for byte.
+
+use am_experiments::{execute, HarnessOpts};
+use am_protocols::{ShardSpec, SweepConfig};
+use std::process::{Command, Stdio};
+
+fn usage(err: &str) -> ! {
+    eprintln!("sweepd: {err}");
+    eprintln!(
+        "usage: sweepd <id> [--workers N] [--seed N] [--out-dir DIR] \
+         [--fast] [--adaptive W] [--chaos-kill I]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else {
+        usage(&format!("{flag} needs a value"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("bad value {v:?} for {flag}")))
+}
+
+struct Cli {
+    id: Option<String>,
+    workers: u32,
+    seed: u64,
+    out_dir: String,
+    fast: bool,
+    adaptive: Option<f64>,
+    chaos_kill: Option<u32>,
+    /// Hidden: run as one shard instead of supervising.
+    worker: Option<ShardSpec>,
+    /// Hidden: the worker should resume its shard checkpoint.
+    resume: bool,
+    /// Hidden: the worker should die after one batch (chaos demo).
+    cap: bool,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        id: None,
+        workers: 2,
+        seed: 0,
+        out_dir: "out-sweepd".to_string(),
+        fast: false,
+        adaptive: None,
+        chaos_kill: None,
+        worker: None,
+        resume: false,
+        cap: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--workers" => cli.workers = parse(&flag, args.next()),
+            "--seed" => cli.seed = parse(&flag, args.next()),
+            "--out-dir" => cli.out_dir = parse(&flag, args.next()),
+            "--fast" => cli.fast = true,
+            "--adaptive" => cli.adaptive = Some(parse(&flag, args.next())),
+            "--chaos-kill" => cli.chaos_kill = Some(parse(&flag, args.next())),
+            "--worker" => cli.worker = Some(parse(&flag, args.next())),
+            "--resume" => cli.resume = true,
+            "--cap" => cli.cap = true,
+            "--help" | "-h" => usage("help"),
+            other if !other.starts_with('-') && cli.id.is_none() => {
+                cli.id = Some(other.to_string());
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if !(1..=256).contains(&cli.workers) {
+        usage("--workers must be in 1..=256");
+    }
+    if let Some(w) = cli.adaptive {
+        if w <= 0.0 || w.is_nan() {
+            usage("--adaptive needs a positive half-width");
+        }
+    }
+    cli
+}
+
+fn base_opts(cli: &Cli) -> HarnessOpts {
+    let mut opts = HarnessOpts::new(cli.seed, &cli.out_dir);
+    if let Some(w) = cli.adaptive {
+        opts.sweep = SweepConfig::adaptive(w);
+    }
+    if cli.fast {
+        opts.fast = true;
+        opts.sweep.batch = 8;
+    }
+    opts
+}
+
+/// Hidden worker mode: run one shard in-process and exit with 0 when the
+/// shard finished, 3 when it was interrupted (the supervisor's signal to
+/// restart with `--resume`).
+fn run_worker(cli: &Cli, id: &str, spec: ShardSpec) -> ! {
+    let mut opts = base_opts(cli);
+    opts.shard = Some(spec);
+    opts.resume = cli.resume;
+    if cli.cap {
+        // The chaos demo: give up after one batch window, leaving a
+        // partial shard checkpoint for the restart to resume.
+        opts.sweep.max_batches_per_run = Some(1);
+    }
+    let Some(rec) = execute(id, &opts) else {
+        usage(&format!("unknown experiment {id:?}"));
+    };
+    std::process::exit(if rec.output.is_some() { 0 } else { 3 });
+}
+
+fn worker_args(cli: &Cli, id: &str, index: u32, resume: bool) -> Vec<String> {
+    let mut args = vec![
+        id.to_string(),
+        "--worker".to_string(),
+        format!("{index}/{}", cli.workers),
+        "--seed".to_string(),
+        cli.seed.to_string(),
+        "--out-dir".to_string(),
+        cli.out_dir.clone(),
+    ];
+    if cli.fast {
+        args.push("--fast".to_string());
+    }
+    if let Some(w) = cli.adaptive {
+        args.push("--adaptive".to_string());
+        args.push(w.to_string());
+    }
+    if resume {
+        args.push("--resume".to_string());
+    } else if cli.chaos_kill == Some(index) {
+        args.push("--cap".to_string());
+    }
+    args
+}
+
+fn main() {
+    let cli = parse_args();
+    let Some(id) = cli.id.clone() else {
+        usage("an experiment id is required");
+    };
+    if let Some(spec) = cli.worker {
+        run_worker(&cli, &id, spec);
+    }
+    if let Some(i) = cli.chaos_kill {
+        if i >= cli.workers {
+            usage("--chaos-kill index out of range");
+        }
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| usage(&format!("current_exe: {e}")));
+
+    struct Slot {
+        index: u32,
+        child: std::process::Child,
+        retries: u32,
+    }
+    const MAX_RETRIES: u32 = 2;
+    let spawn = |index: u32, resume: bool| -> std::process::Child {
+        Command::new(&exe)
+            .args(worker_args(&cli, &id, index, resume))
+            .stdout(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| usage(&format!("spawn worker {index}: {e}")))
+    };
+    println!("sweepd: {id} across {} worker processes", cli.workers);
+    let mut slots: Vec<Slot> = (0..cli.workers)
+        .map(|index| Slot {
+            index,
+            child: spawn(index, false),
+            retries: 0,
+        })
+        .collect();
+    while !slots.is_empty() {
+        let mut i = 0;
+        while i < slots.len() {
+            match slots[i].child.try_wait() {
+                Ok(Some(status)) if status.success() => {
+                    println!("sweepd: worker {} finished", slots[i].index);
+                    slots.swap_remove(i);
+                }
+                Ok(Some(status)) => {
+                    let slot = &mut slots[i];
+                    if slot.retries >= MAX_RETRIES {
+                        println!(
+                            "sweepd: worker {} failed {status} after {MAX_RETRIES} retries; \
+                             the merge will re-run its missing trials",
+                            slot.index
+                        );
+                        slots.swap_remove(i);
+                    } else {
+                        slot.retries += 1;
+                        println!(
+                            "sweepd: worker {} exited {status}; restarting from its checkpoint \
+                             (attempt {}/{MAX_RETRIES})",
+                            slot.index, slot.retries
+                        );
+                        slot.child = spawn(slot.index, true);
+                        i += 1;
+                    }
+                }
+                Ok(None) => i += 1,
+                Err(e) => usage(&format!("wait worker {}: {e}", slots[i].index)),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    println!("sweepd: merging {} shards", cli.workers);
+    let mut opts = base_opts(&cli);
+    opts.merge_shards = Some(cli.workers);
+    if execute(&id, &opts).is_none() {
+        usage(&format!("unknown experiment {id:?}"));
+    }
+}
